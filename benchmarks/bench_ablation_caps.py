@@ -1,0 +1,154 @@
+"""Ablations over CAPS's design choices (beyond the paper's figures).
+
+Sweeps the knobs DESIGN.md calls out: the misprediction throttle
+threshold (Section V-B), the PerCTA/DIST table sizes (four entries "did
+not significantly alter the performance"), the prefetch-ahead window,
+and the scheduler pairing (CAP benefits from PAS's timeliness).
+"""
+
+import dataclasses
+
+from conftest import run_once
+
+from repro.analysis.driver import run_benchmark
+from repro.analysis.metrics import geomean
+from repro.analysis.report import format_table
+from repro.config import SchedulerKind, small_config
+from repro.workloads import Scale
+
+BENCHES = ("CNV", "BPR", "MM", "HSP", "KM")
+
+
+def _caps_speedups(config):
+    out = {}
+    for b in BENCHES:
+        base = run_benchmark(b, "none", config=config, scale=Scale.SMALL)
+        caps = run_benchmark(b, "caps", config=config, scale=Scale.SMALL)
+        out[b] = caps.ipc / base.ipc
+    return out
+
+
+def _with_prefetch(cfg, **kw):
+    return dataclasses.replace(
+        cfg, prefetch=dataclasses.replace(cfg.prefetch, **kw)
+    )
+
+
+def test_ablation_mispredict_threshold(benchmark, emit):
+    cfg = small_config()
+
+    def sweep():
+        rows = []
+        for th in (2, 4, 16, 64):
+            sp = _caps_speedups(_with_prefetch(cfg, mispredict_threshold=th))
+            rows.append((th, *[sp[b] for b in BENCHES], geomean(list(sp.values()))))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    emit(
+        "ablation_threshold",
+        format_table(
+            ["threshold"] + list(BENCHES) + ["geomean"],
+            rows,
+            title="Ablation - misprediction throttle threshold "
+                  "(HSP needs a quick shut-off; regular apps are insensitive)",
+        ),
+    )
+    by = {r[0]: dict(zip(BENCHES, r[1:-1])) for r in rows}
+    # A permissive threshold keeps issuing wrong HSP prefetches.
+    assert by[2]["HSP"] >= by[64]["HSP"] - 0.02
+    # Regular apps barely care.
+    assert abs(by[2]["CNV"] - by[64]["CNV"]) < 0.08
+
+
+def test_ablation_table_sizes(benchmark, emit):
+    cfg = small_config()
+
+    def sweep():
+        rows = []
+        for entries in (1, 2, 4, 8):
+            sp = _caps_speedups(
+                _with_prefetch(cfg, percta_entries=entries,
+                               dist_entries=entries)
+            )
+            rows.append((entries, *[sp[b] for b in BENCHES],
+                         geomean(list(sp.values()))))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    emit(
+        "ablation_tables",
+        format_table(
+            ["entries"] + list(BENCHES) + ["geomean"],
+            rows,
+            title="Ablation - PerCTA/DIST table entries "
+                  "(paper: 4 entries suffice; most kernels target 2-4 loads)",
+        ),
+    )
+    gm = {r[0]: r[-1] for r in rows}
+    # One entry thrashes multi-load kernels; four is close to eight.
+    assert gm[4] >= gm[1]
+    assert abs(gm[4] - gm[8]) < 0.05
+
+
+def test_ablation_prefetch_window(benchmark, emit):
+    cfg = small_config()
+
+    def sweep():
+        rows = []
+        for window in (2, 8, 16, 48):
+            sp = _caps_speedups(_with_prefetch(cfg, prefetch_window=window))
+            rows.append((window, *[sp[b] for b in BENCHES],
+                         geomean(list(sp.values()))))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    emit(
+        "ablation_window",
+        format_table(
+            ["window"] + list(BENCHES) + ["geomean"],
+            rows,
+            title="Ablation - prefetch-ahead window (warps beyond the "
+                  "furthest issued warp)",
+        ),
+    )
+    gm = {r[0]: r[-1] for r in rows}
+    # A tiny window forfeits most of the benefit.
+    assert gm[16] > gm[2] - 0.02
+
+
+def test_ablation_scheduler_pairing(benchmark, emit):
+    cfg = small_config()
+
+    def sweep():
+        rows = []
+        for label, kind in (("LRR", SchedulerKind.LRR),
+                            ("PAS-LRR", SchedulerKind.PAS_LRR),
+                            ("GTO", SchedulerKind.GTO),
+                            ("PAS-GTO", SchedulerKind.PAS_GTO),
+                            ("two-level", SchedulerKind.TWO_LEVEL),
+                            ("PAS", SchedulerKind.PAS)):
+            sp = {}
+            for b in BENCHES:
+                base = run_benchmark(b, "none", config=cfg, scale=Scale.SMALL)
+                caps = run_benchmark(b, "caps", config=cfg, scale=Scale.SMALL,
+                                     scheduler=kind)
+                sp[b] = caps.ipc / base.ipc
+            rows.append((label, *[sp[b] for b in BENCHES],
+                         geomean(list(sp.values()))))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    emit(
+        "ablation_scheduler",
+        format_table(
+            ["scheduler"] + list(BENCHES) + ["geomean"],
+            rows,
+            title="Ablation - CAP under different warp schedulers "
+                  "(normalized to the two-level no-prefetch baseline)",
+        ),
+    )
+    gm = {r[0]: r[-1] for r in rows}
+    # CAP is profitable on both two-level variants.
+    assert gm["two-level"] > 1.0
+    assert gm["PAS"] > 1.0

@@ -1,0 +1,43 @@
+"""Figure 1: inter-warp stride prefetch accuracy and cycle gap vs warp
+distance, on matrixMul (8 warps per CTA).
+
+Paper's shape: accuracy is high for short distances, degrades gradually,
+and collapses at distance 7+ where every prediction crosses the CTA
+boundary; the cycle gap grows roughly linearly to ~400+ cycles at
+distance 10 (so only far targets give useful prefetch distance —
+precisely where the accuracy is gone).
+"""
+
+from conftest import run_once
+
+from repro.analysis.figures import fig1_interwarp_accuracy
+from repro.analysis.report import format_percent, format_table
+from repro.workloads import Scale
+
+
+def test_fig01_interwarp_accuracy(benchmark, emit):
+    points = run_once(
+        benchmark, lambda: fig1_interwarp_accuracy(scale=Scale.SMALL)
+    )
+    rows = [
+        (p.distance, format_percent(p.accuracy), round(p.mean_gap_cycles),
+         p.samples)
+        for p in points
+    ]
+    emit(
+        "fig01",
+        format_table(
+            ["distance", "accuracy", "gap (cycles)", "samples"],
+            rows,
+            title="Figure 1 - inter-warp stride prediction on MM "
+                  "(paper: ~75% at d=1 falling to <20% past d=7; "
+                  "gap rising to ~400 cycles)",
+        ),
+    )
+    # Shape assertions: accuracy decays with distance and collapses
+    # across the CTA boundary (8 warps/CTA); gap grows monotonically.
+    acc = {p.distance: p.accuracy for p in points}
+    assert acc[1] > 0.8
+    assert acc[8] < 0.5 * acc[1]
+    gaps = [p.mean_gap_cycles for p in points]
+    assert gaps == sorted(gaps)

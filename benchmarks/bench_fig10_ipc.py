@@ -1,0 +1,43 @@
+"""Figure 10: normalized IPC of all seven prefetch engines over the
+two-level no-prefetch baseline, per benchmark plus group means.
+
+Paper's headline shape: CAPS +8% overall (reg +9%, irreg +6%), up to
++27% (CNV); INTER negative; MTA no better than INTRA; NLP flat/negative;
+LAP/ORCH ~+1% on the two-level baseline.
+"""
+
+from conftest import run_once
+
+from repro.analysis.figures import ENGINES, fig10_normalized_ipc
+from repro.analysis.report import format_table
+from repro.workloads import ALL_BENCHMARKS, Scale
+
+
+def test_fig10_normalized_ipc(benchmark, emit):
+    data = run_once(benchmark, lambda: fig10_normalized_ipc(scale=Scale.SMALL))
+    order = list(ALL_BENCHMARKS) + ["Mean(reg)", "Mean(irreg)", "Mean(all)"]
+    emit(
+        "fig10",
+        format_table(
+            ["bench"] + list(ENGINES),
+            [(b, *[data[b][e] for e in ENGINES]) for b in order],
+            title="Figure 10 - normalized IPC "
+                  "(paper means: reg 1.09 / irreg 1.06 / all 1.08; "
+                  "CNV max ~1.27; INTER negative)",
+        ),
+    )
+    means = data["Mean(all)"]
+    # CAPS wins overall and beats every other engine.
+    assert means["caps"] > 1.02
+    assert all(means["caps"] > means[e] for e in ENGINES if e != "caps")
+    # CAPS improves both groups (paper: +9% / +6%).
+    assert data["Mean(reg)"]["caps"] > 1.02
+    assert data["Mean(irreg)"]["caps"] > 1.0
+    # CNV is CAPS's best case.
+    assert data["CNV"]["caps"] > 1.12
+    # Inter-warp stride prefetching is net negative (CTA boundaries).
+    assert means["inter"] < 1.0
+    assert means["mta"] <= means["intra"] + 0.02
+    # LAP/ORCH are near-neutral on a two-level baseline (paper: ~1%).
+    assert 0.9 < means["lap"] <= 1.05
+    assert 0.9 < means["orch"] <= 1.05

@@ -1,0 +1,49 @@
+"""Figure 11: performance by the number of concurrent CTAs per SM.
+
+Everything is normalized to the no-prefetch baseline at the maximum CTA
+count.  Paper's shape: with a single concurrent CTA every configuration
+is far below the 8-CTA baseline (curtailing CTAs is never worth it);
+intra-warp engines do relatively best there (no CTA boundaries to
+cross), CAPS gives nothing at 1 CTA by construction, and as the CTA
+count grows CAPS pulls ahead of every other engine.
+
+The sweep runs a representative subset by default (REPRO_BENCH_FULL=1
+for all 16 benchmarks).
+"""
+
+from conftest import full_sweep, run_once
+
+from repro.analysis.figures import ENGINES, fig11_cta_sweep
+from repro.analysis.report import format_table
+from repro.workloads import ALL_BENCHMARKS, Scale
+
+SUBSET = ("LPS", "BPR", "CNV", "MM", "STE", "KM")
+
+
+def test_fig11_cta_sweep(benchmark, emit):
+    benches = ALL_BENCHMARKS if full_sweep() else SUBSET
+    data = run_once(
+        benchmark,
+        lambda: fig11_cta_sweep(benchmarks=benches, scale=Scale.SMALL),
+    )
+    engines = ("none",) + tuple(ENGINES)
+    emit(
+        "fig11",
+        format_table(
+            ["CTAs"] + list(engines),
+            [(lim, *[data[lim][e] for e in engines]) for lim in sorted(data)],
+            title=f"Figure 11 - mean IPC by concurrent CTA limit "
+                  f"(normalized to no-prefetch @8 CTAs; subset={benches})",
+        ),
+    )
+    # Fewer concurrent CTAs lose throughput even with prefetching: every
+    # 1-CTA configuration is below the 8-CTA baseline.
+    assert all(data[1][e] < 1.0 for e in engines)
+    # More CTAs monotonically help the baseline.
+    base = [data[lim]["none"] for lim in sorted(data)]
+    assert base == sorted(base)
+    # CAPS needs multiple CTAs: its edge over the baseline grows with
+    # the CTA count and is best at the maximum.
+    top = max(data)
+    assert data[top]["caps"] / data[top]["none"] > data[1]["caps"] / data[1]["none"]
+    assert data[top]["caps"] >= max(data[top][e] for e in engines if e != "caps")

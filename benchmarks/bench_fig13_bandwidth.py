@@ -1,0 +1,42 @@
+"""Figure 13: bandwidth overhead of prefetching.
+
+(a) request traffic from the cores into the memory system and
+(b) data read from DRAM, both normalized to the no-prefetch baseline.
+Paper's shape: CAPS adds ~3% core requests and ~1% DRAM reads (its
+prefetches are almost all consumed), while INTER/MTA inflate traffic
+substantially at their low accuracy.
+"""
+
+from conftest import run_once
+
+from repro.analysis.figures import ENGINES, fig13_bandwidth_overhead
+from repro.analysis.report import format_table
+from repro.workloads import ALL_BENCHMARKS, Scale
+
+
+def test_fig13_bandwidth_overhead(benchmark, emit):
+    data = run_once(
+        benchmark, lambda: fig13_bandwidth_overhead(scale=Scale.SMALL)
+    )
+    order = list(ALL_BENCHMARKS) + ["Mean"]
+
+    def table(idx, label):
+        return format_table(
+            ["bench"] + list(ENGINES),
+            [(b, *[data[b][e][idx] for e in ENGINES]) for b in order],
+            title=label,
+            float_digits=2,
+        )
+
+    emit(
+        "fig13",
+        table(0, "Figure 13a - fetch requests from cores (paper CAPS: 1.03)")
+        + "\n\n"
+        + table(1, "Figure 13b - data read from DRAM (paper CAPS: 1.01)"),
+    )
+    # CAPS's overhead is small (paper: <3%).
+    assert data["Mean"]["caps"][0] < 1.10
+    assert data["Mean"]["caps"][1] < 1.05
+    # Low-accuracy engines cost more DRAM reads than CAPS.
+    assert data["Mean"]["inter"][1] > data["Mean"]["caps"][1]
+    assert data["Mean"]["nlp"][1] > data["Mean"]["caps"][1]

@@ -1,0 +1,27 @@
+"""Simulator throughput: simulated SM-cycles per host second.
+
+Not a paper experiment — a performance regression guard for the
+substrate itself (the figure sweeps run hundreds of simulations, so
+engine throughput gates the whole harness).  pytest-benchmark's timing
+is the measurement here, unlike the single-shot experiment regenerators.
+"""
+
+from repro.config import small_config
+from repro.sim.gpu import simulate
+from repro.workloads import Scale, build
+
+
+def _run():
+    return simulate(build("MRQ", Scale.SMALL), small_config())
+
+
+def test_simulator_throughput(benchmark):
+    result = benchmark.pedantic(_run, rounds=3, iterations=1)
+    assert result.completed
+    sm_cycles = result.cycles * small_config().num_sms
+    per_second = sm_cycles / benchmark.stats["mean"]
+    print(f"\nsimulated {sm_cycles} SM-cycles "
+          f"({per_second / 1e3:.0f}k SM-cycles/s)")
+    # Regression guard: the engine must stay above 20k SM-cycles/s
+    # (it runs ~80k/s on the reference machine).
+    assert per_second > 20_000

@@ -1,0 +1,44 @@
+"""Tables I and II: CAPS hardware storage cost.
+
+Paper: PerCTA entry 21B, DIST entry 9B; per SM one 4-entry DIST table
+(36B) and one 4-entry PerCTA table per each of 8 CTAs (672B) — 708 bytes
+total, 0.018 mm² (0.08% of a 22 mm² GF100 SM), 15.07 pJ/access, 550 µW
+static.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.config import fermi_config
+from repro.core.hwcost import (
+    CAPS_ACCESS_ENERGY_PJ,
+    CAPS_AREA_MM2,
+    CAPS_STATIC_POWER_UW,
+    caps_hardware_cost,
+)
+
+
+def test_table1_and_2_hardware_cost(benchmark, emit):
+    cost = run_once(benchmark, lambda: caps_hardware_cost(fermi_config()))
+    text = format_table(
+        ["table", "entry bytes", "entries", "CTAs", "total bytes", "paper"],
+        [
+            ("DIST", cost.dist_entry_bytes, cost.dist_entries, 1,
+             cost.dist_total_bytes, "36 B"),
+            ("PerCTA", cost.percta_entry_bytes, cost.percta_entries,
+             cost.ctas_per_sm, cost.percta_total_bytes, "672 B"),
+            ("total", "-", "-", "-", cost.total_bytes, "708 B"),
+        ],
+        title="Tables I & II - CAPS storage per SM",
+    )
+    text += (
+        f"\nSynthesis (paper Section V-D): area {CAPS_AREA_MM2} mm^2 "
+        f"({100 * cost.area_fraction_of_sm:.2f}% of a 22 mm^2 SM), "
+        f"{CAPS_ACCESS_ENERGY_PJ} pJ/access, {CAPS_STATIC_POWER_UW} uW static"
+    )
+    emit("table1_2", text)
+    assert cost.dist_entry_bytes == 9
+    assert cost.percta_entry_bytes == 21
+    assert cost.dist_total_bytes == 36
+    assert cost.percta_total_bytes == 672
+    assert cost.total_bytes == 708

@@ -1,0 +1,52 @@
+"""Table III: the simulated GPU configuration.
+
+Prints the default (Fermi GTX480-like) configuration the full-scale
+experiments use and the scaled-down configuration the sweeps run on,
+asserting the structural parameters the paper lists.
+"""
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.config import fermi_config, small_config
+
+
+def test_table3_configuration(benchmark, emit):
+    cfg, small = run_once(benchmark, lambda: (fermi_config(), small_config()))
+    rows = [
+        ("Core", f"{cfg.num_sms} SMs, {cfg.simt_width} SIMT width",
+         f"{small.num_sms} SMs, {small.simt_width} SIMT width"),
+        ("Resources / core",
+         f"{cfg.max_warps_per_sm} warps, {cfg.max_ctas_per_sm} CTAs",
+         f"{small.max_warps_per_sm} warps, {small.max_ctas_per_sm} CTAs"),
+        ("Register file", f"{cfg.registers_per_sm * 4 // 1024}KB",
+         f"{small.registers_per_sm * 4 // 1024}KB"),
+        ("Shared memory", f"{cfg.shared_mem_per_sm // 1024}KB",
+         f"{small.shared_mem_per_sm // 1024}KB"),
+        ("Scheduler", f"{cfg.scheduler.value} ({cfg.ready_queue_size} ready)",
+         f"{small.scheduler.value} ({small.ready_queue_size} ready)"),
+        ("L1D cache",
+         f"{cfg.l1d.size_bytes // 1024}KB, {cfg.l1d.line_bytes}B line, "
+         f"{cfg.l1d.assoc}-way, {cfg.l1d.mshr_entries} MSHR",
+         f"{small.l1d.size_bytes // 1024}KB, {small.l1d.line_bytes}B line, "
+         f"{small.l1d.assoc}-way, {small.l1d.mshr_entries} MSHR"),
+        ("L2 cache",
+         f"{cfg.l2.size_bytes // 1024}KB x {cfg.l2_partitions} partitions",
+         f"{small.l2.size_bytes // 1024}KB x {small.l2_partitions} partitions"),
+        ("DRAM",
+         f"{cfg.dram.channels} channels, FR-FCFS, "
+         f"{cfg.dram.queue_entries} queue entries",
+         f"{small.dram.channels} channels, FR-FCFS, "
+         f"{small.dram.queue_entries} queue entries"),
+    ]
+    emit(
+        "table3",
+        format_table(
+            ["parameter", "full (paper Table III)", "sweep preset"],
+            rows,
+            title="Table III - GPU configuration",
+        ),
+    )
+    assert cfg.num_sms == 15 and cfg.max_warps_per_sm == 48
+    assert cfg.l1d.size_bytes == 16 * 1024 and cfg.l1d.mshr_entries == 32
+    assert cfg.l2_partitions == 12 and cfg.dram.channels == 6

@@ -1,0 +1,51 @@
+"""Shared infrastructure for the experiment regenerators.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper:
+it runs the required simulations once (results are memoized in-process,
+so figures that share runs — 10, 12, 13, 15 — do not re-simulate),
+prints the table next to the paper's reported values, and records it
+under ``benchmarks/results/``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_BENCH_FULL=1`` to run the Figure 11 CTA sweep over all 16
+benchmarks (default: a 6-benchmark subset, to keep the sweep quick).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def full_sweep() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir):
+    """Print a report block and persist it under benchmarks/results/."""
+
+    def _emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""CAPS on an irregular graph workload (BFS, the paper's Figure 6b).
+
+BFS mixes predictable thread-indexed metadata loads (g_graph_mask,
+g_graph_nodes, g_cost) with data-dependent edge gathers.  This example
+shows CAPS's quality control doing its job: the indirect loads are
+excluded from prefetching (coverage stays low) while the strided
+metadata loads are covered at near-perfect accuracy, so performance
+never regresses the way a naive stride prefetcher's would.
+
+Run:  python examples/irregular_graph_workload.py
+"""
+
+from repro import SchedulerKind, make_prefetcher, simulate, small_config
+import os
+
+from repro.workloads import Scale, build
+
+#: Override with REPRO_SCALE=tiny for quick smoke runs.
+SCALE = Scale(os.environ.get("REPRO_SCALE", "small"))
+
+
+def run(engine):
+    config = small_config()
+    if engine is None:
+        return simulate(build("BFS", SCALE), config)
+    sched = SchedulerKind.PAS if engine == "caps" else SchedulerKind.TWO_LEVEL
+    return simulate(
+        build("BFS", SCALE),
+        config.with_scheduler(sched),
+        make_prefetcher(engine),
+    )
+
+
+def main() -> None:
+    kernel = build("BFS", Scale.TINY)
+    print("BFS load sites:")
+    for site in kernel.program.load_sites():
+        kind = "indirect (excluded from CAPS)" if site.indirect else "strided"
+        print(f"  {site.name:20s} {kind}")
+
+    base = run(None)
+    caps = run("caps")
+    inter = run("inter")
+
+    print(f"\nbaseline IPC : {base.ipc:.3f}")
+    print(f"CAPS         : {caps.ipc / base.ipc:.3f}x  "
+          f"coverage {caps.coverage():.1%}  accuracy {caps.accuracy():.1%}")
+    print(f"INTER        : {inter.ipc / base.ipc:.3f}x  "
+          f"coverage {inter.coverage():.1%}  accuracy {inter.accuracy():.1%}")
+    print("\nCAPS keeps coverage low on purpose here: the edge gathers are")
+    print("unpredictable, and wrong prefetches would only burn bandwidth")
+    print("(exactly what INTER does).")
+
+
+if __name__ == "__main__":
+    main()

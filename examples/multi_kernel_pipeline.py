@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""A multi-kernel GPU application (paper Figure 2b).
+
+Real GPU applications chain kernels; the L2 persists between launches,
+so a consumer kernel re-reading its producer's output hits in cache.
+This example builds a three-stage pipeline over one array — produce,
+transform, reduce — and shows the consumer kernels' DRAM reads
+collapsing.  It also runs the pipeline under CAPS: an instructive
+near-null result, because warm-L2 kernels have little exposed latency
+for a prefetcher to hide (L2 hits are already fast), so CAPS's +20%-class
+gains on cold kernels shrink to noise here.
+
+Run:  python examples/multi_kernel_pipeline.py
+"""
+
+import os
+
+from repro import (
+    SchedulerKind,
+    make_prefetcher,
+    simulate_application,
+    small_config,
+)
+from repro.analysis.report import format_table
+from repro.sim.isa import ComputeOp, LoadOp, LoadSite, StoreOp, WarpProgram
+from repro.sim.kernel import KernelInfo
+from repro.workloads.generators import linear
+
+ARRAY = 1 << 24
+SCRATCH = 1 << 26
+
+
+def stage(name, src, dst, compute):
+    load = LoadSite(pc=0, pattern=linear(src, warp_stride=128), name="in")
+    store = LoadSite(pc=0, pattern=linear(dst, warp_stride=128), name="out")
+    prog = WarpProgram(
+        ops=[ComputeOp(6), LoadOp(load), ComputeOp(compute), StoreOp(store)],
+        name=name,
+    )
+    return KernelInfo(name, num_ctas=48, warps_per_cta=4, program=prog)
+
+
+def pipeline():
+    return [
+        stage("produce", ARRAY, SCRATCH, compute=24),
+        stage("transform", ARRAY, SCRATCH, compute=16),
+        stage("reduce", ARRAY, SCRATCH, compute=32),
+    ]
+
+
+def main() -> None:
+    config = small_config()
+    base = simulate_application(pipeline(), config)
+    caps = simulate_application(
+        pipeline(),
+        config.with_scheduler(SchedulerKind.PAS),
+        make_prefetcher("caps"),
+    )
+
+    rows = []
+    for b, c in zip(base.kernels, caps.kernels):
+        rows.append(
+            (b.kernel, b.cycles, b.dram_reads, f"{b.l2_hit_rate:.0%}",
+             c.cycles, f"{c.ipc / b.ipc:.3f}x")
+        )
+    print(format_table(
+        ["kernel", "base cycles", "DRAM reads", "L2 hits",
+         "CAPS cycles", "speedup"],
+        rows,
+        title="Three-stage pipeline over one array "
+              "(consumers hit the warm L2)",
+    ))
+    print(f"\napplication IPC: {base.ipc:.3f} -> {caps.ipc:.3f} "
+          f"({caps.ipc / base.ipc:.3f}x)")
+
+
+if __name__ == "__main__":
+    main()

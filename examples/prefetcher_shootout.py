@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Compare all seven prefetch engines on one benchmark (Figure 10 row).
+
+Run:  python examples/prefetcher_shootout.py [BENCH]
+"""
+
+import sys
+
+from repro import make_prefetcher, simulate, small_config
+from repro.analysis.report import format_percent, format_table
+from repro.prefetch import PREFETCHERS
+from repro.prefetch.factory import default_scheduler_for
+import os
+
+from repro.workloads import Scale, build
+
+#: Override with REPRO_SCALE=tiny for quick smoke runs.
+SCALE = Scale(os.environ.get("REPRO_SCALE", "small"))
+
+
+def main() -> None:
+    bench = (sys.argv[1] if len(sys.argv) > 1 else "CNV").upper()
+    config = small_config()
+    baseline = simulate(build(bench, SCALE), config)
+
+    rows = []
+    for engine in PREFETCHERS:
+        cfg = config.with_scheduler(default_scheduler_for(engine))
+        r = simulate(build(bench, SCALE), cfg, make_prefetcher(engine))
+        rows.append(
+            (
+                engine,
+                f"{r.ipc / baseline.ipc:.3f}x",
+                format_percent(r.coverage()),
+                format_percent(r.accuracy()),
+                r.prefetch_stats.issued,
+                f"{r.dram_reads / max(1, baseline.dram_reads):.2f}x",
+            )
+        )
+    print(f"{bench}: baseline IPC {baseline.ipc:.3f} "
+          f"(stall fraction {baseline.stall_fraction():.1%})\n")
+    print(
+        format_table(
+            ["engine", "speedup", "coverage", "accuracy", "issued",
+             "DRAM reads"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

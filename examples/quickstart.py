@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: run one benchmark with and without CAPS.
+
+Builds the MatrixMul workload model (8 warps per CTA, the paper's
+Figure 1 subject), simulates it on the scaled-down GPU once with the
+plain two-level scheduler and once with CAPS (CTA-aware prefetcher +
+prefetch-aware scheduler), and prints the headline metrics.
+
+Run:  python examples/quickstart.py [BENCH]
+"""
+
+import sys
+
+from repro import SchedulerKind, make_prefetcher, simulate, small_config
+import os
+
+from repro.workloads import Scale, build
+
+#: Override with REPRO_SCALE=tiny for quick smoke runs.
+SCALE = Scale(os.environ.get("REPRO_SCALE", "small"))
+
+
+def main() -> None:
+    bench = (sys.argv[1] if len(sys.argv) > 1 else "MM").upper()
+    config = small_config()
+
+    baseline = simulate(build(bench, SCALE), config)
+    caps = simulate(
+        build(bench, SCALE),
+        config.with_scheduler(SchedulerKind.PAS),
+        make_prefetcher("caps"),
+    )
+
+    print(f"benchmark            : {bench}")
+    print(f"baseline IPC         : {baseline.ipc:.3f} "
+          f"({baseline.cycles} cycles, {baseline.instructions} instructions)")
+    print(f"CAPS IPC             : {caps.ipc:.3f} ({caps.cycles} cycles)")
+    print(f"speedup              : {caps.ipc / baseline.ipc:.3f}x")
+    ps = caps.prefetch_stats
+    print(f"prefetches issued    : {ps.issued}")
+    print(f"  useful (L1 hit)    : {ps.useful}")
+    print(f"  in-flight merges   : {ps.late_merge}")
+    print(f"  evicted early      : {ps.early_evicted}")
+    print(f"coverage             : {caps.coverage():.1%}")
+    print(f"accuracy             : {caps.accuracy():.1%}")
+    print(f"mean prefetch lead   : {ps.mean_lead():.0f} cycles")
+    print(f"L1 hit rate          : {baseline.l1_hit_rate:.1%} -> "
+          f"{caps.l1_hit_rate:.1%}")
+    print(f"DRAM reads           : {baseline.dram_reads} -> {caps.dram_reads}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""CAPS reproduction: CTA-Aware Prefetching and Scheduling for GPU.
+
+Reproduces Koo et al., *CTA-Aware Prefetching and Scheduling for GPU*,
+IPDPS 2018, on a simplified cycle-level SIMT GPU simulator.
+
+Quickstart::
+
+    from repro import fermi_config, simulate, make_prefetcher
+    from repro.workloads import build
+
+    kernel = build("MM")
+    base = simulate(kernel, fermi_config())
+    caps = simulate(
+        kernel,
+        fermi_config().with_scheduler(SchedulerKind.PAS),
+        make_prefetcher("caps"),
+    )
+    print(caps.ipc / base.ipc)
+
+See :mod:`repro.analysis` for the experiment driver that regenerates the
+paper's tables and figures.
+"""
+
+from repro.config import (
+    CacheConfig,
+    CTAResources,
+    DRAMConfig,
+    GPUConfig,
+    InterconnectConfig,
+    PrefetcherConfig,
+    SchedulerKind,
+    fermi_config,
+    occupancy,
+    small_config,
+    test_config,
+)
+from repro.sim import (
+    ApplicationResult,
+    GPU,
+    KernelInfo,
+    SimResult,
+    simulate,
+    simulate_application,
+    trace_kernel,
+)
+from repro.prefetch import PREFETCHERS, make_prefetcher
+from repro.prefetch.factory import default_scheduler_for
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "CTAResources",
+    "DRAMConfig",
+    "GPUConfig",
+    "InterconnectConfig",
+    "PrefetcherConfig",
+    "SchedulerKind",
+    "fermi_config",
+    "occupancy",
+    "small_config",
+    "test_config",
+    "GPU",
+    "KernelInfo",
+    "SimResult",
+    "simulate",
+    "ApplicationResult",
+    "simulate_application",
+    "trace_kernel",
+    "PREFETCHERS",
+    "make_prefetcher",
+    "default_scheduler_for",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Experiment driver, metrics and report formatting for the paper's
+tables and figures."""
+
+from repro.analysis.metrics import geomean, mean, normalized, safe_div
+from repro.analysis.driver import (
+    RunKey,
+    clear_cache,
+    run_benchmark,
+    run_matrix,
+    speedups_over_baseline,
+)
+from repro.analysis.report import format_table, format_percent
+from repro.analysis.store import ResultStore, RunRecord
+from repro.analysis.timeline import TimelineMonitor, render_timeline, sparkline
+from repro.analysis.validate import Check, all_passed, validate_shape
+
+__all__ = [
+    "geomean",
+    "mean",
+    "normalized",
+    "safe_div",
+    "RunKey",
+    "clear_cache",
+    "run_benchmark",
+    "run_matrix",
+    "speedups_over_baseline",
+    "format_table",
+    "format_percent",
+    "ResultStore",
+    "RunRecord",
+    "TimelineMonitor",
+    "render_timeline",
+    "sparkline",
+    "Check",
+    "all_passed",
+    "validate_shape",
+]

@@ -1,0 +1,102 @@
+"""Experiment driver: runs (benchmark × prefetcher) simulation matrices.
+
+Every figure of the evaluation section is a view over the same runs
+(IPC for Fig. 10, coverage/accuracy for Fig. 12, traffic for Fig. 13,
+energy for Fig. 15), so results are memoized per process by
+:class:`RunKey`; the benchmark harness regenerating all figures performs
+each simulation exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.config import GPUConfig, SchedulerKind, small_config
+from repro.prefetch.factory import default_scheduler_for, make_prefetcher
+from repro.sim.gpu import SimResult, simulate
+from repro.workloads import Scale, build
+
+
+@dataclass(frozen=True)
+class RunKey:
+    benchmark: str
+    prefetcher: str
+    scale: Scale
+    config: GPUConfig
+
+
+_CACHE: Dict[RunKey, SimResult] = {}
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def run_benchmark(
+    benchmark: str,
+    prefetcher: str = "none",
+    *,
+    config: Optional[GPUConfig] = None,
+    scale: Scale = Scale.SMALL,
+    scheduler: Optional[SchedulerKind] = None,
+    use_cache: bool = True,
+) -> SimResult:
+    """Simulate one benchmark under one prefetch engine.
+
+    The scheduler defaults to the engine's Figure 10 pairing (PAS for
+    CAPS, two-level otherwise); pass ``scheduler`` to override (the
+    Figure 14b sweep does).
+    """
+    cfg = config if config is not None else small_config()
+    kind = scheduler if scheduler is not None else default_scheduler_for(prefetcher)
+    cfg = cfg.with_scheduler(kind)
+    key = RunKey(benchmark.upper(), prefetcher, scale, cfg)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    kernel = build(benchmark, scale)
+    factory = make_prefetcher(prefetcher) if prefetcher != "none" else None
+    result = simulate(kernel, cfg, factory)
+    if not result.completed:
+        raise RuntimeError(
+            f"{benchmark}/{prefetcher} hit the cycle limit "
+            f"({cfg.max_cycles}) before completing"
+        )
+    if use_cache:
+        _CACHE[key] = result
+    return result
+
+
+def run_matrix(
+    benchmarks: Sequence[str],
+    prefetchers: Sequence[str],
+    *,
+    config: Optional[GPUConfig] = None,
+    scale: Scale = Scale.SMALL,
+    scheduler: Optional[SchedulerKind] = None,
+) -> Dict[Tuple[str, str], SimResult]:
+    """Run the full (benchmark × prefetcher) matrix."""
+    out: Dict[Tuple[str, str], SimResult] = {}
+    for b in benchmarks:
+        for p in prefetchers:
+            out[(b, p)] = run_benchmark(
+                b, p, config=config, scale=scale, scheduler=scheduler
+            )
+    return out
+
+
+def speedups_over_baseline(
+    matrix: Mapping[Tuple[str, str], SimResult],
+    benchmarks: Sequence[str],
+    prefetchers: Sequence[str],
+    baseline: str = "none",
+) -> Dict[Tuple[str, str], float]:
+    """Normalized IPC per (benchmark, prefetcher) over the baseline."""
+    out: Dict[Tuple[str, str], float] = {}
+    for b in benchmarks:
+        base = matrix[(b, baseline)].ipc
+        if base <= 0:
+            raise ValueError(f"baseline IPC for {b} is non-positive")
+        for p in prefetchers:
+            out[(b, p)] = matrix[(b, p)].ipc / base
+    return out

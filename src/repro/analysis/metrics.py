@@ -1,0 +1,39 @@
+"""Small metric helpers shared by the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    vals = list(values)
+    return sum(vals) / len(vals) if vals else 0.0
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean — the right aggregate for normalized IPC ratios.
+
+    Raises ``ValueError`` on non-positive inputs (a zero speedup is a
+    broken run, not a data point).
+    """
+    vals = list(values)
+    if not vals:
+        return 0.0
+    for v in vals:
+        if v <= 0:
+            raise ValueError(f"geomean requires positive values, got {v}")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def safe_div(num: float, den: float, default: float = 0.0) -> float:
+    return num / den if den else default
+
+
+def normalized(values: Mapping[str, float], baseline_key: str) -> Dict[str, float]:
+    """Normalize a metric dict to one of its entries."""
+    base = values[baseline_key]
+    if base == 0:
+        raise ValueError(f"baseline {baseline_key!r} is zero")
+    return {k: v / base for k, v in values.items()}

@@ -1,0 +1,126 @@
+"""Flat-file results store.
+
+Experiment runs serialize to JSON so sweeps can be resumed, compared
+across code versions, and post-processed without re-simulating.  One
+store file holds a list of run records, keyed by (kernel, prefetcher,
+scheduler, scale, config label).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.sim.gpu import SimResult
+
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """A serialized simulation outcome."""
+
+    kernel: str
+    prefetcher: str
+    scheduler: str
+    scale: str
+    config_label: str
+    metrics: Dict[str, float]
+
+    @property
+    def key(self):
+        return (self.kernel, self.prefetcher, self.scheduler, self.scale,
+                self.config_label)
+
+    @classmethod
+    def from_result(
+        cls, result: SimResult, *, scale: str, config_label: str = "default"
+    ) -> "RunRecord":
+        return cls(
+            kernel=result.kernel,
+            prefetcher=result.prefetcher,
+            scheduler=result.scheduler,
+            scale=scale,
+            config_label=config_label,
+            metrics=result.as_dict(),
+        )
+
+
+class ResultStore:
+    """A keyed collection of :class:`RunRecord` with JSON persistence."""
+
+    def __init__(self):
+        self._records: Dict[tuple, RunRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records.values())
+
+    def add(self, record: RunRecord, *, replace: bool = True) -> None:
+        if not replace and record.key in self._records:
+            raise KeyError(f"record {record.key} already stored")
+        self._records[record.key] = record
+
+    def add_result(self, result: SimResult, *, scale: str,
+                   config_label: str = "default") -> RunRecord:
+        rec = RunRecord.from_result(result, scale=scale,
+                                    config_label=config_label)
+        self.add(rec)
+        return rec
+
+    def get(self, kernel: str, prefetcher: str, *, scheduler: str = None,
+            scale: str = None) -> Optional[RunRecord]:
+        for rec in self._records.values():
+            if rec.kernel != kernel or rec.prefetcher != prefetcher:
+                continue
+            if scheduler is not None and rec.scheduler != scheduler:
+                continue
+            if scale is not None and rec.scale != scale:
+                continue
+            return rec
+        return None
+
+    def select(self, **filters) -> List[RunRecord]:
+        out = []
+        for rec in self._records.values():
+            if all(getattr(rec, k) == v for k, v in filters.items()):
+                out.append(rec)
+        return out
+
+    # ------------------------------------------------------------ persistence
+    def save(self, path) -> None:
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "records": [
+                {
+                    "kernel": r.kernel,
+                    "prefetcher": r.prefetcher,
+                    "scheduler": r.scheduler,
+                    "scale": r.scale,
+                    "config_label": r.config_label,
+                    "metrics": r.metrics,
+                }
+                for r in self._records.values()
+            ],
+        }
+        pathlib.Path(path).write_text(json.dumps(payload, indent=1))
+
+    @classmethod
+    def load(cls, path) -> "ResultStore":
+        payload = json.loads(pathlib.Path(path).read_text())
+        if payload.get("schema") != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported results schema {payload.get('schema')!r}"
+            )
+        store = cls()
+        for raw in payload["records"]:
+            store.add(RunRecord(**raw))
+        return store
+
+    def merge(self, other: "ResultStore") -> None:
+        for rec in other:
+            self.add(rec)

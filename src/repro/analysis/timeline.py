@@ -1,0 +1,131 @@
+"""Execution timelines: sampled machine state over a run.
+
+The paper's Section I argument is *temporal*: L1 misses arrive in
+bursts, the memory system congests, and every warp ends up waiting at
+once.  A :class:`TimelineMonitor` samples the machine every ``interval``
+cycles — issue/stall fractions, warps waiting on memory, DRAM queue
+depth — so that burstiness (and what CAPS does to it) can be seen, not
+just inferred from end-of-run totals.
+
+Usage::
+
+    monitor = TimelineMonitor(interval=200)
+    gpu = GPU(kernel, config)
+    gpu.run(monitor=monitor)
+    print(render_timeline(monitor, width=72))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+@dataclass(frozen=True)
+class TimelineSample:
+    """Machine state over one sampling interval."""
+
+    cycle: int
+    issue_fraction: float        # instructions issued / SM-cycles
+    stall_all_fraction: float    # all-warps-waiting stalls / SM-cycles
+    replay_fraction: float       # LSU replay cycles / SM-cycles
+    waiting_warps: int           # warps blocked on memory right now
+    dram_queue_depth: int        # outstanding read requests at DRAM
+    prefetches_inflight: int     # prefetch buffer occupancy
+
+
+class TimelineMonitor:
+    """Samples a :class:`repro.sim.gpu.GPU` every ``interval`` cycles."""
+
+    def __init__(self, interval: int = 100):
+        if interval < 1:
+            raise ValueError("interval must be >= 1")
+        self.interval = interval
+        self.samples: List[TimelineSample] = []
+        self._last_instructions = 0
+        self._last_stall_all = 0
+        self._last_replay = 0
+
+    def sample(self, gpu, now: int) -> None:
+        instructions = sum(sm.stats.instructions for sm in gpu.sms)
+        stall_all = sum(sm.stats.stall_mem_all for sm in gpu.sms)
+        replay = sum(sm.stats.replay_cycles for sm in gpu.sms)
+        sm_cycles = max(1, self.interval * len(gpu.sms))
+        self.samples.append(
+            TimelineSample(
+                cycle=now,
+                issue_fraction=(instructions - self._last_instructions)
+                / sm_cycles,
+                stall_all_fraction=(stall_all - self._last_stall_all)
+                / sm_cycles,
+                replay_fraction=(replay - self._last_replay) / sm_cycles,
+                waiting_warps=sum(sm.waiting_mem_warps for sm in gpu.sms),
+                dram_queue_depth=sum(
+                    len(ch) + ch.inflight for ch in gpu.subsystem.channels
+                ),
+                prefetches_inflight=sum(
+                    len(sm._inflight_prefetch) for sm in gpu.sms
+                ),
+            )
+        )
+        self._last_instructions = instructions
+        self._last_stall_all = stall_all
+        self._last_replay = replay
+
+    # ------------------------------------------------------------- metrics
+    def series(self, field: str) -> List[float]:
+        return [getattr(s, field) for s in self.samples]
+
+    def burstiness(self, field: str = "dram_queue_depth") -> float:
+        """Coefficient of variation of a series — the paper's burst
+        claim in one number (higher = burstier demand)."""
+        vals = self.series(field)
+        if not vals:
+            return 0.0
+        m = sum(vals) / len(vals)
+        if m == 0:
+            return 0.0
+        var = sum((v - m) ** 2 for v in vals) / len(vals)
+        return var ** 0.5 / m
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """Render a series as a unicode sparkline (resampled to ``width``)."""
+    vals = list(values)
+    if not vals:
+        return ""
+    if width is not None and width > 0 and len(vals) > width:
+        bucket = len(vals) / width
+        vals = [
+            max(vals[int(i * bucket):max(int(i * bucket) + 1,
+                                         int((i + 1) * bucket))])
+            for i in range(width)
+        ]
+    top = max(vals)
+    if top <= 0:
+        return _BLOCKS[0] * len(vals)
+    out = []
+    for v in vals:
+        idx = int(round((len(_BLOCKS) - 1) * max(0.0, v) / top))
+        out.append(_BLOCKS[idx])
+    return "".join(out)
+
+
+def render_timeline(monitor: TimelineMonitor, width: int = 72) -> str:
+    """Multi-row sparkline view of a run."""
+    rows = [
+        ("issue   ", "issue_fraction"),
+        ("stalled ", "stall_all_fraction"),
+        ("replay  ", "replay_fraction"),
+        ("waiting ", "waiting_warps"),
+        ("dram q  ", "dram_queue_depth"),
+        ("pf infl ", "prefetches_inflight"),
+    ]
+    lines = []
+    for label, field in rows:
+        series = monitor.series(field)
+        peak = max(series) if series else 0
+        lines.append(f"{label}|{sparkline(series, width)}| peak={peak:.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,252 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list``
+    Show the workload suite and available prefetch engines.
+``run BENCH``
+    Simulate one benchmark under one engine; print the headline metrics
+    (optionally append to a JSON result store).
+``sweep``
+    Run a (benchmark × engine) matrix and print the Figure 10-style
+    normalized-IPC table; optionally persist every run.
+``figures``
+    Regenerate the paper's figures/tables into text files (the same
+    content the pytest benchmark harness produces).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.driver import run_benchmark
+from repro.analysis.metrics import geomean
+from repro.analysis.report import format_percent, format_table
+from repro.analysis.store import ResultStore
+from repro.config import SchedulerKind, fermi_config, small_config
+from repro.prefetch import PREFETCHERS
+from repro.workloads import ALL_BENCHMARKS, WORKLOADS, Scale
+
+ENGINE_CHOICES = ("none",) + PREFETCHERS
+SCALES = {s.value: s for s in Scale}
+
+
+def _config(name: str):
+    if name == "fermi":
+        return fermi_config()
+    if name == "small":
+        return small_config()
+    raise argparse.ArgumentTypeError(f"unknown config preset {name!r}")
+
+
+def _scheduler(name: Optional[str]) -> Optional[SchedulerKind]:
+    if name is None:
+        return None
+    try:
+        return SchedulerKind(name)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"unknown scheduler {name!r}; choose from "
+            f"{[k.value for k in SchedulerKind]}"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="CAPS reproduction (Koo et al., IPDPS 2018)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show workloads and engines")
+
+    run = sub.add_parser("run", help="simulate one benchmark")
+    run.add_argument("bench", type=str.upper, choices=sorted(ALL_BENCHMARKS))
+    run.add_argument("--engine", choices=ENGINE_CHOICES, default="caps")
+    run.add_argument("--scale", choices=sorted(SCALES), default="small")
+    run.add_argument("--config", type=_config, default="small")
+    run.add_argument("--scheduler", type=_scheduler, default=None)
+    run.add_argument("--store", type=pathlib.Path, default=None,
+                     help="append the run to this JSON result store")
+
+    sweep = sub.add_parser("sweep", help="run a benchmark x engine matrix")
+    sweep.add_argument("--benchmarks", type=str, default=",".join(ALL_BENCHMARKS),
+                       help="comma-separated benchmark list")
+    sweep.add_argument("--engines", type=str,
+                       default=",".join(PREFETCHERS),
+                       help="comma-separated engine list")
+    sweep.add_argument("--scale", choices=sorted(SCALES), default="small")
+    sweep.add_argument("--config", type=_config, default="small")
+    sweep.add_argument("--store", type=pathlib.Path, default=None)
+
+    figs = sub.add_parser("figures", help="regenerate paper figures")
+    figs.add_argument("--out", type=pathlib.Path, default=pathlib.Path("results"))
+    figs.add_argument("--scale", choices=sorted(SCALES), default="small")
+    figs.add_argument("--benchmarks", type=str, default=None,
+                      help="comma-separated subset (default: all 16)")
+    figs.add_argument("--full-scale", action="store_true",
+                      help="append the Figure 10 full-scale matrix "
+                           "(adds ~25 minutes)")
+
+    val = sub.add_parser(
+        "validate",
+        help="grade the paper's headline claims (regression gate)",
+    )
+    val.add_argument("--benchmarks", type=str,
+                     default="CNV,BPR,MM,HSP,KM,BFS")
+    val.add_argument("--scale", choices=sorted(SCALES), default="small")
+
+    tl = sub.add_parser(
+        "timeline",
+        help="render a sparkline execution timeline (burstiness view)",
+    )
+    tl.add_argument("bench", type=str.upper, choices=sorted(ALL_BENCHMARKS))
+    tl.add_argument("--engine", choices=ENGINE_CHOICES, default="none")
+    tl.add_argument("--scale", choices=sorted(SCALES), default="small")
+    tl.add_argument("--interval", type=int, default=150)
+    tl.add_argument("--width", type=int, default=72)
+    return p
+
+
+def cmd_list(_args) -> int:
+    rows = [
+        (s.abbr, s.full_name, s.suite,
+         "irregular" if s.irregular else "regular")
+        for s in WORKLOADS.values()
+    ]
+    print(format_table(["abbr", "name", "suite", "class"], rows,
+                       title="Workloads (paper Table IV)"))
+    print(f"\nengines: none {' '.join(PREFETCHERS)}")
+    print(f"schedulers: {' '.join(k.value for k in SchedulerKind)}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    base = run_benchmark(args.bench, "none", config=args.config,
+                         scale=SCALES[args.scale])
+    r = run_benchmark(args.bench, args.engine, config=args.config,
+                      scale=SCALES[args.scale], scheduler=args.scheduler)
+    print(format_table(
+        ["metric", "baseline", args.engine],
+        [
+            ("IPC", f"{base.ipc:.3f}", f"{r.ipc:.3f}"),
+            ("speedup", "1.000x", f"{r.ipc / base.ipc:.3f}x"),
+            ("cycles", base.cycles, r.cycles),
+            ("L1 hit rate", format_percent(base.l1_hit_rate),
+             format_percent(r.l1_hit_rate)),
+            ("coverage", "-", format_percent(r.coverage())),
+            ("accuracy", "-", format_percent(r.accuracy())),
+            ("prefetches issued", 0, r.prefetch_stats.issued),
+            ("DRAM reads", base.dram_reads, r.dram_reads),
+        ],
+        title=f"{args.bench} @ {args.scale}",
+    ))
+    if args.store:
+        store = (ResultStore.load(args.store) if args.store.exists()
+                 else ResultStore())
+        store.add_result(base, scale=args.scale)
+        store.add_result(r, scale=args.scale)
+        store.save(args.store)
+        print(f"\nsaved to {args.store} ({len(store)} records)")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    benches = [b.strip().upper() for b in args.benchmarks.split(",") if b.strip()]
+    engines = [e.strip() for e in args.engines.split(",") if e.strip()]
+    scale = SCALES[args.scale]
+    store = ResultStore()
+    rows = []
+    speedups = {e: [] for e in engines}
+    for b in benches:
+        base = run_benchmark(b, "none", config=args.config, scale=scale)
+        store.add_result(base, scale=args.scale)
+        row: List = [b]
+        for e in engines:
+            r = run_benchmark(b, e, config=args.config, scale=scale)
+            store.add_result(r, scale=args.scale)
+            sp = r.ipc / base.ipc
+            speedups[e].append(sp)
+            row.append(sp)
+        rows.append(tuple(row))
+    rows.append(("geomean", *[geomean(speedups[e]) for e in engines]))
+    print(format_table(["bench"] + engines, rows,
+                       title="Normalized IPC over the no-prefetch baseline"))
+    if args.store:
+        store.save(args.store)
+        print(f"\nsaved to {args.store} ({len(store)} records)")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from repro.analysis.validate import all_passed, validate_shape
+
+    benches = [b.strip().upper() for b in args.benchmarks.split(",") if b.strip()]
+    checks = validate_shape(benchmarks=benches, scale=SCALES[args.scale])
+    for c in checks:
+        print(c)
+    ok = all_passed(checks)
+    print("\nshape:", "REPRODUCED" if ok else "BROKEN")
+    return 0 if ok else 1
+
+
+def cmd_timeline(args) -> int:
+    from repro.analysis.timeline import TimelineMonitor, render_timeline
+    from repro.prefetch.factory import default_scheduler_for
+    from repro.sim.gpu import simulate
+    from repro.workloads import build
+    from repro.prefetch import make_prefetcher as _mk
+
+    cfg = small_config()
+    factory = None
+    if args.engine != "none":
+        cfg = cfg.with_scheduler(default_scheduler_for(args.engine))
+        factory = _mk(args.engine)
+    monitor = TimelineMonitor(interval=args.interval)
+    result = simulate(build(args.bench, SCALES[args.scale]), cfg, factory,
+                      monitor=monitor)
+    print(f"{args.bench} / {args.engine}: IPC {result.ipc:.3f}, "
+          f"DRAM burstiness {monitor.burstiness():.2f}")
+    print(render_timeline(monitor, width=args.width))
+    return 0
+
+
+def cmd_figures(args) -> int:
+    from repro.analysis.experiments_md import generate_experiments_md
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    kwargs = {}
+    if args.benchmarks:
+        subset = tuple(
+            b.strip().upper() for b in args.benchmarks.split(",") if b.strip()
+        )
+        kwargs["benchmarks"] = subset
+        kwargs["fig11_benchmarks"] = subset[:2]
+    path = generate_experiments_md(
+        args.out / "EXPERIMENTS.md",
+        scale=SCALES[args.scale],
+        include_full_scale=args.full_scale,
+        **kwargs,
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return {
+        "list": cmd_list,
+        "run": cmd_run,
+        "sweep": cmd_sweep,
+        "figures": cmd_figures,
+        "validate": cmd_validate,
+        "timeline": cmd_timeline,
+    }[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

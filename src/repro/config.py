@@ -1,0 +1,291 @@
+"""GPU configuration (paper Table III) and occupancy calculation.
+
+The default :class:`GPUConfig` mirrors the Fermi GTX480-like configuration
+used by the paper's GPGPU-Sim setup: 15 SMs, 48 concurrent warps and 8
+concurrent CTAs per SM, 16KB/128B/4-way L1D with 32 MSHRs, a 12-partition
+L2 (64KB/partition, 8-way), and 6 GDDR5 channels scheduled FR-FCFS with
+16-entry queues.
+
+Because the reproduction runs on a pure-Python cycle model, scaled-down
+presets (:func:`small_config`, :func:`test_config`) are provided for tests
+and experiment sweeps; every structural knob of Table III is preserved,
+only the core count and workload scale shrink.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+
+class SchedulerKind(enum.Enum):
+    """Warp scheduler selection.
+
+    ``TWO_LEVEL`` is the paper's baseline (8-entry ready queue).  ``PAS``
+    is the prefetch-aware two-level scheduler of Section V-A.  ``LRR`` and
+    ``GTO`` are the classic loose-round-robin and greedy-then-oldest
+    policies used in Figure 14b's scheduler sweep.
+    """
+
+    LRR = "lrr"
+    GTO = "gto"
+    TWO_LEVEL = "two_level"
+    PAS = "pas"
+    #: PAS's leading-warp prioritization grafted onto LRR / GTO
+    #: (Section V-A: "it is also possible to make simple enhancements to
+    #: the loose round-robin scheduler ... also, in the GTO ...").
+    PAS_LRR = "pas_lrr"
+    PAS_GTO = "pas_gto"
+
+    @property
+    def prefetch_aware(self) -> bool:
+        return self in (SchedulerKind.PAS, SchedulerKind.PAS_LRR,
+                        SchedulerKind.PAS_GTO)
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Set-associative cache geometry and timing."""
+
+    size_bytes: int
+    line_bytes: int
+    assoc: int
+    hit_latency: int
+    mshr_entries: int
+    miss_queue_depth: int = 8
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.assoc
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % self.line_bytes:
+            raise ValueError("cache size must be a multiple of line size")
+        lines = self.size_bytes // self.line_bytes
+        if lines % self.assoc:
+            raise ValueError("line count must be a multiple of associativity")
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError("set count must be a power of two")
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ValueError("line size must be a power of two")
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """GDDR5 channel model parameters (paper Table III timings).
+
+    Timings are expressed in core cycles.  ``row_hit_cycles`` approximates
+    CL + burst for an open-row access; ``row_miss_cycles`` adds
+    precharge + activate (tRP + tRCD).
+    """
+
+    channels: int = 6
+    queue_entries: int = 16
+    banks_per_channel: int = 16
+    row_bytes: int = 4096
+    row_hit_cycles: int = 6
+    row_miss_cycles: int = 36
+    # FR-FCFS serves row hits first; demand requests outrank prefetches.
+    prefetch_low_priority: bool = True
+
+
+@dataclass(frozen=True)
+class InterconnectConfig:
+    """SM <-> L2 crossbar: fixed latency plus per-cycle flit bandwidth."""
+
+    latency: int = 8
+    requests_per_cycle: int = 16
+    queue_depth: int = 32
+
+
+@dataclass(frozen=True)
+class PrefetcherConfig:
+    """Knobs shared by the prefetch engines.
+
+    ``dist_entries``/``percta_entries`` and ``mispredict_threshold`` follow
+    Section V-B (four entries each, one-byte counter, threshold 128).
+    ``max_coalesced_targets`` is the paper's "no more than four coalesced
+    memory accesses" targeting rule.
+    """
+
+    percta_entries: int = 4
+    dist_entries: int = 4
+    mispredict_threshold: int = 128
+    max_coalesced_targets: int = 4
+    inter_warp_distance: int = 4
+    intra_warp_depth: int = 1
+    nlp_degree: int = 1
+    lap_macroblock_lines: int = 4
+    lap_miss_trigger: int = 2
+    eager_wakeup: bool = True
+    #: Depth of the SM's prefetch network-injection queue.
+    prefetch_miss_queue_depth: int = 16
+    #: In-flight prefetch buffer entries per SM (the prefetch request
+    #: generator's bookkeeping; prefetches do not occupy demand MSHRs).
+    prefetch_inflight_entries: int = 32
+    #: CAPS prefetch-ahead window: prefetches are generated for at most
+    #: this many warps beyond the furthest warp that has already issued
+    #: the load, and topped up as trailing warps execute.  Prevents a
+    #: freshly detected stride from flooding the (128-line) L1 with
+    #: far-future lines that would be evicted before use.
+    prefetch_window: int = 16
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Top-level configuration (paper Table III)."""
+
+    num_sms: int = 15
+    simt_width: int = 32
+    max_warps_per_sm: int = 48
+    max_ctas_per_sm: int = 8
+    registers_per_sm: int = 32768  # 128KB / 4B
+    shared_mem_per_sm: int = 48 * 1024
+    ready_queue_size: int = 8
+    scheduler: SchedulerKind = SchedulerKind.TWO_LEVEL
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=16 * 1024,
+            line_bytes=128,
+            assoc=4,
+            hit_latency=28,
+            mshr_entries=32,
+        )
+    )
+    l2_partitions: int = 12
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=64 * 1024,
+            line_bytes=128,
+            assoc=8,
+            hit_latency=120,
+            mshr_entries=32,
+        )
+    )
+    icnt: InterconnectConfig = field(default_factory=InterconnectConfig)
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    prefetch: PrefetcherConfig = field(default_factory=PrefetcherConfig)
+    max_cycles: int = 2_000_000
+
+    def __post_init__(self) -> None:
+        if self.num_sms < 1:
+            raise ValueError("need at least one SM")
+        if self.l2_partitions < 1:
+            raise ValueError("need at least one L2 partition")
+        if self.l2_partitions % self.dram.channels:
+            # An uneven partition->channel mapping creates a permanently
+            # hot channel and skews every bandwidth experiment.
+            raise ValueError(
+                "l2_partitions must be a multiple of dram.channels "
+                f"(got {self.l2_partitions} / {self.dram.channels})"
+            )
+        if self.l1d.line_bytes != self.l2.line_bytes:
+            raise ValueError("L1 and L2 line sizes must match")
+        if self.ready_queue_size < 1:
+            raise ValueError("ready queue needs at least one entry")
+
+    @property
+    def line_bytes(self) -> int:
+        return self.l1d.line_bytes
+
+    def with_scheduler(self, kind: SchedulerKind) -> "GPUConfig":
+        return replace(self, scheduler=kind)
+
+    def with_cta_limit(self, max_ctas: int) -> "GPUConfig":
+        if max_ctas < 1:
+            raise ValueError("max_ctas must be >= 1")
+        return replace(self, max_ctas_per_sm=max_ctas)
+
+
+@dataclass(frozen=True)
+class CTAResources:
+    """Per-CTA resource demand used by the occupancy calculator."""
+
+    threads: int
+    registers_per_thread: int = 24
+    shared_mem_bytes: int = 0
+
+
+def occupancy(config: GPUConfig, res: CTAResources) -> int:
+    """Maximum concurrent CTAs per SM (Section II-B).
+
+    The limit is the minimum over four constraints: the hardware CTA
+    limit, the warp limit, the register file, and shared memory.  Returns
+    0 when a single CTA cannot fit at all.
+    """
+
+    if res.threads <= 0:
+        raise ValueError("CTA must have at least one thread")
+    warps_per_cta = (res.threads + config.simt_width - 1) // config.simt_width
+    by_warps = config.max_warps_per_sm // warps_per_cta
+    regs = res.threads * res.registers_per_thread
+    by_regs = config.registers_per_sm // regs if regs else config.max_ctas_per_sm
+    if res.shared_mem_bytes:
+        by_smem = config.shared_mem_per_sm // res.shared_mem_bytes
+    else:
+        by_smem = config.max_ctas_per_sm
+    return max(0, min(config.max_ctas_per_sm, by_warps, by_regs, by_smem))
+
+
+def fermi_config(**overrides) -> GPUConfig:
+    """The paper's Table III configuration."""
+
+    return replace(GPUConfig(), **overrides) if overrides else GPUConfig()
+
+
+def small_config(**overrides) -> GPUConfig:
+    """Scaled-down configuration for experiment sweeps.
+
+    Fewer SMs and L2 partitions keep pure-Python simulation times
+    manageable while preserving the per-SM structure (warp/CTA limits,
+    cache geometry, queue depths) that the paper's mechanisms exercise.
+    """
+
+    base = GPUConfig(
+        num_sms=4,
+        l2_partitions=4,
+        icnt=InterconnectConfig(requests_per_cycle=8),
+        dram=DRAMConfig(channels=2),
+        # Runs are ~10,000x shorter than the paper's 1B-instruction
+        # simulations; the throttle threshold scales accordingly so
+        # irregular-stride PCs shut off within the same fraction of a run.
+        prefetch=PrefetcherConfig(mispredict_threshold=4),
+        max_cycles=400_000,
+    )
+    return replace(base, **overrides) if overrides else base
+
+
+def test_config(**overrides) -> GPUConfig:
+    """Tiny configuration for unit/integration tests."""
+
+    base = GPUConfig(
+        num_sms=2,
+        max_warps_per_sm=16,
+        max_ctas_per_sm=4,
+        ready_queue_size=4,
+        l1d=CacheConfig(
+            size_bytes=4 * 1024,
+            line_bytes=128,
+            assoc=4,
+            hit_latency=10,
+            mshr_entries=8,
+            miss_queue_depth=4,
+        ),
+        l2_partitions=2,
+        l2=CacheConfig(
+            size_bytes=16 * 1024,
+            line_bytes=128,
+            assoc=8,
+            hit_latency=40,
+            mshr_entries=8,
+            miss_queue_depth=4,
+        ),
+        icnt=InterconnectConfig(latency=4, requests_per_cycle=4, queue_depth=8),
+        dram=DRAMConfig(channels=2, queue_entries=8),
+        max_cycles=200_000,
+    )
+    return replace(base, **overrides) if overrides else base

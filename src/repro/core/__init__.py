@@ -1,0 +1,42 @@
+"""CAPS: CTA-Aware Prefetcher and Scheduler (the paper's contribution).
+
+* :class:`PerCTATable` — per-CTA base-address store written by each CTA's
+  leading warp (Section V-B);
+* :class:`DistTable` — SM-global per-PC stride store with misprediction
+  throttling (Section V-B);
+* :class:`CtaAwarePrefetcher` — the CAP engine generating prefetches for
+  all trailing warps of all resident CTAs (Section V-C);
+* the PAS scheduler lives in :class:`repro.sim.sched.PrefetchAwareTwoLevel`
+  and is re-exported here;
+* :mod:`repro.core.hwcost` — Table I/II storage/area/energy model.
+"""
+
+from repro.core.percta import PerCTAEntry, PerCTATable
+from repro.core.dist import DistEntry, DistTable
+from repro.core.caps import CtaAwarePrefetcher
+from repro.core.hwcost import (
+    CAPS_ACCESS_ENERGY_PJ,
+    CAPS_AREA_MM2,
+    CAPS_STATIC_POWER_UW,
+    HardwareCost,
+    caps_hardware_cost,
+    dist_entry_bytes,
+    percta_entry_bytes,
+)
+from repro.sim.sched import PrefetchAwareTwoLevel
+
+__all__ = [
+    "PerCTAEntry",
+    "PerCTATable",
+    "DistEntry",
+    "DistTable",
+    "CtaAwarePrefetcher",
+    "PrefetchAwareTwoLevel",
+    "HardwareCost",
+    "caps_hardware_cost",
+    "dist_entry_bytes",
+    "percta_entry_bytes",
+    "CAPS_ACCESS_ENERGY_PJ",
+    "CAPS_AREA_MM2",
+    "CAPS_STATIC_POWER_UW",
+]

@@ -1,0 +1,97 @@
+"""DIST table (paper Section V-B).
+
+A single SM-global table: the inter-warp stride of a load is a
+kernel-wide constant (the C3 of Section IV), so one entry per targeted
+PC serves every CTA.  Each entry carries a one-byte misprediction
+counter; every demand fetch whose address a prefetch would have
+predicted is verified against the prediction, and once the counter
+crosses the threshold (128 by default) the PC stops prefetching —
+the quality-control mechanism that keeps CAPS accurate on irregular
+applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass
+class DistEntry:
+    pc: int
+    stride: int
+    last_touch: int = 0
+    mispredicts: int = 0
+    verifications: int = 0
+    disabled: bool = False
+
+
+class DistTable:
+    """Per-PC stride store with misprediction throttling."""
+
+    def __init__(self, capacity: int = 4, mispredict_threshold: int = 128):
+        if capacity < 1:
+            raise ValueError("DIST table needs at least one entry")
+        if mispredict_threshold < 1:
+            raise ValueError("mispredict threshold must be >= 1")
+        self.capacity = capacity
+        self.threshold = mispredict_threshold
+        self._entries: Dict[int, DistEntry] = {}
+        self.registrations = 0
+        self.evictions = 0
+        self.throttled_pcs = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[DistEntry]:
+        return list(self._entries.values())
+
+    def find(self, pc: int, now: Optional[int] = None) -> Optional[DistEntry]:
+        e = self._entries.get(pc)
+        if e is not None and now is not None:
+            e.last_touch = now
+        return e
+
+    def register(self, pc: int, stride: int, now: int) -> DistEntry:
+        """Install a freshly computed stride; resets the counter."""
+        existing = self._entries.get(pc)
+        if existing is not None:
+            existing.stride = stride
+            existing.mispredicts = 0
+            existing.last_touch = now
+            existing.disabled = False
+            return existing
+        if len(self._entries) >= self.capacity:
+            victim = min(self._entries.values(), key=lambda e: e.last_touch)
+            del self._entries[victim.pc]
+            self.evictions += 1
+        e = DistEntry(pc=pc, stride=stride, last_touch=now)
+        self._entries[pc] = e
+        self.registrations += 1
+        return e
+
+    def verify(self, pc: int, predicted, actual, now: int) -> bool:
+        """Compare a demand fetch with its predicted prefetch address.
+
+        Returns True when the prediction matched.  A one-byte saturating
+        counter accumulates mismatches; crossing the threshold disables
+        prefetching for the PC (Section V-B).
+        """
+        e = self._entries.get(pc)
+        if e is None:
+            return True
+        e.verifications += 1
+        e.last_touch = now
+        if tuple(predicted) == tuple(actual):
+            return True
+        if e.mispredicts < 255:
+            e.mispredicts += 1
+        if e.mispredicts >= self.threshold and not e.disabled:
+            e.disabled = True
+            self.throttled_pcs += 1
+        return False
+
+    def allowed(self, pc: int) -> bool:
+        e = self._entries.get(pc)
+        return e is not None and not e.disabled

@@ -1,0 +1,85 @@
+"""Hardware cost of CAPS (paper Tables I and II, Section V-D).
+
+Entry layouts:
+
+* PerCTA entry — PC (4B) + leading warp id (1B) + base-address vector
+  (4 × 4B) = 21 bytes;
+* DIST entry — PC (4B) + stride (4B) + misprediction counter (1B)
+  = 9 bytes.
+
+Per SM: one DIST table (4 entries → 36B) plus one PerCTA table per
+resident CTA (4 entries × 8 CTAs → 672B), totalling 708 bytes.
+
+The paper's synthesis numbers (FreePDK 45nm RTL + CACTI) are exposed as
+constants for the energy model: 0.018 mm² (0.08% of a 22 mm² GF100 SM),
+15.07 pJ per table access, 550 µW static.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import GPUConfig
+
+PC_BYTES = 4
+LEADING_WARP_ID_BYTES = 1
+BASE_ADDR_BYTES = 4
+STRIDE_BYTES = 4
+MISPREDICT_COUNTER_BYTES = 1
+
+#: Synthesis results reported in Section V-D (45nm FreePDK + CACTI).
+CAPS_AREA_MM2 = 0.018
+CAPS_ACCESS_ENERGY_PJ = 15.07
+CAPS_STATIC_POWER_UW = 550.0
+SM_AREA_MM2 = 22.0  # GF100 die photo estimate used by the paper
+
+
+def percta_entry_bytes(base_vector_width: int = 4) -> int:
+    """Table I: bytes per PerCTA entry."""
+    if base_vector_width < 1:
+        raise ValueError("base vector needs at least one slot")
+    return PC_BYTES + LEADING_WARP_ID_BYTES + base_vector_width * BASE_ADDR_BYTES
+
+
+def dist_entry_bytes() -> int:
+    """Table I: bytes per DIST entry."""
+    return PC_BYTES + STRIDE_BYTES + MISPREDICT_COUNTER_BYTES
+
+
+@dataclass(frozen=True)
+class HardwareCost:
+    """Table II: storage requirement per SM."""
+
+    dist_entry_bytes: int
+    dist_entries: int
+    percta_entry_bytes: int
+    percta_entries: int
+    ctas_per_sm: int
+
+    @property
+    def dist_total_bytes(self) -> int:
+        return self.dist_entry_bytes * self.dist_entries
+
+    @property
+    def percta_total_bytes(self) -> int:
+        return self.percta_entry_bytes * self.percta_entries * self.ctas_per_sm
+
+    @property
+    def total_bytes(self) -> int:
+        return self.dist_total_bytes + self.percta_total_bytes
+
+    @property
+    def area_fraction_of_sm(self) -> float:
+        return CAPS_AREA_MM2 / SM_AREA_MM2
+
+
+def caps_hardware_cost(config: GPUConfig) -> HardwareCost:
+    """Compute Table II for an arbitrary configuration."""
+    pcfg = config.prefetch
+    return HardwareCost(
+        dist_entry_bytes=dist_entry_bytes(),
+        dist_entries=pcfg.dist_entries,
+        percta_entry_bytes=percta_entry_bytes(pcfg.max_coalesced_targets),
+        percta_entries=pcfg.percta_entries,
+        ctas_per_sm=config.max_ctas_per_sm,
+    )

@@ -1,0 +1,134 @@
+"""PerCTA table (paper Section V-B).
+
+One table per resident CTA slot.  Each of its four entries stores the PC
+of a targeted load, the id of the leading warp (the first warp of that
+CTA to issue the load), and the base-address vector (up to four coalesced
+transactions, 4×4B in Table I).  Replacement is least-recently-updated.
+
+Beyond the paper's fields, each entry keeps two bookkeeping masks used by
+the prefetch generator: which warps already issued the load (no point
+prefetching behind the demand) and which warps have already been
+prefetched for (no duplicates).  Hardware would fold this into the
+request path; tracking it explicitly keeps the model faithful without
+over-issuing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class PerCTAEntry:
+    pc: int
+    leading_warp: int
+    base_addrs: Tuple[int, ...]
+    last_update: int = 0
+    issued_mask: int = 0
+    prefetched_mask: int = 0
+    valid: bool = True
+    #: Loop-iteration wave this base address belongs to.  When the
+    #: leading warp re-executes the load in a loop, the base is
+    #: re-registered for the new iteration and the masks reset, so
+    #: trailing warps of every wave are covered (the paper's "applicable
+    #: regardless of the number of iterations").
+    iteration: int = 0
+    #: Highest warp_in_cta observed issuing this PC (prefetch window
+    #: anchor).
+    max_issued: int = 0
+
+    def advance_iteration(self, base_addrs: Tuple[int, ...], iteration: int,
+                          now: int) -> None:
+        self.base_addrs = tuple(base_addrs)
+        self.iteration = iteration
+        self.issued_mask = 1 << self.leading_warp
+        self.prefetched_mask = 0
+        self.max_issued = self.leading_warp
+        self.last_update = now
+
+    def mark_issued(self, warp_in_cta: int) -> None:
+        self.issued_mask |= 1 << warp_in_cta
+        if warp_in_cta > self.max_issued:
+            self.max_issued = warp_in_cta
+
+    def was_issued(self, warp_in_cta: int) -> bool:
+        return bool(self.issued_mask >> warp_in_cta & 1)
+
+    def mark_prefetched(self, warp_in_cta: int) -> None:
+        self.prefetched_mask |= 1 << warp_in_cta
+
+    def was_prefetched(self, warp_in_cta: int) -> bool:
+        return bool(self.prefetched_mask >> warp_in_cta & 1)
+
+
+class PerCTATable:
+    """Base-address table for one CTA slot."""
+
+    def __init__(self, capacity: int = 4):
+        if capacity < 1:
+            raise ValueError("PerCTA table needs at least one entry")
+        self.capacity = capacity
+        self._entries: List[PerCTAEntry] = []
+        self.registrations = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[PerCTAEntry]:
+        return list(self._entries)
+
+    def find(self, pc: int) -> Optional[PerCTAEntry]:
+        for e in self._entries:
+            if e.pc == pc and e.valid:
+                return e
+        return None
+
+    def register(
+        self, pc: int, leading_warp: int, base_addrs: Tuple[int, ...], now: int
+    ) -> PerCTAEntry:
+        """Install the base address observed by the CTA's leading warp.
+
+        Evicts the least-recently-updated entry when full (the paper notes
+        most kernels target 2–4 loads, so this rarely fires).
+        """
+        if self.find(pc) is not None:
+            raise ValueError(f"pc {pc:#x} already registered")
+        if len(base_addrs) < 1 or len(base_addrs) > 4:
+            raise ValueError("base-address vector must hold 1..4 addresses")
+        entry = PerCTAEntry(
+            pc=pc,
+            leading_warp=leading_warp,
+            base_addrs=tuple(base_addrs),
+            last_update=now,
+        )
+        entry.mark_issued(leading_warp)
+        self._entries = [e for e in self._entries if e.valid]
+        if len(self._entries) >= self.capacity:
+            victim = min(self._entries, key=lambda e: e.last_update)
+            self._entries.remove(victim)
+            self.evictions += 1
+        self._entries.append(entry)
+        self.registrations += 1
+        return entry
+
+    def invalidate(self, pc: int) -> bool:
+        """Drop a PC whose per-transaction strides were inconsistent."""
+        e = self.find(pc)
+        if e is None:
+            return False
+        e.valid = False
+        self._entries.remove(e)
+        self.invalidations += 1
+        return True
+
+    def touch(self, pc: int, now: int) -> None:
+        e = self.find(pc)
+        if e is not None:
+            e.last_update = now
+
+    def clear(self) -> None:
+        """CTA retired; the slot's table resets for the next CTA."""
+        self._entries.clear()

@@ -1,0 +1,14 @@
+"""Energy model (paper Section VI-F, Figure 15).
+
+The paper estimates GPU energy with GPUWattch and CAPS's own tables with
+CACTI + synthesized RTL.  We substitute a per-event energy model: each
+simulated event class (instruction issue, L1/L2 access, DRAM read/write,
+prefetcher table access) carries an energy constant, plus per-SM static
+power integrated over the run.  Relative energy — the only thing
+Figure 15 reports — depends on event counts and cycle counts, both of
+which the simulator produces.
+"""
+
+from repro.energy.model import EnergyBreakdown, EnergyModel, normalized_energy
+
+__all__ = ["EnergyBreakdown", "EnergyModel", "normalized_energy"]

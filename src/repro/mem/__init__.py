@@ -1,0 +1,27 @@
+"""GPU memory-system substrate.
+
+Models the path an L1 miss takes in the paper's Table III machine:
+per-SM L1D with MSHRs -> crossbar interconnect -> address-interleaved L2
+partitions -> FR-FCFS GDDR5 channels, with finite queues everywhere so
+that bursty miss streams produce the super-linear queueing delays the
+paper identifies as the cost of unhidden latency.
+"""
+
+from repro.mem.request import Access, MemoryRequest
+from repro.mem.cache import Cache, CacheLine, EvictedLine, Mshr, MshrFullError
+from repro.mem.icnt import Pipe
+from repro.mem.dram import DramChannel
+from repro.mem.subsystem import MemorySubsystem
+
+__all__ = [
+    "Access",
+    "MemoryRequest",
+    "Cache",
+    "CacheLine",
+    "EvictedLine",
+    "Mshr",
+    "MshrFullError",
+    "Pipe",
+    "DramChannel",
+    "MemorySubsystem",
+]

@@ -1,0 +1,49 @@
+"""Memory request/response records flowing through the hierarchy."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+
+class Access(enum.Enum):
+    """Request classes; priority order is DEMAND > PREFETCH at every
+    arbitration point (L1 port, FR-FCFS pick)."""
+
+    DEMAND = "demand"
+    PREFETCH = "prefetch"
+    STORE = "store"
+
+
+_uid = itertools.count()
+
+
+@dataclass
+class MemoryRequest:
+    """One cache-line-sized request.
+
+    ``line_addr`` is the byte address of the 128B-aligned line.  For
+    prefetches, ``target_warp`` is the warp the prefetched data is bound
+    to (Section V-A warp wake-up) and ``pc`` identifies the load being
+    covered so the stats unit can attribute usefulness per load site.
+    """
+
+    line_addr: int
+    sm_id: int
+    access: Access
+    pc: int = -1
+    warp_uid: int = -1
+    target_warp: int = -1
+    issue_cycle: int = 0
+    uid: int = field(default_factory=lambda: next(_uid))
+    # set on the return path
+    l2_hit: bool = False
+
+    @property
+    def is_prefetch(self) -> bool:
+        return self.access is Access.PREFETCH
+
+    @property
+    def is_store(self) -> bool:
+        return self.access is Access.STORE

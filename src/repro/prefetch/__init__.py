@@ -1,0 +1,33 @@
+"""Prefetch engines evaluated in the paper (Figure 10's legend).
+
+``NONE`` (baseline, no prefetch), ``INTRA`` (intra-warp stride, §III-A),
+``INTER`` (inter-warp stride, §III-B), ``MTA`` (many-thread aware [9]),
+``NLP`` (next-line, §III-C), ``LAP`` (locality-aware macro-block [17]),
+``ORCH`` (LAP + prefetch-aware scheduling groups [17]) and ``CAPS``
+(this paper; implemented in :mod:`repro.core`).
+"""
+
+from repro.prefetch.base import Prefetcher, PrefetchCandidate, NoPrefetcher
+from repro.prefetch.stats import PrefetchStats
+from repro.prefetch.intra import IntraWarpStride
+from repro.prefetch.inter import InterWarpStride
+from repro.prefetch.mta import ManyThreadAware
+from repro.prefetch.nlp import NextLine
+from repro.prefetch.lap import LocalityAware
+from repro.prefetch.orch import Orchestrated
+from repro.prefetch.factory import PREFETCHERS, make_prefetcher
+
+__all__ = [
+    "Prefetcher",
+    "PrefetchCandidate",
+    "NoPrefetcher",
+    "PrefetchStats",
+    "IntraWarpStride",
+    "InterWarpStride",
+    "ManyThreadAware",
+    "NextLine",
+    "LocalityAware",
+    "Orchestrated",
+    "PREFETCHERS",
+    "make_prefetcher",
+]

@@ -1,0 +1,71 @@
+"""INTER: inter-warp stride prefetching (paper Section III-B).
+
+Per PC the engine tracks the address of the last load and the SM-local
+warp slot that issued it.  When warps in adjacent slots issue the same
+load, their address delta trains the per-PC stride; trained PCs prefetch
+for the next ``distance`` warp slots.
+
+Crucially — and this is the failure mode the paper dissects — the engine
+is oblivious to CTA boundaries: the warp in slot ``s+1`` may belong to a
+different CTA whose base address is unrelated, so the extrapolated
+address is wrong whenever the target crosses a CTA, which happens for
+every prefetch once per ``warps_per_cta`` and for *all* prefetches at
+distances ≥ warps_per_cta (Figure 1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import GPUConfig
+from repro.prefetch.base import Prefetcher, PrefetchCandidate
+
+
+class _PcState:
+    __slots__ = ("last_slot", "last_addrs", "stride", "trained")
+
+    def __init__(self):
+        self.last_slot: Optional[int] = None
+        self.last_addrs: Tuple[int, ...] = ()
+        self.stride = 0
+        self.trained = False
+
+
+class InterWarpStride(Prefetcher):
+    name = "inter"
+
+    def __init__(self, config: GPUConfig, sm_id: int):
+        super().__init__(config, sm_id)
+        self.distance = config.prefetch.inter_warp_distance
+        self._pcs: Dict[int, _PcState] = {}
+
+    def on_load_issue(self, warp, site, addresses, line_addrs, iteration, now):
+        if iteration > 0:
+            # Inter-warp stride engines train on the first execution of a
+            # load per warp; iterative re-executions go to INTRA (or MTA).
+            return []
+        st = self._pcs.get(site.pc)
+        if st is None:
+            st = self._pcs[site.pc] = _PcState()
+        prev_slot, prev_addrs = st.last_slot, st.last_addrs
+        st.last_slot, st.last_addrs = warp.slot, addresses
+        if prev_slot is not None and warp.slot == prev_slot + 1 and prev_addrs:
+            delta = addresses[0] - prev_addrs[0]
+            if delta != 0:
+                st.stride = delta
+                st.trained = True
+        if not st.trained or st.stride == 0:
+            return []
+        line = self.config.l1d.line_bytes
+        cands: List[PrefetchCandidate] = []
+        for d in range(1, self.distance + 1):
+            base = addresses[0] + st.stride * d
+            for a in addresses:
+                cands.append(
+                    PrefetchCandidate(
+                        line_addr=(base + (a - addresses[0])) // line * line,
+                        pc=site.pc,
+                        target_warp_uid=-1,
+                    )
+                )
+        return self._emit(cands)

@@ -1,0 +1,69 @@
+"""INTRA: intra-warp stride prefetching (paper Section III-A).
+
+Per (warp, PC) the engine records the last address and last delta.  Once
+two consecutive executions of the same load by the same warp exhibit the
+same delta (confidence ≥ 1), it prefetches ``depth`` future iterations.
+Only loads that actually repeat in a loop can train, which is why the
+paper finds INTRA ineffective for the growing class of loop-free GPU
+kernels (Figure 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.config import GPUConfig
+from repro.prefetch.base import Prefetcher, PrefetchCandidate
+
+
+class _Entry:
+    __slots__ = ("last_addr", "stride", "confidence")
+
+    def __init__(self, addr: int):
+        self.last_addr = addr
+        self.stride = 0
+        self.confidence = 0
+
+
+class IntraWarpStride(Prefetcher):
+    name = "intra"
+
+    def __init__(self, config: GPUConfig, sm_id: int):
+        super().__init__(config, sm_id)
+        self.depth = config.prefetch.intra_warp_depth
+        self._table: Dict[Tuple[int, int], _Entry] = {}
+
+    def on_cta_finish(self, cta_slot: int, cta_id: int) -> None:
+        # Warp uids are globally unique; stale entries are only a memory
+        # concern.  Drop nothing here (uids never recur).
+        pass
+
+    def on_load_issue(self, warp, site, addresses, line_addrs, iteration, now):
+        key = (warp.uid, site.pc)
+        addr = addresses[0]
+        entry = self._table.get(key)
+        if entry is None:
+            self._table[key] = _Entry(addr)
+            return []
+        delta = addr - entry.last_addr
+        if delta == entry.stride and delta != 0:
+            entry.confidence += 1
+        else:
+            entry.stride = delta
+            entry.confidence = 0
+        entry.last_addr = addr
+        if entry.confidence < 1 or entry.stride == 0:
+            return []
+        line = self.config.l1d.line_bytes
+        cands = []
+        for d in range(1, self.depth + 1):
+            base = addr + entry.stride * d
+            for a in addresses:
+                cands.append(
+                    PrefetchCandidate(
+                        line_addr=(base + (a - addr)) // line * line,
+                        pc=site.pc,
+                        target_warp_uid=warp.uid,
+                    )
+                )
+        return self._emit(cands)

@@ -1,0 +1,55 @@
+"""LAP: locality-aware prefetching (Jog et al. [17]).
+
+L1 misses are tracked per aligned *macro-block* of ``lap_macroblock_lines``
+cache lines.  Once ``lap_miss_trigger`` distinct lines of a macro-block
+have missed, the remaining lines of the block are prefetched — the
+intuition being that consecutive warps touch neighbouring lines of the
+same macro-block.  Following [17] we keep a small recency-managed table
+of recently observed macro-blocks.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Set
+
+from repro.config import GPUConfig
+from repro.prefetch.base import Prefetcher, PrefetchCandidate
+
+_TABLE_CAPACITY = 64
+
+
+class LocalityAware(Prefetcher):
+    name = "lap"
+
+    def __init__(self, config: GPUConfig, sm_id: int):
+        super().__init__(config, sm_id)
+        self.block_lines = config.prefetch.lap_macroblock_lines
+        self.trigger = config.prefetch.lap_miss_trigger
+        self.block_bytes = self.block_lines * config.l1d.line_bytes
+        # macro-block base -> (missed line offsets, already prefetched?)
+        self._blocks: "OrderedDict[int, Set[int]]" = OrderedDict()
+        self._fired: Set[int] = set()
+
+    def on_l1_miss(self, warp, pc, line_addr, now):
+        base = line_addr - (line_addr % self.block_bytes)
+        offset = (line_addr - base) // self.config.l1d.line_bytes
+        missed = self._blocks.get(base)
+        if missed is None:
+            if len(self._blocks) >= _TABLE_CAPACITY:
+                old, _ = self._blocks.popitem(last=False)
+                self._fired.discard(old)
+            missed = self._blocks[base] = set()
+        else:
+            self._blocks.move_to_end(base)
+        missed.add(offset)
+        if base in self._fired or len(missed) < self.trigger:
+            return []
+        self._fired.add(base)
+        line = self.config.l1d.line_bytes
+        cands = [
+            PrefetchCandidate(line_addr=base + i * line, pc=pc)
+            for i in range(self.block_lines)
+            if i not in missed
+        ]
+        return self._emit(cands)

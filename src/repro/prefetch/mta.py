@@ -1,0 +1,45 @@
+"""MTA: many-thread aware prefetching (Lee et al. [9], hardware variant).
+
+MTA combines both stride flavours: loads that are observed to repeat
+within a warp (loop loads) are handled by the intra-warp engine; all
+other loads fall back to inter-warp stride extrapolation.  The paper
+finds MTA inherits INTER's CTA-boundary inaccuracy whenever several CTAs
+run concurrently (Figures 10-12), because the inter-warp half cannot
+predict the next CTA's base address.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.config import GPUConfig
+from repro.prefetch.base import Prefetcher
+from repro.prefetch.inter import InterWarpStride
+from repro.prefetch.intra import IntraWarpStride
+
+
+class ManyThreadAware(Prefetcher):
+    name = "mta"
+
+    def __init__(self, config: GPUConfig, sm_id: int):
+        super().__init__(config, sm_id)
+        self._intra = IntraWarpStride(config, sm_id)
+        self._inter = InterWarpStride(config, sm_id)
+        self._looping_pcs: Set[int] = set()
+
+    def on_load_issue(self, warp, site, addresses, line_addrs, iteration, now):
+        if iteration > 0:
+            self._looping_pcs.add(site.pc)
+        if site.pc in self._looping_pcs:
+            cands = self._intra.on_load_issue(
+                warp, site, addresses, line_addrs, iteration, now
+            )
+        else:
+            cands = self._inter.on_load_issue(
+                warp, site, addresses, line_addrs, iteration, now
+            )
+        return self._emit(cands)
+
+    def on_cta_finish(self, cta_slot: int, cta_id: int) -> None:
+        self._intra.on_cta_finish(cta_slot, cta_id)
+        self._inter.on_cta_finish(cta_slot, cta_id)

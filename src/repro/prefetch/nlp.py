@@ -1,0 +1,29 @@
+"""NLP: next-line prefetching (paper Section III-C).
+
+On every demand L1 miss, fetch the next ``degree`` sequential cache
+lines.  Pattern-agnostic: decent on streaming kernels, wasteful
+elsewhere, and — issued at miss time for the immediately-next line —
+almost never far enough ahead of the consuming warp to hide DRAM
+latency, which is why the paper reports little benefit.
+"""
+
+from __future__ import annotations
+
+from repro.config import GPUConfig
+from repro.prefetch.base import Prefetcher, PrefetchCandidate
+
+
+class NextLine(Prefetcher):
+    name = "nlp"
+
+    def __init__(self, config: GPUConfig, sm_id: int):
+        super().__init__(config, sm_id)
+        self.degree = config.prefetch.nlp_degree
+
+    def on_l1_miss(self, warp, pc, line_addr, now):
+        line = self.config.l1d.line_bytes
+        cands = [
+            PrefetchCandidate(line_addr=line_addr + d * line, pc=pc)
+            for d in range(1, self.degree + 1)
+        ]
+        return self._emit(cands)

@@ -1,0 +1,110 @@
+"""Prefetch outcome accounting (Figures 12, 13, 14).
+
+The SM's LSU owns one :class:`PrefetchStats` per SM; :class:`repro.sim.gpu.GPU`
+aggregates them.  Definitions follow Section VI:
+
+* **coverage** — issued prefetch requests / total demand fetch requests,
+  where a demand fetch is a demand line request that goes to memory plus
+  the demand fetches a useful prefetch absorbed (i.e. what would have
+  gone to memory without prefetching);
+* **accuracy** — prefetches actually consumed by a demand request
+  (demand hit on a prefetched line, or demand merged into an in-flight
+  prefetch) / issued prefetches;
+* **early prefetch ratio** (Fig. 14a) — prefetched lines evicted before
+  any demand use / issued;
+* **prefetch distance** (Fig. 14b) — cycles from prefetch issue to the
+  consuming demand access, for timely (useful) prefetches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class PrefetchStats:
+    candidates: int = 0
+    queue_drops: int = 0
+    issued: int = 0
+    drop_l1_hit: int = 0
+    drop_inflight: int = 0
+    drop_resource: int = 0
+    useful: int = 0
+    late_merge: int = 0
+    early_evicted: int = 0
+    unused_at_end: int = 0
+    distance_sum: int = 0
+    distance_count: int = 0
+    late_wait_sum: int = 0
+
+    def merge(self, other: "PrefetchStats") -> None:
+        for f in self.__dataclass_fields__:
+            setattr(self, f, getattr(self, f) + getattr(other, f))
+
+    # -- derived metrics -------------------------------------------------
+    @property
+    def consumed(self) -> int:
+        return self.useful + self.late_merge
+
+    def accuracy(self) -> float:
+        """Fraction of issued prefetches consumed by demand requests."""
+        return self.consumed / self.issued if self.issued else 0.0
+
+    def coverage(self, demand_mem_fetches: int) -> float:
+        """Issued prefetches over total demand fetch requests.
+
+        ``demand_mem_fetches`` counts demand line requests sent to memory
+        during the run; consumed prefetches (useful fills and in-flight
+        merges) absorbed the rest, so the no-prefetch demand-fetch total
+        is their sum.
+        """
+        denom = demand_mem_fetches + self.consumed
+        return self.issued / denom if denom else 0.0
+
+    def early_ratio(self) -> float:
+        return self.early_evicted / self.issued if self.issued else 0.0
+
+    def mean_distance(self) -> float:
+        """Mean issue->use distance of fully timely (useful) prefetches."""
+        if not self.distance_count:
+            return 0.0
+        return self.distance_sum / self.distance_count
+
+    def mean_lead(self) -> float:
+        """Mean cycles of demand latency covered per consumed prefetch.
+
+        Figure 14b's metric: how far before the demand request the
+        prefetch was issued, averaged over *all* consumed prefetches —
+        fully timely ones (issue->use distance) and in-flight merges
+        (issue->merge lead).
+        """
+        if not self.consumed:
+            return 0.0
+        return (self.distance_sum + self.late_wait_sum) / self.consumed
+
+    def record_useful(self, distance: int) -> None:
+        self.useful += 1
+        self.distance_sum += distance
+        self.distance_count += 1
+
+    def record_late_merge(self, waited: int) -> None:
+        self.late_merge += 1
+        self.late_wait_sum += waited
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "candidates": self.candidates,
+            "queue_drops": self.queue_drops,
+            "issued": self.issued,
+            "drop_l1_hit": self.drop_l1_hit,
+            "drop_inflight": self.drop_inflight,
+            "drop_resource": self.drop_resource,
+            "useful": self.useful,
+            "late_merge": self.late_merge,
+            "early_evicted": self.early_evicted,
+            "unused_at_end": self.unused_at_end,
+            "accuracy": self.accuracy(),
+            "early_ratio": self.early_ratio(),
+            "mean_distance": self.mean_distance(),
+        }

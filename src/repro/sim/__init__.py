@@ -1,0 +1,49 @@
+"""Simplified cycle-level SIMT GPU simulator substrate.
+
+This package models the pieces of GPGPU-Sim that the paper's mechanisms
+exercise: warp instruction streams (:mod:`repro.sim.isa`), kernel/CTA
+geometry (:mod:`repro.sim.kernel`), demand-driven CTA distribution
+(:mod:`repro.sim.cta`), warp schedulers (:mod:`repro.sim.sched`), memory
+coalescing (:mod:`repro.sim.coalesce`), the SM issue pipeline
+(:mod:`repro.sim.sm`) and the top-level GPU (:mod:`repro.sim.gpu`).
+"""
+
+from repro.sim.isa import (
+    AddressContext,
+    ComputeOp,
+    Instr,
+    InstrKind,
+    LoadOp,
+    LoadSite,
+    LoopOp,
+    StoreOp,
+    WarpProgram,
+)
+from repro.sim.kernel import KernelInfo
+from repro.sim.cta import CTADistributor
+from repro.sim.gpu import GPU, SimResult, simulate
+from repro.sim.application import ApplicationResult, simulate_application
+from repro.sim.trace import LoadRecord, LoadTracer, TraceResult, trace_kernel
+
+__all__ = [
+    "AddressContext",
+    "ComputeOp",
+    "Instr",
+    "InstrKind",
+    "LoadOp",
+    "LoadSite",
+    "LoopOp",
+    "StoreOp",
+    "WarpProgram",
+    "KernelInfo",
+    "CTADistributor",
+    "GPU",
+    "SimResult",
+    "simulate",
+    "ApplicationResult",
+    "simulate_application",
+    "LoadRecord",
+    "LoadTracer",
+    "TraceResult",
+    "trace_kernel",
+]

@@ -1,0 +1,37 @@
+"""Memory-access coalescing (paper Section II-A).
+
+A warp's 32 lane requests merge into cache-line-sized transactions; a
+fully regular warp load touches one or two lines, while divergent
+(indirect) loads scatter across many.  Kernel address patterns in this
+reproduction already emit one address per coalesced transaction;
+:func:`coalesce` deduplicates them into aligned, ordered line addresses.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+
+def coalesce(addresses: Sequence[int], line_bytes: int) -> Tuple[int, ...]:
+    """Map byte addresses to unique line-aligned addresses.
+
+    Order of first occurrence is preserved (FR-FCFS and MSHR behaviour
+    depend only on the set, but deterministic order keeps runs
+    reproducible).
+    """
+    if line_bytes <= 0 or line_bytes & (line_bytes - 1):
+        raise ValueError("line_bytes must be a positive power of two")
+    shift = line_bytes.bit_length() - 1
+    seen = {}
+    for a in addresses:
+        if a < 0:
+            raise ValueError(f"negative address {a}")
+        line = (a >> shift) << shift
+        if line not in seen:
+            seen[line] = None
+    return tuple(seen.keys())
+
+
+def coalesced_count(addresses: Sequence[int], line_bytes: int) -> int:
+    """Number of memory transactions the warp load generates."""
+    return len(coalesce(addresses, line_bytes))

@@ -1,0 +1,90 @@
+"""CTA distribution across SMs (paper Section II-B, Figure 3).
+
+CTAs are handed to SMs one at a time in round-robin order until every SM
+holds its concurrent-CTA limit; afterwards assignment is purely
+demand-driven — a new CTA goes to whichever SM finishes one first.  This
+is why consecutive CTAs rarely share an SM, and why inter-CTA strides
+observed inside one SM are irregular: the key motivation for per-CTA base
+address discovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class CTAAssignment:
+    cta_id: int
+    sm_id: int
+    issue_order: int
+
+
+class CTADistributor:
+    """Issues CTA ids to SMs; records the assignment history."""
+
+    def __init__(self, num_ctas: int, num_sms: int, max_ctas_per_sm: int):
+        if num_ctas < 1 or num_sms < 1 or max_ctas_per_sm < 1:
+            raise ValueError("num_ctas, num_sms, max_ctas_per_sm must be >= 1")
+        self.num_ctas = num_ctas
+        self.num_sms = num_sms
+        self.max_ctas_per_sm = max_ctas_per_sm
+        self._next_cta = 0
+        self._active_per_sm = [0] * num_sms
+        self._rr_pointer = 0
+        self._initial_phase = True
+        self.history: List[CTAAssignment] = []
+
+    @property
+    def remaining(self) -> int:
+        """CTAs not yet issued."""
+        return self.num_ctas - self._next_cta
+
+    @property
+    def exhausted(self) -> bool:
+        return self._next_cta >= self.num_ctas
+
+    def active_on(self, sm_id: int) -> int:
+        return self._active_per_sm[sm_id]
+
+    def initial_fill(self) -> List[Tuple[int, int]]:
+        """Round-robin initial distribution at kernel launch.
+
+        Assigns one CTA per SM per round until all SMs are full or CTAs
+        run out.  Returns ``(cta_id, sm_id)`` pairs in issue order.
+        """
+        if not self._initial_phase:
+            raise RuntimeError("initial_fill may only be called once")
+        self._initial_phase = False
+        out: List[Tuple[int, int]] = []
+        for _round in range(self.max_ctas_per_sm):
+            for sm in range(self.num_sms):
+                if self.exhausted:
+                    return out
+                out.append((self._issue_to(sm), sm))
+        return out
+
+    def on_cta_finish(self, sm_id: int) -> Optional[int]:
+        """Demand-driven refill: the finishing SM gets the next CTA."""
+        if not 0 <= sm_id < self.num_sms:
+            raise IndexError(f"sm_id {sm_id} out of range")
+        if self._active_per_sm[sm_id] <= 0:
+            raise RuntimeError(f"SM {sm_id} has no active CTA to finish")
+        self._active_per_sm[sm_id] -= 1
+        if self.exhausted:
+            return None
+        return self._issue_to(sm_id)
+
+    def _issue_to(self, sm_id: int) -> int:
+        cta = self._next_cta
+        self._next_cta += 1
+        self._active_per_sm[sm_id] += 1
+        self.history.append(
+            CTAAssignment(cta_id=cta, sm_id=sm_id, issue_order=len(self.history))
+        )
+        return cta
+
+    def ctas_seen_by(self, sm_id: int) -> List[int]:
+        """All CTA ids ever assigned to ``sm_id`` (in issue order)."""
+        return [a.cta_id for a in self.history if a.sm_id == sm_id]

@@ -1,0 +1,222 @@
+"""Top-level GPU: SMs + shared memory system + CTA distributor.
+
+:func:`simulate` is the main entry point used by examples, tests and the
+benchmark harness: it runs one kernel to completion under a given config
+and prefetcher and returns a :class:`SimResult` holding every metric the
+paper's figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.config import GPUConfig
+from repro.mem.subsystem import MemorySubsystem
+from repro.prefetch.base import NoPrefetcher, Prefetcher
+from repro.prefetch.stats import PrefetchStats
+from repro.sim.cta import CTADistributor
+from repro.sim.kernel import KernelInfo
+from repro.sim.sm import SM, SMStats
+
+
+@dataclass
+class SimResult:
+    """Aggregated outcome of one simulation run."""
+
+    kernel: str
+    prefetcher: str
+    scheduler: str
+    cycles: int
+    instructions: int
+    sm_stats: SMStats
+    prefetch_stats: PrefetchStats
+    l1_accesses: int
+    l1_hits: int
+    l1_misses: int
+    l2_hit_rate: float
+    dram_reads: int
+    dram_writes: int
+    dram_row_hit_rate: float
+    core_requests: int
+    core_demand_requests: int
+    core_prefetch_requests: int
+    core_store_requests: int
+    completed: bool
+    ctas_total: int
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def l1_hit_rate(self) -> float:
+        return self.l1_hits / self.l1_accesses if self.l1_accesses else 0.0
+
+    def coverage(self) -> float:
+        return self.prefetch_stats.coverage(self.sm_stats.demand_mem_fetches)
+
+    def accuracy(self) -> float:
+        return self.prefetch_stats.accuracy()
+
+    def stall_fraction(self) -> float:
+        """Fraction of SM cycles stalled with every warp waiting on memory."""
+        active = self.sm_stats.active_cycles
+        return self.sm_stats.stall_mem_all / active if active else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "kernel": self.kernel,
+            "prefetcher": self.prefetcher,
+            "scheduler": self.scheduler,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "ipc": self.ipc,
+            "l1_hit_rate": self.l1_hit_rate,
+            "l2_hit_rate": self.l2_hit_rate,
+            "dram_reads": self.dram_reads,
+            "dram_writes": self.dram_writes,
+            "core_requests": self.core_requests,
+            "coverage": self.coverage(),
+            "accuracy": self.accuracy(),
+            "stall_fraction": self.stall_fraction(),
+            "completed": self.completed,
+            **{f"pf_{k}": v for k, v in self.prefetch_stats.as_dict().items()},
+        }
+
+
+class GPU:
+    """Whole-GPU simulation driver."""
+
+    def __init__(
+        self,
+        kernel: KernelInfo,
+        config: GPUConfig,
+        prefetcher_factory=None,
+    ):
+        self.kernel = kernel
+        self.config = config
+        factory = prefetcher_factory or (lambda cfg, sm_id: NoPrefetcher(cfg, sm_id))
+        self.subsystem = MemorySubsystem(
+            config, config.num_sms, self._on_response
+        )
+        self.sms: List[SM] = []
+        for sm_id in range(config.num_sms):
+            pf = factory(config, sm_id)
+            self.sms.append(
+                SM(sm_id, config, kernel, pf, self.subsystem, self._on_cta_done)
+            )
+        max_ctas = min(config.max_ctas_per_sm, kernel.max_ctas_per_sm(config))
+        self.distributor = CTADistributor(
+            num_ctas=kernel.num_ctas,
+            num_sms=config.num_sms,
+            max_ctas_per_sm=max_ctas,
+        )
+        self.now = 0
+        self._launch_initial()
+
+    def _launch_initial(self) -> None:
+        for cta_id, sm_id in self.distributor.initial_fill():
+            self.sms[sm_id].launch_cta(cta_id, self.now)
+
+    def _on_response(self, req) -> None:
+        self.sms[req.sm_id].on_mem_response(req, self.now)
+
+    def _on_cta_done(self, sm_id: int) -> None:
+        nxt = self.distributor.on_cta_finish(sm_id)
+        if nxt is not None:
+            self.sms[sm_id].launch_cta(nxt, self.now)
+
+    @property
+    def done(self) -> bool:
+        return all(sm.done for sm in self.sms)
+
+    def run(self, max_cycles: Optional[int] = None,
+            monitor=None) -> SimResult:
+        """Run to completion (or ``max_cycles``).
+
+        ``monitor`` is an optional sampling observer (e.g.
+        :class:`repro.analysis.timeline.TimelineMonitor`): its
+        ``sample(gpu, now)`` is invoked every ``monitor.interval``
+        cycles.
+        """
+        limit = max_cycles if max_cycles is not None else self.config.max_cycles
+        interval = getattr(monitor, "interval", 0)
+        while not self.done and self.now < limit:
+            for sm in self.sms:
+                sm.cycle(self.now)
+            self.subsystem.cycle(self.now)
+            self.now += 1
+            if interval and self.now % interval == 0:
+                monitor.sample(self, self.now)
+        completed = self.done
+        cycles = self.now
+        if completed:
+            self._flush_memory(limit)
+        for sm in self.sms:
+            sm.finalize()
+        return self._collect(completed, cycles)
+
+    def _flush_memory(self, limit: int) -> None:
+        """Drain in-flight stores/prefetches after the last warp retires
+        so traffic counters balance.  Flush cycles are not charged to the
+        kernel (completion time is the last warp's retirement)."""
+        t = self.now
+        deadline = t + min(100_000, max(0, limit - t) + 100_000)
+        while t < deadline:
+            busy = False
+            for sm in self.sms:
+                if sm.miss_queue or sm.store_queue or sm.prefetch_miss_queue:
+                    sm._drain_miss_queue(t)
+                    busy = True
+            self.subsystem.cycle(t)
+            t += 1
+            if not busy and self.subsystem.drained():
+                return
+
+    def _collect(self, completed: bool, cycles: Optional[int] = None) -> SimResult:
+        sm_stats = SMStats()
+        pstats = PrefetchStats()
+        l1_acc = l1_hit = l1_miss = 0
+        for sm in self.sms:
+            sm_stats.merge(sm.stats)
+            pstats.merge(sm.pstats)
+            l1_acc += sm.l1.accesses
+            l1_hit += sm.l1.hits
+            l1_miss += sm.l1.misses
+        sub = self.subsystem
+        return SimResult(
+            kernel=self.kernel.name,
+            prefetcher=self.sms[0].prefetcher.name,
+            scheduler=self.config.scheduler.value,
+            cycles=cycles if cycles is not None else self.now,
+            instructions=sm_stats.instructions,
+            sm_stats=sm_stats,
+            prefetch_stats=pstats,
+            l1_accesses=l1_acc,
+            l1_hits=l1_hit,
+            l1_misses=l1_miss,
+            l2_hit_rate=sub.l2_hit_rate(),
+            dram_reads=sub.dram_reads,
+            dram_writes=sub.dram_writes,
+            dram_row_hit_rate=sub.dram_row_hit_rate,
+            core_requests=sub.core_requests,
+            core_demand_requests=sub.core_demand_requests,
+            core_prefetch_requests=sub.core_prefetch_requests,
+            core_store_requests=sub.core_store_requests,
+            completed=completed,
+            ctas_total=self.kernel.num_ctas,
+        )
+
+
+def simulate(
+    kernel: KernelInfo,
+    config: GPUConfig,
+    prefetcher_factory=None,
+    max_cycles: Optional[int] = None,
+    monitor=None,
+) -> SimResult:
+    """Run ``kernel`` on a fresh GPU and return its :class:`SimResult`."""
+    gpu = GPU(kernel, config, prefetcher_factory)
+    return gpu.run(max_cycles=max_cycles, monitor=monitor)

@@ -1,0 +1,384 @@
+"""Warp instruction-stream model.
+
+A kernel supplies each warp with a :class:`WarpProgram` — a small tree of
+ops (straight-line compute, loads, stores, and counted loops).  The SM
+walks the program through a :class:`WarpCursor`, which yields one
+:class:`Instr` per issue slot, mirroring how GPGPU-Sim replays a warp's
+dynamic instruction stream.
+
+Loads reference a :class:`LoadSite` (one static load instruction,
+identified by PC).  The site owns an *address pattern* — a callable that
+maps an :class:`AddressContext` (kernel, CTA id, warp-within-CTA, dynamic
+execution count of the site) to the byte addresses touched by the warp's
+32 lanes after coalescing.  This is the load-address function Θ(CTA) +
+tid·C3 of the paper's Section IV, made explicit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+
+class InstrKind(enum.Enum):
+    ALU = "alu"
+    LOAD = "load"
+    STORE = "store"
+    EXIT = "exit"
+
+
+@dataclass(frozen=True)
+class AddressContext:
+    """Everything an address pattern may depend on.
+
+    ``iteration`` counts dynamic executions of the load site by this warp
+    (0 for the first execution), which is what intra-warp stride
+    prefetchers key on.  ``cta_id`` is the linear CTA index in the grid;
+    ``warp_in_cta`` the warp's position inside its CTA.
+    """
+
+    cta_id: int
+    warp_in_cta: int
+    iteration: int
+    warps_per_cta: int
+    num_ctas: int
+
+
+AddressFn = Callable[[AddressContext], Sequence[int]]
+
+
+@dataclass
+class LoadSite:
+    """A static global-load instruction.
+
+    ``pattern`` returns the per-warp byte addresses (one per coalesced
+    memory request, at most 32).  ``indirect`` marks data-dependent
+    addressing (graph edges, hash probes); the paper's CAP excludes such
+    loads from prefetching via backward source-register tracing, which we
+    substitute with this static flag.
+    """
+
+    pc: int
+    pattern: AddressFn
+    indirect: bool = False
+    name: str = ""
+
+    def addresses(self, ctx: AddressContext) -> Tuple[int, ...]:
+        addrs = tuple(int(a) for a in self.pattern(ctx))
+        if not addrs:
+            raise ValueError(f"load site pc={self.pc:#x} produced no addresses")
+        if len(addrs) > 32:
+            raise ValueError(
+                f"load site pc={self.pc:#x} produced {len(addrs)} requests; "
+                "a warp can issue at most 32"
+            )
+        for a in addrs:
+            if a < 0:
+                raise ValueError(f"negative address {a} from pc={self.pc:#x}")
+        return addrs
+
+
+class Op:
+    """Base class for program ops (see subclasses)."""
+
+    __slots__ = ()
+
+
+@dataclass
+class ComputeOp(Op):
+    """``count`` back-to-back dependent ALU instructions.
+
+    Each instruction occupies one issue slot and makes the warp ready
+    again ``latency`` cycles later (result forwarding between dependent
+    ALU ops).
+    """
+
+    count: int
+    latency: int = 4
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("ComputeOp.count must be >= 1")
+        if self.latency < 1:
+            raise ValueError("ComputeOp.latency must be >= 1")
+
+
+@dataclass
+class LoadOp(Op):
+    """A global load; the warp blocks until data returns.
+
+    ``use_distance`` models independent instructions between the load and
+    its first use: the warp may continue issuing that many subsequent
+    instructions before stalling on the outstanding load.  The common GPU
+    case (load feeding the next instruction) is distance 0.
+    """
+
+    site: LoadSite
+    use_distance: int = 0
+
+
+@dataclass
+class StoreOp(Op):
+    """A global store — fire-and-forget traffic, never blocks the warp."""
+
+    site: LoadSite
+
+
+@dataclass
+class LoopOp(Op):
+    """A counted loop around a body of ops."""
+
+    trips: int
+    body: List[Op]
+
+    def __post_init__(self) -> None:
+        if self.trips < 1:
+            raise ValueError("LoopOp.trips must be >= 1")
+        if not self.body:
+            raise ValueError("LoopOp.body must not be empty")
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One dynamic instruction as seen by the SM issue stage."""
+
+    kind: InstrKind
+    pc: int
+    latency: int = 1
+    site: Optional[LoadSite] = None
+    iteration: int = 0
+    use_distance: int = 0
+
+
+@dataclass
+class WarpProgram:
+    """A warp's static program plus derived metadata."""
+
+    ops: List[Op]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self._assign_pcs()
+
+    def _assign_pcs(self) -> None:
+        """Give every op a stable PC (4 bytes per instruction slot)."""
+        pc = [0]
+        self._op_pcs = {}
+
+        def walk(ops: Sequence[Op]) -> None:
+            for op in ops:
+                self._op_pcs[id(op)] = pc[0]
+                if isinstance(op, ComputeOp):
+                    pc[0] += 4 * op.count
+                elif isinstance(op, (LoadOp, StoreOp)):
+                    if op.site.pc == 0:
+                        op.site.pc = pc[0]
+                    pc[0] += 4
+                elif isinstance(op, LoopOp):
+                    pc[0] += 4
+                    walk(op.body)
+                    pc[0] += 4
+                else:  # pragma: no cover - defensive
+                    raise TypeError(f"unknown op {op!r}")
+
+        walk(self.ops)
+        self._end_pc = pc[0]
+
+    def load_sites(self) -> List[LoadSite]:
+        """All static load sites, in program order."""
+        sites: List[LoadSite] = []
+
+        def walk(ops: Sequence[Op]) -> None:
+            for op in ops:
+                if isinstance(op, LoadOp):
+                    sites.append(op.site)
+                elif isinstance(op, LoopOp):
+                    walk(op.body)
+
+        walk(self.ops)
+        return sites
+
+    def static_instruction_count(self) -> int:
+        """Static instruction slots (compute runs expanded)."""
+        total = [0]
+
+        def walk(ops: Sequence[Op]) -> None:
+            for op in ops:
+                if isinstance(op, ComputeOp):
+                    total[0] += op.count
+                elif isinstance(op, (LoadOp, StoreOp)):
+                    total[0] += 1
+                elif isinstance(op, LoopOp):
+                    total[0] += 2
+                    walk(op.body)
+
+        walk(self.ops)
+        return total[0]
+
+    def dynamic_instruction_count(self) -> int:
+        """Dynamic instructions one warp executes (loops unrolled)."""
+        def walk(ops: Sequence[Op]) -> int:
+            n = 0
+            for op in ops:
+                if isinstance(op, ComputeOp):
+                    n += op.count
+                elif isinstance(op, (LoadOp, StoreOp)):
+                    n += 1
+                elif isinstance(op, LoopOp):
+                    n += op.trips * walk(op.body)
+            return n
+
+        return walk(self.ops)
+
+    def cursor(self) -> "WarpCursor":
+        return WarpCursor(self)
+
+
+_EXIT = Instr(kind=InstrKind.EXIT, pc=-1)
+
+
+class WarpCursor:
+    """Walks a :class:`WarpProgram`, yielding one :class:`Instr` per issue.
+
+    The cursor tracks per-site dynamic execution counts so address
+    patterns can see the loop iteration index, exactly the information an
+    intra-warp stride prefetcher trains on.
+    """
+
+    __slots__ = ("program", "_stack", "_compute_left", "_site_iters", "_done",
+                 "issued", "_peeked")
+
+    def __init__(self, program: WarpProgram):
+        self.program = program
+        # stack frames: [ops, index, remaining_trips]
+        self._stack: List[list] = [[program.ops, 0, 1]]
+        self._compute_left = 0
+        self._site_iters: dict = {}
+        self._done = False
+        self.issued = 0
+        self._peeked: Optional[Instr] = None
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def site_iteration(self, site: LoadSite) -> int:
+        """Dynamic executions of ``site`` so far by this warp."""
+        return self._site_iters.get(site.pc, 0)
+
+    def peek(self) -> Instr:
+        """Look at the next dynamic instruction without consuming it."""
+        if self._done:
+            raise RuntimeError("cursor already exhausted")
+        if self._peeked is None:
+            self._peeked = self._produce()
+        return self._peeked
+
+    def next_instr(self) -> Instr:
+        """Consume and return the next dynamic instruction.
+
+        Returns an EXIT instruction exactly once when the program ends;
+        calling again afterwards raises ``RuntimeError``.
+        """
+        if self._done:
+            raise RuntimeError("cursor already exhausted")
+        if self._peeked is not None:
+            instr = self._peeked
+            self._peeked = None
+        else:
+            instr = self._produce()
+        if instr.kind is InstrKind.EXIT:
+            self._done = True
+        else:
+            self.issued += 1
+        return instr
+
+    def _produce(self) -> Instr:
+        while True:
+            frame = self._stack[-1]
+            ops, idx, _trips = frame
+            if idx >= len(ops):
+                if len(self._stack) == 1:
+                    return _EXIT
+                frame[2] -= 1
+                if frame[2] > 0:
+                    frame[1] = 0
+                    continue
+                self._stack.pop()
+                self._stack[-1][1] += 1
+                continue
+            op = ops[idx]
+            if isinstance(op, ComputeOp):
+                if self._compute_left == 0:
+                    self._compute_left = op.count
+                # ALU Instr objects are immutable and identical for every
+                # warp: build them once per op and share (hot path).
+                cache = getattr(op, "_instr_cache", None)
+                if cache is None:
+                    base_pc = self.program._op_pcs[id(op)]
+                    cache = [
+                        Instr(kind=InstrKind.ALU, pc=base_pc + 4 * i,
+                              latency=op.latency)
+                        for i in range(op.count)
+                    ]
+                    op._instr_cache = cache
+                instr = cache[op.count - self._compute_left]
+                self._compute_left -= 1
+                if self._compute_left == 0:
+                    frame[1] += 1
+                return instr
+            if isinstance(op, LoadOp):
+                it = self._site_iters.get(op.site.pc, 0)
+                self._site_iters[op.site.pc] = it + 1
+                frame[1] += 1
+                return Instr(
+                    kind=InstrKind.LOAD,
+                    pc=op.site.pc,
+                    site=op.site,
+                    iteration=it,
+                    use_distance=op.use_distance,
+                )
+            if isinstance(op, StoreOp):
+                it = self._site_iters.get(op.site.pc, 0)
+                self._site_iters[op.site.pc] = it + 1
+                frame[1] += 1
+                return Instr(
+                    kind=InstrKind.STORE,
+                    pc=op.site.pc,
+                    site=op.site,
+                    iteration=it,
+                )
+            if isinstance(op, LoopOp):
+                self._stack.append([op.body, 0, op.trips])
+                continue
+            raise TypeError(f"unknown op {op!r}")  # pragma: no cover
+
+
+def strided_pattern(
+    base: int,
+    warp_stride: int,
+    *,
+    lines_per_access: int = 1,
+    line_bytes: int = 128,
+    iter_stride: int = 0,
+    cta_base_fn: Optional[Callable[[int], int]] = None,
+) -> AddressFn:
+    """The canonical GPU address function of Section IV.
+
+    ``addr = Θ(CTA) + warp_in_cta · warp_stride + iteration · iter_stride``
+    with ``lines_per_access`` consecutive cache-line requests per warp
+    (the coalescer output for 4/8/16-byte elements).  When ``cta_base_fn``
+    is given it supplies Θ(CTA); otherwise CTAs are laid out contiguously
+    (Θ = base + cta · warps_per_cta · warp_stride).
+    """
+
+    def fn(ctx: AddressContext) -> Tuple[int, ...]:
+        if cta_base_fn is not None:
+            theta = base + cta_base_fn(ctx.cta_id)
+        else:
+            theta = base + ctx.cta_id * ctx.warps_per_cta * warp_stride
+        start = theta + ctx.warp_in_cta * warp_stride + ctx.iteration * iter_stride
+        return tuple(start + i * line_bytes for i in range(lines_per_access))
+
+    return fn

@@ -1,0 +1,73 @@
+"""Kernel description: grid geometry, per-CTA resources, warp programs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.config import CTAResources, GPUConfig, occupancy
+from repro.sim.isa import WarpProgram
+
+
+@dataclass
+class KernelInfo:
+    """A launched kernel.
+
+    All warps of a kernel share one static :class:`WarpProgram` (the usual
+    CUDA situation: one code path, addresses parameterized by CTA/thread
+    ids).  ``grid_dim`` is carried for kernels whose Θ(CTA) depends on 2D
+    CTA coordinates (e.g. LPS); the simulator itself only uses the linear
+    CTA count.
+
+    ``resources`` feeds the Section II-B occupancy calculation that caps
+    concurrent CTAs per SM.
+    """
+
+    name: str
+    num_ctas: int
+    warps_per_cta: int
+    program: WarpProgram
+    grid_dim: Tuple[int, int] = (0, 0)
+    resources: Optional[CTAResources] = None
+    irregular: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_ctas < 1:
+            raise ValueError("kernel needs at least one CTA")
+        if self.warps_per_cta < 1:
+            raise ValueError("CTA needs at least one warp")
+        if self.grid_dim == (0, 0):
+            self.grid_dim = (self.num_ctas, 1)
+        if self.grid_dim[0] * self.grid_dim[1] != self.num_ctas:
+            raise ValueError("grid_dim does not match num_ctas")
+        if self.resources is None:
+            self.resources = CTAResources(threads=self.warps_per_cta * 32)
+
+    @property
+    def total_warps(self) -> int:
+        return self.num_ctas * self.warps_per_cta
+
+    def cta_coord(self, cta_id: int) -> Tuple[int, int]:
+        """2D CTA coordinate for a linear CTA id (row-major)."""
+        if not 0 <= cta_id < self.num_ctas:
+            raise IndexError(f"cta_id {cta_id} out of range")
+        gx = self.grid_dim[0]
+        return (cta_id % gx, cta_id // gx)
+
+    def max_ctas_per_sm(self, config: GPUConfig) -> int:
+        """Concurrent-CTA limit for this kernel under ``config``."""
+        limit = occupancy(config, self.resources)
+        if limit == 0:
+            raise ValueError(
+                f"kernel {self.name!r} CTA does not fit on an SM under config"
+            )
+        by_warps = config.max_warps_per_sm // self.warps_per_cta
+        if by_warps == 0:
+            raise ValueError(
+                f"kernel {self.name!r} CTA has more warps than an SM supports"
+            )
+        return min(limit, by_warps)
+
+    def dynamic_instructions(self) -> int:
+        """Total dynamic instructions across all warps."""
+        return self.total_warps * self.program.dynamic_instruction_count()

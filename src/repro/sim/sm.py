@@ -1,0 +1,627 @@
+"""Streaming multiprocessor: issue pipeline, L1D/LSU, prefetch port.
+
+Per cycle an SM:
+
+1. completes L1-hit load pieces whose hit latency elapsed;
+2. drains its miss queue into the interconnect;
+3. replays a load whose line transactions previously failed reservation
+   (MSHR or miss-queue full) — the pipeline-stall mechanism behind the
+   paper's bursty-miss congestion;
+4. lets the warp scheduler issue one instruction;
+5. services one queued prefetch candidate if the L1 port is idle
+   (prefetches have strictly lower priority than demand accesses).
+
+Warps issuing a load block until every coalesced line transaction of the
+load has data (an L1 hit completes after the hit latency; a miss when the
+fill returns).  The two-level scheduler moves blocked warps to its
+pending pool, matching the paper's baseline.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.config import GPUConfig, SchedulerKind
+from repro.mem.cache import Cache
+from repro.mem.request import Access, MemoryRequest
+from repro.mem.subsystem import MemorySubsystem
+from repro.prefetch.base import Prefetcher, PrefetchCandidate
+from repro.prefetch.stats import PrefetchStats
+from repro.sim.coalesce import coalesce
+from repro.sim.isa import AddressContext, Instr, InstrKind
+from repro.sim.kernel import KernelInfo
+from repro.sim.sched import make_scheduler
+from repro.sim.warp import Warp, WarpState
+
+#: Maximum queued prefetch candidates per SM; overflow drops the oldest.
+PREFETCH_QUEUE_DEPTH = 128
+#: L1 miss-queue entries drained into the interconnect per cycle.
+MISS_QUEUE_DRAIN = 2
+#: Store issue latency (cycles until the issuing warp may issue again).
+STORE_LATENCY = 4
+
+
+@dataclass
+class CTAState:
+    slot: int
+    cta_id: int
+    warps: List[Warp]
+    unfinished: int
+
+
+@dataclass
+class SMStats:
+    instructions: int = 0
+    loads_issued: int = 0
+    stores_issued: int = 0
+    demand_l1_accesses: int = 0
+    demand_mem_fetches: int = 0
+    replay_cycles: int = 0
+    replay_store_cycles: int = 0
+    stall_mem_all: int = 0
+    stall_mem_partial: int = 0
+    stall_other: int = 0
+    issue_cycles: int = 0
+    active_cycles: int = 0
+    ctas_executed: int = 0
+
+    def merge(self, other: "SMStats") -> None:
+        for f in self.__dataclass_fields__:
+            setattr(self, f, getattr(self, f) + getattr(other, f))
+
+
+@dataclass
+class _InflightPrefetch:
+    """An issued prefetch whose line has not filled L1 yet.
+
+    Prefetches occupy their own in-flight buffer (the prefetch request
+    generator's bookkeeping) rather than demand MSHRs, so a burst of
+    demand misses can never be blocked by outstanding prefetches nor
+    vice versa.  Demand misses to an in-flight prefetched line attach as
+    ``waiters`` (and promote the request to demand priority downstream).
+    """
+
+    issue_cycle: int
+    pc: int
+    target_warp_uid: int
+    req: MemoryRequest
+    waiters: List[int] = field(default_factory=list)
+
+
+@dataclass
+class _Replay:
+    """A load (or store) stalled mid-way through its line transactions."""
+
+    warp: Optional[Warp]
+    pc: int
+    remaining: List[int]
+    is_store: bool
+    iteration: int
+
+
+class SM:
+    """One streaming multiprocessor."""
+
+    def __init__(
+        self,
+        sm_id: int,
+        config: GPUConfig,
+        kernel: KernelInfo,
+        prefetcher: Prefetcher,
+        subsystem: MemorySubsystem,
+        on_cta_done: Callable[[int], None],
+    ):
+        self.sm_id = sm_id
+        self.config = config
+        self.kernel = kernel
+        self.prefetcher = prefetcher
+        self.subsystem = subsystem
+        self.on_cta_done = on_cta_done
+
+        self.l1 = Cache(config.l1d, name=f"l1d.{sm_id}")
+        self.scheduler = make_scheduler(config)
+        self.stats = SMStats()
+        self.pstats = PrefetchStats()
+
+        self.miss_queue: Deque[MemoryRequest] = deque()
+        self.miss_queue_depth = config.l1d.miss_queue_depth
+        # Write-through stores drain through their own buffer so bursts
+        # of writes neither block demand misses nor starve the prefetch
+        # path.
+        self.store_queue: Deque[MemoryRequest] = deque()
+        self.store_queue_depth = 2 * config.l1d.miss_queue_depth
+        self.prefetch_queue: Deque[PrefetchCandidate] = deque()
+        self.prefetch_miss_queue: Deque[MemoryRequest] = deque()
+        # Pollution feedback: number of prefetched-but-unused lines
+        # resident in L1.  The prefetch port defers when more than a
+        # quarter of the cache holds speculative lines, which naturally
+        # delays too-early prefetches until consumption catches up.
+        self.unused_prefetched_resident = 0
+        self._prefetch_resident_limit = config.l1d.num_lines // 4
+        self.prefetch_miss_queue_depth = config.prefetch.prefetch_miss_queue_depth
+        self.prefetch_inflight_limit = config.prefetch.prefetch_inflight_entries
+        self._queued_prefetch_lines: set = set()
+        self._hit_heap: List[Tuple[int, int]] = []  # (ready_cycle, warp_uid)
+        self._hit_seq = 0
+        self.replay: Optional[_Replay] = None
+        self._inflight_prefetch: Dict[int, _InflightPrefetch] = {}
+
+        self.cta_slots: List[Optional[CTAState]] = [None] * config.max_ctas_per_sm
+        self.warps_by_uid: Dict[int, Warp] = {}
+        self.warp_by_slot: Dict[int, Warp] = {}
+        self._next_warp_slot = 0
+        self.unfinished_warps = 0
+        self.waiting_mem_warps = 0
+
+        self._mark_leading = (
+            config.scheduler.prefetch_aware or prefetcher.wants_leading_warps
+        )
+        self._kernel_load_sites = max(1, len(kernel.program.load_sites()))
+
+    # ------------------------------------------------------------- CTA launch
+    def free_slot(self) -> Optional[int]:
+        for i, s in enumerate(self.cta_slots):
+            if s is None:
+                return i
+        return None
+
+    def launch_cta(self, cta_id: int, now: int) -> None:
+        slot = self.free_slot()
+        if slot is None:
+            raise RuntimeError(f"SM {self.sm_id} has no free CTA slot")
+        warps: List[Warp] = []
+        for w in range(self.kernel.warps_per_cta):
+            warp = Warp(
+                sm_id=self.sm_id,
+                slot=self._next_warp_slot,
+                cta_slot=slot,
+                cta_id=cta_id,
+                warp_in_cta=w,
+                program=self.kernel.program,
+                leading=self._mark_leading and w == 0,
+                launch_cycle=now,
+            )
+            self._next_warp_slot += 1
+            warps.append(warp)
+            self.warps_by_uid[warp.uid] = warp
+            self.warp_by_slot[warp.slot] = warp
+        self.cta_slots[slot] = CTAState(
+            slot=slot, cta_id=cta_id, warps=warps, unfinished=len(warps)
+        )
+        self.unfinished_warps += len(warps)
+        if self.prefetcher.wants_group_interleave:
+            # ORCH: consecutive warps land in different scheduling groups.
+            order = sorted(warps, key=lambda w: (w.warp_in_cta % 2, w.warp_in_cta))
+        else:
+            order = warps
+        for warp in order:
+            self.scheduler.add_warp(warp)
+        self.prefetcher.on_cta_launch(slot, cta_id, warps)
+
+    @property
+    def done(self) -> bool:
+        return self.unfinished_warps == 0 and all(s is None for s in self.cta_slots)
+
+    # ---------------------------------------------------------------- cycling
+    def cycle(self, now: int) -> None:
+        if self.unfinished_warps == 0:
+            self._drain_miss_queue(now)
+            return
+        self._complete_hits(now)
+        self._drain_miss_queue(now)
+
+        lsu_busy = False
+        replay_progressed = False
+        if self.replay is not None:
+            lsu_busy = True
+            self.stats.replay_cycles += 1
+            if self.replay.is_store:
+                self.stats.replay_store_cycles += 1
+            replay_progressed = self._run_replay(now)
+
+        issued = self._issue(now, lsu_free=not lsu_busy)
+        if issued:
+            self.stats.issue_cycles += 1
+        else:
+            self._account_stall()
+        self.stats.active_cycles += 1
+
+        # The L1 port is free for a prefetch when no demand access used
+        # it: no memory instruction issued and any replay attempt failed
+        # its reservation (a blocked replay performs no transaction).
+        port_used = issued == "mem" or replay_progressed
+        if (
+            not port_used
+            and self.prefetch_queue
+            and self.unused_prefetched_resident < self._prefetch_resident_limit
+        ):
+            self._service_prefetch(now)
+
+    def _account_stall(self) -> None:
+        if self.waiting_mem_warps >= self.unfinished_warps and self.unfinished_warps:
+            self.stats.stall_mem_all += 1
+        elif self.waiting_mem_warps > 0:
+            self.stats.stall_mem_partial += 1
+        else:
+            self.stats.stall_other += 1
+
+    def _complete_hits(self, now: int) -> None:
+        heap = self._hit_heap
+        while heap and heap[0][0] <= now:
+            _, warp_uid = heapq.heappop(heap)
+            warp = self.warps_by_uid[warp_uid]
+            self._piece_arrived(warp, now)
+
+    def _piece_arrived(self, warp: Warp, now: int) -> None:
+        if warp.piece_arrived(now):
+            self.waiting_mem_warps -= 1
+            if warp.exit_pending:
+                self._finish_warp(warp, now)
+            else:
+                self.scheduler.on_unblock(warp)
+
+    def _charge_defer(self, warp: Warp, now: int) -> None:
+        if warp.charge_defer_budget(now):
+            self.waiting_mem_warps += 1
+            self.scheduler.on_block(warp)
+
+    def _drain_miss_queue(self, now: int) -> None:
+        for _ in range(MISS_QUEUE_DRAIN):
+            if not self.miss_queue:
+                break
+            if not self.subsystem.submit(self.miss_queue[0], now):
+                break
+            self.miss_queue.popleft()
+        # Stores and prefetches have their own injection slots so write
+        # or prefetch bursts never wait behind demand-miss bursts (and
+        # vice versa); prefetch priority is enforced downstream (FR-FCFS).
+        if self.store_queue and self.subsystem.submit(self.store_queue[0], now):
+            self.store_queue.popleft()
+        if self.prefetch_miss_queue and self.subsystem.submit(
+            self.prefetch_miss_queue[0], now
+        ):
+            self.prefetch_miss_queue.popleft()
+
+    # ------------------------------------------------------------------ issue
+    def _issue(self, now: int, lsu_free: bool):
+        """Issue at most one instruction; returns False, "alu" or "mem"."""
+        warp = self.scheduler.pick(now, lsu_free)
+        if warp is None:
+            return False
+        instr = warp.cursor.next_instr()
+        if instr.kind is InstrKind.EXIT:
+            if warp.pending_pieces:
+                # Deferred loads still in flight: a warp cannot retire
+                # with outstanding memory requests.  Block; the last
+                # arriving piece completes the retirement.
+                warp.exit_pending = True
+                warp.state = WarpState.WAITING_MEM
+                warp.blocked_since = now
+                self.waiting_mem_warps += 1
+                self.scheduler.on_block(warp)
+            else:
+                self._finish_warp(warp, now)
+            return "alu"
+        warp.instructions_issued += 1
+        self.stats.instructions += 1
+        if instr.kind is InstrKind.ALU:
+            warp.ready_at = now + instr.latency
+            self._charge_defer(warp, now)
+            return "alu"
+        if instr.kind is InstrKind.LOAD:
+            self._issue_load(warp, instr, now)
+            return "mem"
+        if instr.kind is InstrKind.STORE:
+            self._issue_store(warp, instr, now)
+            self._charge_defer(warp, now)
+            return "mem"
+        raise AssertionError(f"unexpected instr {instr!r}")  # pragma: no cover
+
+    def _ctx(self, warp: Warp, iteration: int) -> AddressContext:
+        return AddressContext(
+            cta_id=warp.cta_id,
+            warp_in_cta=warp.warp_in_cta,
+            iteration=iteration,
+            warps_per_cta=self.kernel.warps_per_cta,
+            num_ctas=self.kernel.num_ctas,
+        )
+
+    def _issue_load(self, warp: Warp, instr: Instr, now: int) -> None:
+        site = instr.site
+        addrs = site.addresses(self._ctx(warp, instr.iteration))
+        line_addrs = coalesce(addrs, self.l1.line_bytes)
+        self.stats.loads_issued += 1
+        self.stats.demand_l1_accesses += len(line_addrs)
+        cands = self.prefetcher.on_load_issue(
+            warp, site, addrs, line_addrs, instr.iteration, now
+        )
+        if cands:
+            self.enqueue_prefetches(cands)
+        if warp.leading:
+            # The leading-warp marker expires once the warp has issued
+            # the targeted loads: its job — computing the CTA's base
+            # addresses early — is done, and keeping it prioritized
+            # would only skew trailing-warp progress.
+            warp.lead_loads_issued += 1
+            targeted = min(
+                self.config.prefetch.dist_entries, self._kernel_load_sites
+            )
+            if warp.lead_loads_issued >= targeted:
+                warp.leading = False
+        if instr.use_distance > 0 and warp.pending_pieces == 0:
+            # Independent instructions follow: the warp keeps issuing
+            # (compiler-scheduled ILP below the load).
+            warp.defer_on_memory(len(line_addrs), instr.use_distance)
+        else:
+            # A further memory op while pieces are outstanding ends any
+            # deferral window: block on everything in flight.
+            already_blocked = warp.state is WarpState.WAITING_MEM
+            warp.block_on_memory(len(line_addrs), now)
+            if not already_blocked:
+                self.waiting_mem_warps += 1
+                self.scheduler.on_block(warp)
+        remaining = list(line_addrs)
+        self._process_demand_lines(warp, instr.site.pc, remaining, instr.iteration, now)
+        if remaining:
+            self.replay = _Replay(
+                warp=warp,
+                pc=site.pc,
+                remaining=remaining,
+                is_store=False,
+                iteration=instr.iteration,
+            )
+
+    def _issue_store(self, warp: Warp, instr: Instr, now: int) -> None:
+        site = instr.site
+        addrs = site.addresses(self._ctx(warp, instr.iteration))
+        line_addrs = coalesce(addrs, self.l1.line_bytes)
+        self.stats.stores_issued += 1
+        warp.ready_at = now + STORE_LATENCY
+        remaining = list(line_addrs)
+        self._process_store_lines(warp, site.pc, remaining, now)
+        if remaining:
+            self.replay = _Replay(
+                warp=warp,
+                pc=site.pc,
+                remaining=remaining,
+                is_store=True,
+                iteration=instr.iteration,
+            )
+
+    def _run_replay(self, now: int) -> bool:
+        """Retry a blocked load/store; True if any line made progress."""
+        rp = self.replay
+        before = len(rp.remaining)
+        if rp.is_store:
+            self._process_store_lines(rp.warp, rp.pc, rp.remaining, now)
+        else:
+            self._process_demand_lines(rp.warp, rp.pc, rp.remaining, rp.iteration, now)
+        if not rp.remaining:
+            self.replay = None
+        return len(rp.remaining) < before
+
+    def _process_demand_lines(
+        self,
+        warp: Warp,
+        pc: int,
+        remaining: List[int],
+        iteration: int,
+        now: int,
+    ) -> None:
+        """Consume line transactions from ``remaining`` until done or a
+        reservation failure (MSHR/miss-queue full) forces a replay."""
+        while remaining:
+            line_addr = remaining[0]
+            line = self.l1.lookup(line_addr)
+            if line is not None:
+                if line.prefetched and not line.used:
+                    line.used = True
+                    self.unused_prefetched_resident -= 1
+                    self.pstats.record_useful(now - line.prefetch_issue_cycle)
+                    if (
+                        self.prefetcher.wants_eager_wakeup
+                        and self.config.prefetch.eager_wakeup
+                    ):
+                        # consumed; nothing to wake (this warp is the consumer)
+                        pass
+                heapq.heappush(
+                    self._hit_heap, (now + self.l1.config.hit_latency, warp.uid)
+                )
+                remaining.pop(0)
+                continue
+            meta = self._inflight_prefetch.get(line_addr)
+            if meta is not None:
+                # Demand caught an in-flight prefetch: wait on its fill
+                # (partial latency hiding) and promote the request to
+                # demand priority downstream.
+                if len(meta.waiters) >= self.l1.mshr.merge_limit:
+                    return  # replay
+                if not meta.waiters:
+                    # Count the prefetch as consumed once (further
+                    # demand warps merging are ordinary MSHR-style
+                    # merges, not additional prefetch successes).
+                    self.pstats.record_late_merge(now - meta.issue_cycle)
+                meta.waiters.append(warp.uid)
+                meta.req.access = Access.DEMAND
+                remaining.pop(0)
+                continue
+            mshr = self.l1.mshr
+            if mshr.pending(line_addr):
+                if not mshr.can_merge(line_addr):
+                    return  # replay
+                req = MemoryRequest(
+                    line_addr=line_addr,
+                    sm_id=self.sm_id,
+                    access=Access.DEMAND,
+                    pc=pc,
+                    warp_uid=warp.uid,
+                    issue_cycle=now,
+                )
+                mshr.merge(req)
+                remaining.pop(0)
+                continue
+            if mshr.full or len(self.miss_queue) >= self.miss_queue_depth:
+                return  # replay
+            req = MemoryRequest(
+                line_addr=line_addr,
+                sm_id=self.sm_id,
+                access=Access.DEMAND,
+                pc=pc,
+                warp_uid=warp.uid,
+                issue_cycle=now,
+            )
+            mshr.allocate(req)
+            self.miss_queue.append(req)
+            self.stats.demand_mem_fetches += 1
+            cands = self.prefetcher.on_l1_miss(warp, pc, line_addr, now)
+            if cands:
+                self.enqueue_prefetches(cands)
+            remaining.pop(0)
+
+    def _process_store_lines(
+        self, warp: Warp, pc: int, remaining: List[int], now: int
+    ) -> None:
+        while remaining:
+            if len(self.store_queue) >= self.store_queue_depth:
+                return  # replay
+            line_addr = remaining.pop(0)
+            self.store_queue.append(
+                MemoryRequest(
+                    line_addr=line_addr,
+                    sm_id=self.sm_id,
+                    access=Access.STORE,
+                    pc=pc,
+                    warp_uid=warp.uid,
+                    issue_cycle=now,
+                )
+            )
+
+    # -------------------------------------------------------------- prefetch
+    def enqueue_prefetches(self, cands: List[PrefetchCandidate]) -> None:
+        self.pstats.candidates += len(cands)
+        for c in cands:
+            line = self.l1.align(c.line_addr)
+            if line in self._queued_prefetch_lines:
+                continue
+            if len(self.prefetch_queue) >= PREFETCH_QUEUE_DEPTH:
+                # Tail drop: queued prefetches are older and therefore
+                # closer to their demand; the incoming one is furthest in
+                # the future and cheapest to lose.
+                self.pstats.queue_drops += 1
+                continue
+            self.prefetch_queue.append(c)
+            self._queued_prefetch_lines.add(line)
+
+    def _service_prefetch(self, now: int) -> None:
+        cand = self.prefetch_queue.popleft()
+        line_addr = self.l1.align(cand.line_addr)
+        self._queued_prefetch_lines.discard(line_addr)
+        if self.l1.probe(line_addr) is not None:
+            self.pstats.drop_l1_hit += 1
+            return
+        if self.l1.mshr.pending(line_addr) or line_addr in self._inflight_prefetch:
+            self.pstats.drop_inflight += 1
+            return
+        if (
+            len(self._inflight_prefetch) >= self.prefetch_inflight_limit
+            or len(self.prefetch_miss_queue) >= self.prefetch_miss_queue_depth
+        ):
+            self.pstats.drop_resource += 1
+            return
+        req = MemoryRequest(
+            line_addr=line_addr,
+            sm_id=self.sm_id,
+            access=Access.PREFETCH,
+            pc=cand.pc,
+            target_warp=cand.target_warp_uid,
+            issue_cycle=now,
+        )
+        self.prefetch_miss_queue.append(req)
+        self._inflight_prefetch[line_addr] = _InflightPrefetch(
+            issue_cycle=now,
+            pc=cand.pc,
+            target_warp_uid=cand.target_warp_uid,
+            req=req,
+        )
+        self.pstats.issued += 1
+
+    # -------------------------------------------------------------- responses
+    def on_mem_response(self, req: MemoryRequest, now: int) -> None:
+        line_addr = req.line_addr
+        meta = self._inflight_prefetch.get(line_addr)
+        if meta is not None and req is meta.req:
+            self._on_prefetch_fill(meta, now)
+            return
+        merged = self.l1.mshr.release(line_addr)
+        victim = self.l1.fill(line_addr, cycle=now)
+        if victim is not None and victim.prefetched and not victim.used:
+            self.pstats.early_evicted += 1
+            self.unused_prefetched_resident -= 1
+        for m in merged:
+            if m.access is Access.DEMAND:
+                warp = self.warps_by_uid.get(m.warp_uid)
+                # Credit by outstanding pieces, not by state: a deferred
+                # warp (use_distance) is READY while its load is in
+                # flight and must still receive its data.
+                if warp is not None and warp.pending_pieces > 0:
+                    self._piece_arrived(warp, now)
+
+    def _on_prefetch_fill(self, meta: "_InflightPrefetch", now: int) -> None:
+        line_addr = meta.req.line_addr
+        del self._inflight_prefetch[line_addr]
+        untouched = not meta.waiters
+        victim = self.l1.fill(
+            line_addr,
+            cycle=now,
+            prefetched=untouched,
+            prefetch_pc=meta.pc,
+            prefetch_issue_cycle=meta.issue_cycle,
+        )
+        if untouched:
+            self.unused_prefetched_resident += 1
+        if victim is not None and victim.prefetched and not victim.used:
+            self.pstats.early_evicted += 1
+            self.unused_prefetched_resident -= 1
+        for uid in meta.waiters:
+            warp = self.warps_by_uid.get(uid)
+            if warp is not None and warp.pending_pieces > 0:
+                self._piece_arrived(warp, now)
+        if (
+            untouched
+            and self.prefetcher.wants_eager_wakeup
+            and self.config.prefetch.eager_wakeup
+            and meta.target_warp_uid >= 0
+        ):
+            target = self.warps_by_uid.get(meta.target_warp_uid)
+            if target is not None and not target.finished:
+                self.scheduler.on_prefetch_fill(target)
+
+    # ------------------------------------------------------------ warp finish
+    def _finish_warp(self, warp: Warp, now: int) -> None:
+        warp.finish(now)
+        self.scheduler.remove_warp(warp)
+        self.unfinished_warps -= 1
+        cta = self.cta_slots[warp.cta_slot]
+        cta.unfinished -= 1
+        if cta.unfinished == 0:
+            self.cta_slots[warp.cta_slot] = None
+            self.stats.ctas_executed += 1
+            for w in cta.warps:
+                self.warps_by_uid.pop(w.uid, None)
+                self.warp_by_slot.pop(w.slot, None)
+            self.prefetcher.on_cta_finish(cta.slot, cta.cta_id)
+            self.on_cta_done(self.sm_id)
+
+    # -------------------------------------------------------------- finalize
+    def finalize(self) -> None:
+        """Classify leftover prefetched lines as unused (run end)."""
+        for cset in self.l1._sets:
+            for line in cset.values():
+                if line.prefetched and not line.used:
+                    self.pstats.unused_at_end += 1
+        self.pstats.unused_at_end += sum(
+            1 for m in self._inflight_prefetch.values() if not m.waiters
+        )

@@ -1,0 +1,116 @@
+"""Load-stream tracing.
+
+A :class:`LoadTracer` is an inert prefetcher that records every demand
+load the SM issues — (cycle, SM, CTA, warp, PC, address, iteration) —
+without perturbing the simulation.  It backs the Figure 1 experiment
+(offline inter-warp stride analysis), and is generally useful for
+debugging workload models: :func:`trace_kernel` runs a kernel and hands
+back the merged, time-ordered records.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
+
+from repro.config import GPUConfig
+from repro.prefetch.base import Prefetcher
+from repro.sim.gpu import SimResult, simulate
+from repro.sim.kernel import KernelInfo
+
+
+@dataclass(frozen=True)
+class LoadRecord:
+    """One dynamic demand load (first coalesced transaction address)."""
+
+    cycle: int
+    sm_id: int
+    cta_id: int
+    warp_slot: int
+    warp_in_cta: int
+    pc: int
+    address: int
+    iteration: int
+    indirect: bool
+    transactions: int
+
+
+class LoadTracer(Prefetcher):
+    """Records the SM's demand-load stream; never prefetches."""
+
+    name = "trace"
+
+    def __init__(self, config: GPUConfig, sm_id: int):
+        super().__init__(config, sm_id)
+        self.records: List[LoadRecord] = []
+
+    def on_load_issue(self, warp, site, addresses, line_addrs, iteration, now):
+        self.records.append(
+            LoadRecord(
+                cycle=now,
+                sm_id=self.sm_id,
+                cta_id=warp.cta_id,
+                warp_slot=warp.slot,
+                warp_in_cta=warp.warp_in_cta,
+                pc=site.pc,
+                address=addresses[0],
+                iteration=iteration,
+                indirect=site.indirect,
+                transactions=len(addresses),
+            )
+        )
+        return []
+
+
+@dataclass
+class TraceResult:
+    """Simulation outcome plus the merged load trace."""
+
+    result: SimResult
+    records: List[LoadRecord]
+
+    def by_sm(self) -> Dict[int, List[LoadRecord]]:
+        out: Dict[int, List[LoadRecord]] = {}
+        for r in self.records:
+            out.setdefault(r.sm_id, []).append(r)
+        return out
+
+    def by_pc(self, sm_id: Optional[int] = None) -> Dict[int, List[LoadRecord]]:
+        out: Dict[int, List[LoadRecord]] = {}
+        for r in self.records:
+            if sm_id is not None and r.sm_id != sm_id:
+                continue
+            out.setdefault(r.pc, []).append(r)
+        return out
+
+    def to_csv(self, path) -> None:
+        """Dump the trace as CSV (one row per dynamic load)."""
+        fields = [f for f in LoadRecord.__dataclass_fields__]
+        with open(path, "w", newline="") as fh:
+            w = csv.DictWriter(fh, fieldnames=fields)
+            w.writeheader()
+            for r in self.records:
+                w.writerow(asdict(r))
+
+
+def trace_kernel(
+    kernel: KernelInfo,
+    config: GPUConfig,
+    max_cycles: Optional[int] = None,
+) -> TraceResult:
+    """Run ``kernel`` under a tracing observer and return the merged,
+    time-ordered load stream."""
+    tracers: List[LoadTracer] = []
+
+    def factory(cfg, sm_id):
+        t = LoadTracer(cfg, sm_id)
+        tracers.append(t)
+        return t
+
+    result = simulate(kernel, config, factory, max_cycles=max_cycles)
+    records = sorted(
+        (r for t in tracers for r in t.records),
+        key=lambda r: (r.cycle, r.sm_id, r.warp_slot),
+    )
+    return TraceResult(result=result, records=records)

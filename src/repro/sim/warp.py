@@ -1,0 +1,133 @@
+"""Warp runtime state."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+
+from repro.sim.isa import WarpCursor, WarpProgram
+
+
+class WarpState(enum.Enum):
+    READY = "ready"          # may issue when ready_at <= now
+    WAITING_MEM = "waiting"  # blocked on outstanding load pieces
+    FINISHED = "finished"
+
+
+_warp_uid = itertools.count()
+
+
+class Warp:
+    """One warp resident on an SM.
+
+    ``slot`` is the warp's position in SM launch order (the "warp id"
+    that inter-warp stride prefetchers index by); ``warp_in_cta`` its
+    position inside the owning CTA; ``leading`` the PAS one-bit leading
+    warp marker (Section V-A).
+    """
+
+    __slots__ = (
+        "uid", "sm_id", "slot", "cta_slot", "cta_id", "warp_in_cta",
+        "cursor", "state", "ready_at", "pending_pieces", "defer_budget",
+        "exit_pending", "leading", "lead_loads_issued",
+        "instructions_issued", "launch_cycle", "finish_cycle",
+        "blocked_since",
+    )
+
+    def __init__(
+        self,
+        sm_id: int,
+        slot: int,
+        cta_slot: int,
+        cta_id: int,
+        warp_in_cta: int,
+        program: WarpProgram,
+        *,
+        leading: bool = False,
+        launch_cycle: int = 0,
+    ):
+        self.uid = next(_warp_uid)
+        self.sm_id = sm_id
+        self.slot = slot
+        self.cta_slot = cta_slot
+        self.cta_id = cta_id
+        self.warp_in_cta = warp_in_cta
+        self.cursor: WarpCursor = program.cursor()
+        self.state = WarpState.READY
+        self.ready_at = launch_cycle
+        self.pending_pieces = 0
+        self.defer_budget = 0
+        # EXIT reached while deferred loads were still outstanding: the
+        # warp retires when the last piece arrives.
+        self.exit_pending = False
+        self.leading = leading
+        self.lead_loads_issued = 0
+        self.instructions_issued = 0
+        self.launch_cycle = launch_cycle
+        self.finish_cycle = -1
+        self.blocked_since = -1
+
+    @property
+    def finished(self) -> bool:
+        return self.state is WarpState.FINISHED
+
+    def issuable(self, now: int) -> bool:
+        return self.state is WarpState.READY and self.ready_at <= now
+
+    def block_on_memory(self, pieces: int, now: int) -> None:
+        """Block immediately on ``pieces`` outstanding load transactions."""
+        if pieces < 1:
+            raise ValueError("must block on at least one piece")
+        self.state = WarpState.WAITING_MEM
+        self.pending_pieces += pieces
+        self.defer_budget = 0
+        self.blocked_since = now
+
+    def defer_on_memory(self, pieces: int, use_distance: int) -> None:
+        """Issue a load whose first use is ``use_distance`` instructions
+        away: the warp keeps issuing until the budget runs out (or data
+        arrives first), modelling compiler-scheduled independent
+        instructions below a load."""
+        if pieces < 1:
+            raise ValueError("must track at least one piece")
+        if use_distance < 1:
+            raise ValueError("use block_on_memory for distance 0")
+        self.pending_pieces += pieces
+        self.defer_budget = max(self.defer_budget, use_distance)
+
+    def charge_defer_budget(self, now: int) -> bool:
+        """Called after this warp issues an instruction while pieces are
+        outstanding under a defer budget; True if the warp just ran out
+        of independent instructions and blocked."""
+        if self.pending_pieces == 0 or self.defer_budget == 0:
+            return False
+        self.defer_budget -= 1
+        if self.defer_budget == 0:
+            self.state = WarpState.WAITING_MEM
+            self.blocked_since = now
+            return True
+        return False
+
+    def piece_arrived(self, now: int) -> bool:
+        """One outstanding load piece completed; True if warp unblocked."""
+        if self.pending_pieces <= 0:
+            raise RuntimeError(f"warp {self.uid} has no outstanding pieces")
+        self.pending_pieces -= 1
+        if self.pending_pieces == 0:
+            self.defer_budget = 0
+            if self.state is WarpState.WAITING_MEM:
+                self.state = WarpState.READY
+                self.ready_at = now + 1
+                self.blocked_since = -1
+                return True
+        return False
+
+    def finish(self, now: int) -> None:
+        self.state = WarpState.FINISHED
+        self.finish_cycle = now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Warp sm={self.sm_id} slot={self.slot} cta={self.cta_id}"
+            f".{self.warp_in_cta} {self.state.value}>"
+        )

@@ -1,0 +1,34 @@
+"""Synthetic models of the paper's 16 benchmarks (Table IV).
+
+Each benchmark is a parameterized kernel model: grid/CTA geometry, a
+warp program (compute phases, loads, loops, stores) and per-load address
+patterns that reproduce the app's published memory character — loop/load
+counts from Figure 4, regular Θ(CTA)+tid·C3 strides for the regular
+suite, irregular warp strides for HSP, and indirect (data-dependent)
+accesses for the graph/MapReduce apps (PVR, CCL, BFS, KM).
+
+The CUDA binaries the paper traces are substituted by these models; see
+DESIGN.md §2 for why the substitution preserves the prefetcher-visible
+behaviour.
+"""
+
+from repro.workloads.base import BenchmarkSpec, Scale
+from repro.workloads.suite import (
+    ALL_BENCHMARKS,
+    IRREGULAR,
+    REGULAR,
+    WORKLOADS,
+    build,
+    get_spec,
+)
+
+__all__ = [
+    "BenchmarkSpec",
+    "Scale",
+    "ALL_BENCHMARKS",
+    "IRREGULAR",
+    "REGULAR",
+    "WORKLOADS",
+    "build",
+    "get_spec",
+]

@@ -1,0 +1,229 @@
+"""Address-pattern library for the workload models.
+
+Every pattern is an :data:`repro.sim.isa.AddressFn`: a pure function of
+the :class:`repro.sim.isa.AddressContext`, so runs are deterministic and
+reproducible.  Patterns model the index expressions of Section IV:
+
+* :func:`linear` — 1D arrays indexed by the global thread id: Θ(CTA) is
+  an affine function of the linear CTA id, warps stride by C3;
+* :func:`pitched_2d` — 2D pitched arrays (LPS/STE/CNV style): Θ(CTA)
+  depends on both CTA coordinates and the row pitch, so inter-CTA
+  distances inside an SM are irregular even though intra-CTA warp
+  strides are constant;
+* :func:`tiled` — MM-style tiles: per-loop-iteration offsets move by a
+  tile stride (intra-warp strides for INTRA to train on);
+* :func:`irregular_warp_stride` — HSP-style halo effects: the per-warp
+  offset is non-affine in the warp index, defeating single-stride
+  predictors (CAPS detects the mismatch and throttles);
+* :func:`indirect` — data-dependent gather (BFS edges, KM centroids):
+  pseudo-random lines from a hashed (CTA, warp, iteration) tuple;
+* :func:`broadcast` — one address for every warp (constant/LUT reads).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.sim.isa import AddressContext, AddressFn
+
+_M64 = (1 << 64) - 1
+
+
+def mix64(x: int) -> int:
+    """SplitMix64 finalizer — the deterministic RNG behind indirect
+    patterns (no global state, stable across runs)."""
+    x &= _M64
+    x = (x + 0x9E3779B97F4A7C15) & _M64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _M64
+    return (x ^ (x >> 31)) & _M64
+
+
+def linear(
+    base: int,
+    *,
+    warp_stride: int = 128,
+    lines_per_access: int = 1,
+    line_bytes: int = 128,
+    iter_stride: int = 0,
+) -> AddressFn:
+    """1D array indexed by global thread id.
+
+    ``addr = base + (cta·warps_per_cta + warp)·warp_stride
+    + iteration·iter_stride``.  Consecutive CTAs are contiguous in
+    memory, but CTAs sharing an SM are not consecutive (demand-driven
+    distribution), so the SM-local inter-CTA stride is still irregular.
+    """
+
+    def fn(ctx: AddressContext) -> Tuple[int, ...]:
+        start = (
+            base
+            + (ctx.cta_id * ctx.warps_per_cta + ctx.warp_in_cta) * warp_stride
+            + ctx.iteration * iter_stride
+        )
+        return tuple(start + i * line_bytes for i in range(lines_per_access))
+
+    return fn
+
+
+def pitched_2d(
+    base: int,
+    *,
+    grid_x: int,
+    pitch: int,
+    cta_rows: int,
+    cta_cols_bytes: int,
+    warp_stride: Optional[int] = None,
+    lines_per_access: int = 1,
+    line_bytes: int = 128,
+    iter_stride: int = 0,
+) -> AddressFn:
+    """2D pitched array: the LPS example of Figure 6a.
+
+    Θ(CTA) = cta_y·cta_rows·pitch + cta_x·cta_cols_bytes.  By default
+    each warp covers one row (``warp_stride`` = the row ``pitch``, the
+    kernel-wide constant C3, as in LPS where the y thread dimension maps
+    to warps); pass a small ``warp_stride`` (e.g. one line) for kernels
+    whose warps split a row segment (CNV-style tiles, which keep DRAM
+    row locality).  Either way Θ jumps irregularly between the CTAs an
+    SM happens to receive.
+    """
+    ws = pitch if warp_stride is None else warp_stride
+
+    def fn(ctx: AddressContext) -> Tuple[int, ...]:
+        cta_x = ctx.cta_id % grid_x
+        cta_y = ctx.cta_id // grid_x
+        theta = base + cta_y * cta_rows * pitch + cta_x * cta_cols_bytes
+        start = theta + ctx.warp_in_cta * ws + ctx.iteration * iter_stride
+        return tuple(start + i * line_bytes for i in range(lines_per_access))
+
+    return fn
+
+
+def tiled(
+    base: int,
+    *,
+    grid_x: int,
+    row_pitch: int,
+    tile_stride: int,
+    cta_rows_bytes: int,
+    cta_cols_bytes: int = 0,
+    lines_per_access: int = 1,
+    line_bytes: int = 128,
+) -> AddressFn:
+    """MM-style tiled access: each loop iteration advances the tile.
+
+    Warps stride by ``row_pitch`` inside the tile; each k-loop iteration
+    shifts the whole tile by ``tile_stride`` (an intra-warp stride the
+    INTRA/MTA engines can train on after two iterations).
+    """
+
+    def fn(ctx: AddressContext) -> Tuple[int, ...]:
+        cta_x = ctx.cta_id % grid_x
+        cta_y = ctx.cta_id // grid_x
+        theta = base + cta_y * cta_rows_bytes + cta_x * cta_cols_bytes
+        start = (
+            theta
+            + ctx.warp_in_cta * row_pitch
+            + ctx.iteration * tile_stride
+        )
+        return tuple(start + i * line_bytes for i in range(lines_per_access))
+
+    return fn
+
+
+def irregular_warp_stride(
+    base: int,
+    *,
+    grid_x: int,
+    pitch: int,
+    halo_bytes: int,
+    cta_rows: int,
+    lines_per_access: int = 1,
+    line_bytes: int = 128,
+) -> AddressFn:
+    """HSP-style stencil with halo rows: warp offsets are non-affine.
+
+    Even-indexed warps read their row; odd-indexed warps additionally
+    skip the halo, so consecutive warp deltas alternate between
+    ``pitch`` and ``pitch + halo_bytes``.  A single-stride predictor
+    trained on one pair mispredicts the next — CAPS's verification
+    counter catches this and shuts the PC down (low coverage on HSP in
+    Figure 12a).
+    """
+
+    def fn(ctx: AddressContext) -> Tuple[int, ...]:
+        cta_x = ctx.cta_id % grid_x
+        cta_y = ctx.cta_id // grid_x
+        theta = base + cta_y * cta_rows * pitch + cta_x * (pitch // max(grid_x, 1))
+        w = ctx.warp_in_cta
+        start = theta + w * pitch + (w // 2) * halo_bytes
+        return tuple(start + i * line_bytes for i in range(lines_per_access))
+
+    return fn
+
+
+def indirect(
+    base: int,
+    *,
+    region_lines: int,
+    requests: int = 8,
+    seed: int = 0x5EED,
+    line_bytes: int = 128,
+) -> AddressFn:
+    """Data-dependent gather: pseudo-random lines in a region.
+
+    Models the ``g_graph_edges[i]``-indexed accesses of Figure 6b: the
+    address depends on loaded data, so no warp-stride structure exists.
+    ``requests`` controls divergence (coalesced transactions per warp);
+    values above 4 exceed CAPS's targeting filter, as in the paper.
+    """
+    if region_lines < 1:
+        raise ValueError("region must hold at least one line")
+
+    def fn(ctx: AddressContext) -> Tuple[int, ...]:
+        key = (
+            seed
+            ^ (ctx.cta_id * 0x1003F)
+            ^ (ctx.warp_in_cta * 0x10000019)
+            ^ (ctx.iteration * 0x100000001B3)
+        )
+        out = []
+        for i in range(requests):
+            line = mix64(key + i * 0x9E37) % region_lines
+            out.append(base + line * line_bytes)
+        return tuple(out)
+
+    return fn
+
+
+def broadcast(addr: int) -> AddressFn:
+    """Every warp reads the same address (kernel constants / LUTs)."""
+
+    def fn(ctx: AddressContext) -> Tuple[int, ...]:
+        return (addr,)
+
+    return fn
+
+
+# --------------------------------------------------------------------------
+# Region allocator: gives each array of a kernel model a distinct,
+# generously spaced base address so patterns never alias by accident.
+# --------------------------------------------------------------------------
+
+class RegionAllocator:
+    """Hands out 16MB-aligned array base addresses."""
+
+    REGION_BYTES = 1 << 24
+
+    def __init__(self, start: int = 1 << 28):
+        self._next = start
+        self.regions = {}
+
+    def alloc(self, name: str) -> int:
+        if name in self.regions:
+            raise ValueError(f"region {name!r} already allocated")
+        base = self._next
+        self._next += self.REGION_BYTES
+        self.regions[name] = base
+        return base

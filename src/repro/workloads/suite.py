@@ -1,0 +1,668 @@
+"""The 16 Table IV workload models.
+
+Each builder returns a fresh :class:`repro.sim.kernel.KernelInfo` whose
+warp program and address patterns reproduce the benchmark's memory
+character: load-site count and loop structure from Figure 4, CTA
+geometry where the paper states it (LPS runs (32,4)-thread CTAs = 4
+warps; MM runs 8 warps per CTA), stride regularity, and — for the
+irregular suite — the mix of predictable thread-indexed metadata loads
+and unpredictable indirect gathers dissected in Figure 6b.
+
+Programs follow the canonical GPU kernel shape: an index-computation
+preamble, a cluster of global loads (with short address-arithmetic gaps
+between them), a long arithmetic phase consuming the loaded values, and
+a store.  That shape is what makes L1 misses *bursty* (Section I): a
+cohort of warps issues its load cluster almost back-to-back, saturating
+MSHRs and memory queues, then the machine goes quiet while the cohort
+computes.  The compute tail is each model's latency-tolerance knob and
+is calibrated per app to its published memory intensity (CNV nearly
+bare, CP/MRQ arithmetic-heavy).
+
+Dynamic trip counts are scaled down from the originals (the paper runs
+up to 10⁹ instructions per app on GPGPU-Sim; a pure-Python cycle model
+cannot) while preserving the ratios that matter to the prefetchers:
+looped vs. loop-free loads, compute-to-load balance, and ≥2 CTA waves
+per SM.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.sim.isa import (
+    ComputeOp,
+    LoadOp,
+    LoadSite,
+    LoopOp,
+    StoreOp,
+    WarpProgram,
+)
+from repro.config import CTAResources
+from repro.sim.kernel import KernelInfo
+from repro.workloads.base import BenchmarkSpec, Fig4Stats, Scale, SCALE_CTAS
+from repro.workloads.generators import (
+    RegionAllocator,
+    broadcast,
+    indirect,
+    irregular_warp_stride,
+    linear,
+    pitched_2d,
+    tiled,
+)
+
+LINE = 128
+
+
+def _grid(scale: Scale, grid_x: int = 8) -> Tuple[int, int, int]:
+    """(num_ctas, grid_x, grid_y) for a 2D kernel at ``scale``."""
+    n = SCALE_CTAS[scale]
+    gx = min(grid_x, n)
+    gy = max(1, n // gx)
+    return gx * gy, gx, gy
+
+
+def _site(alloc: RegionAllocator, name: str, pattern_fn: Callable, **kw) -> LoadSite:
+    base = alloc.alloc(name)
+    return LoadSite(pc=0, pattern=pattern_fn(base, **kw), name=name)
+
+
+# ---------------------------------------------------------------------------
+# Regular applications
+# ---------------------------------------------------------------------------
+
+def build_cp(scale: Scale) -> KernelInfo:
+    """Coulombic Potential — compute-bound: a broadcast atom-table read
+    and one streamed grid load feed a long electrostatics loop-unrolled
+    arithmetic phase.  Memory latency is almost fully hidden, so every
+    prefetcher is near-neutral here (Figure 10)."""
+    n, gx, gy = _grid(scale)
+    alloc = RegionAllocator()
+    atoms = LoadSite(pc=0, pattern=broadcast(alloc.alloc("atoms")), name="atoms")
+    grid = _site(alloc, "grid", linear, warp_stride=LINE)
+    out = _site(alloc, "out", linear, warp_stride=LINE)
+    prog = WarpProgram(
+        ops=[
+            ComputeOp(12),
+            LoadOp(atoms),
+            ComputeOp(10),
+            LoadOp(grid),
+            ComputeOp(130),
+            StoreOp(out),
+            ComputeOp(6),
+        ],
+        name="cp",
+    )
+    return KernelInfo("CP", n, 4, prog, grid_dim=(gx, gy))
+
+
+def build_lps(scale: Scale) -> KernelInfo:
+    """laplace3D — (32,4) CTAs (4 warps); a clustered plane read plus a
+    short z-loop over the north/south planes (2/4 loads looped, Fig. 4);
+    the Figure 6a pitched address function."""
+    n, gx, gy = _grid(scale)
+    alloc = RegionAllocator()
+    pitch = 4224  # 33 lines: padded row pitch (avoids L1 set camping)
+    kw = dict(grid_x=gx, pitch=pitch, cta_rows=4, cta_cols_bytes=LINE)
+    center = _site(alloc, "u1_center", pitched_2d, **kw)
+    halo = _site(alloc, "u1_halo", pitched_2d, **kw)
+    north = _site(alloc, "u1_north", pitched_2d, iter_stride=pitch, **kw)
+    south = _site(alloc, "u1_south", pitched_2d, iter_stride=pitch, **kw)
+    out = _site(alloc, "u2", pitched_2d, **kw)
+    prog = WarpProgram(
+        ops=[
+            ComputeOp(10),
+            LoadOp(center),
+            ComputeOp(2),
+            LoadOp(halo),
+            ComputeOp(4),
+            LoopOp(3, [LoadOp(north), ComputeOp(2), LoadOp(south), ComputeOp(14)]),
+            ComputeOp(36),
+            StoreOp(out),
+        ],
+        name="lps",
+    )
+    return KernelInfo("LPS", n, 4, prog, grid_dim=(gx, gy))
+
+
+def build_bpr(scale: Scale) -> KernelInfo:
+    """backprop — layer-to-layer weight updates: a cluster of loop-free
+    linear loads over distinct arrays, then the weight-delta arithmetic;
+    memory-intensive with good CAPS coverage."""
+    n, gx, gy = _grid(scale)
+    alloc = RegionAllocator()
+    sites = [
+        _site(alloc, nm, linear, warp_stride=LINE)
+        for nm in ("input", "w_in", "hidden", "w_out")
+    ]
+    out = _site(alloc, "out", linear, warp_stride=LINE)
+    ops: List = [ComputeOp(10)]
+    for s in sites:
+        ops += [LoadOp(s), ComputeOp(2)]
+    ops += [ComputeOp(56), StoreOp(out)]
+    prog = WarpProgram(ops=ops, name="bpr")
+    return KernelInfo("BPR", n, 6, prog, grid_dim=(gx, gy))
+
+
+def build_hsp(scale: Scale) -> KernelInfo:
+    """hotspot — pyramid stencil with halo rows: per-warp offsets are
+    non-affine, so inter-warp strides inside a CTA are irregular; CAPS
+    detects the mispredictions and throttles the PCs (low coverage on
+    HSP in Figure 12a, near-baseline IPC)."""
+    n, gx, gy = _grid(scale)
+    alloc = RegionAllocator()
+    kw = dict(grid_x=gx, pitch=2176, halo_bytes=384, cta_rows=8)
+    temp = _site(alloc, "temp", irregular_warp_stride, **kw)
+    power = _site(alloc, "power", irregular_warp_stride, **kw)
+    out = _site(alloc, "out", irregular_warp_stride, **kw)
+    prog = WarpProgram(
+        ops=[
+            ComputeOp(12),
+            LoadOp(temp),
+            ComputeOp(4),
+            LoadOp(power),
+            ComputeOp(56),
+            StoreOp(out),
+            ComputeOp(4),
+        ],
+        name="hsp",
+    )
+    return KernelInfo("HSP", n, 8, prog, grid_dim=(gx, gy))
+
+
+def build_mrq(scale: Scale) -> KernelInfo:
+    """mri-q — Fourier-transform Q matrix: a cluster of linear sample
+    loads feeding long sin/cos chains; arithmetic-heavy, so gains are
+    modest."""
+    n, gx, gy = _grid(scale)
+    alloc = RegionAllocator()
+    sites = [
+        _site(alloc, nm, linear, warp_stride=LINE)
+        for nm in ("kx", "ky", "kz", "phi_r", "phi_i")
+    ]
+    out = _site(alloc, "q", linear, warp_stride=LINE)
+    ops: List = [ComputeOp(8)]
+    for s in sites:
+        ops += [LoadOp(s), ComputeOp(6)]
+    ops += [ComputeOp(100), StoreOp(out)]
+    prog = WarpProgram(ops=ops, name="mrq")
+    return KernelInfo("MRQ", n, 8, prog, grid_dim=(gx, gy))
+
+
+def build_ste(scale: Scale) -> KernelInfo:
+    """stencil (Parboil) — 7-point sweep: looped row loads with a
+    constant per-iteration stride (the deepest loop nest in the regular
+    suite, 8/12 loads looped; INTRA's best case)."""
+    n, gx, gy = _grid(scale)
+    alloc = RegionAllocator()
+    pitch = 4224  # 33 lines: padded row pitch (avoids L1 set camping)
+    kw = dict(
+        grid_x=gx,
+        pitch=pitch,
+        cta_rows=6,
+        cta_cols_bytes=6 * LINE,
+        warp_stride=LINE,
+    )
+    a0 = alloc.alloc("a0")
+    plane0 = LoadSite(pc=0, pattern=pitched_2d(a0, **kw), name="a0_z0")
+    # The three looped loads walk the *same* array at plane offsets
+    # (z-1, z, z+1): each plane is re-read by later iterations, the real
+    # 7-point-stencil reuse that keeps iteration periods short.
+    up = LoadSite(pc=0, pattern=pitched_2d(a0, iter_stride=pitch, **kw),
+                  name="a0_up")
+    row = LoadSite(pc=0, pattern=pitched_2d(a0 + pitch, iter_stride=pitch, **kw),
+                   name="a0_row")
+    dn = LoadSite(pc=0, pattern=pitched_2d(a0 + 2 * pitch, iter_stride=pitch, **kw),
+                  name="a0_dn")
+    out = _site(alloc, "anext", pitched_2d, **kw)
+    prog = WarpProgram(
+        ops=[
+            ComputeOp(8),
+            LoadOp(plane0),
+            ComputeOp(2),
+            LoopOp(
+                4,
+                [
+                    LoadOp(up),
+                    ComputeOp(2),
+                    LoadOp(dn),
+                    ComputeOp(2),
+                    LoadOp(row),
+                    ComputeOp(12),
+                ],
+            ),
+            ComputeOp(12),
+            StoreOp(out),
+        ],
+        name="ste",
+    )
+    return KernelInfo(
+        "STE", n, 6, prog, grid_dim=(gx, gy),
+        resources=CTAResources(threads=192, registers_per_thread=40),
+    )
+
+
+def build_cnv(scale: Scale) -> KernelInfo:
+    """convolutionSeparable — a tight cluster of apron-row loads with
+    almost no address arithmetic between them, then the (short) filter
+    dot-product: the most latency-exposed workload and CAPS's best case
+    (+27% in Figure 10)."""
+    n, gx, gy = _grid(scale)
+    alloc = RegionAllocator()
+    pitch = 8320  # 65 lines: padded row pitch
+    kw = dict(
+        grid_x=gx,
+        pitch=pitch,
+        cta_rows=2,
+        cta_cols_bytes=8 * LINE,
+        warp_stride=LINE,  # warps split a row segment: DRAM-row friendly
+    )
+    sites = [
+        _site(alloc, f"src_ap{i}", pitched_2d, **kw)
+        for i in range(4)
+    ]
+    out = _site(alloc, "dst", pitched_2d, **kw)
+    ops: List = [ComputeOp(8)]
+    for s in sites:
+        ops += [LoadOp(s), ComputeOp(2)]
+    ops += [ComputeOp(50), StoreOp(out)]
+    prog = WarpProgram(ops=ops, name="cnv")
+    return KernelInfo("CNV", n, 8, prog, grid_dim=(gx, gy))
+
+
+def build_hst(scale: Scale) -> KernelInfo:
+    """histogram — each warp scans a data chunk in a loop (the suite's
+    single load site, 1/1 looped per Fig. 4) and scatters into bins
+    (indirect stores).  Only the first iteration is CAPS-predictable;
+    INTRA covers the rest."""
+    n, gx, gy = _grid(scale)
+    alloc = RegionAllocator()
+    data = _site(
+        alloc, "data", linear, warp_stride=8 * LINE, iter_stride=LINE
+    )
+    bins_base = alloc.alloc("bins")
+    bins = LoadSite(
+        pc=0,
+        pattern=indirect(bins_base, region_lines=256, requests=4, seed=0xB1B5),
+        indirect=True,
+        name="bins",
+    )
+    prog = WarpProgram(
+        ops=[
+            ComputeOp(8),
+            LoopOp(8, [LoadOp(data), ComputeOp(14), StoreOp(bins)]),
+            ComputeOp(6),
+        ],
+        name="hst",
+    )
+    return KernelInfo(
+        "HST", n, 8, prog, grid_dim=(gx, gy),
+        resources=CTAResources(threads=256, registers_per_thread=32),
+    )
+
+
+def build_jc1(scale: Scale) -> KernelInfo:
+    """jacobi1D — 3-point relaxation: three overlapping linear loads per
+    warp (neighbouring warps share lines, giving natural L1 reuse) plus
+    a coefficient read, then a short update phase."""
+    n, gx, gy = _grid(scale)
+    alloc = RegionAllocator()
+    base = alloc.alloc("x")
+    left = LoadSite(pc=0, pattern=linear(base, warp_stride=LINE), name="x_l")
+    mid = LoadSite(pc=0, pattern=linear(base + 1 * LINE, warp_stride=LINE), name="x_m")
+    right = LoadSite(pc=0, pattern=linear(base + 2 * LINE, warp_stride=LINE), name="x_r")
+    coeff = _site(alloc, "coeff", linear, warp_stride=LINE)
+    out = _site(alloc, "y", linear, warp_stride=LINE)
+    prog = WarpProgram(
+        ops=[
+            ComputeOp(8),
+            LoadOp(left),
+            ComputeOp(2),
+            LoadOp(mid),
+            ComputeOp(2),
+            LoadOp(right),
+            ComputeOp(2),
+            LoadOp(coeff),
+            ComputeOp(36),
+            StoreOp(out),
+        ],
+        name="jc1",
+    )
+    return KernelInfo("JC1", n, 6, prog, grid_dim=(gx, gy))
+
+
+def build_fft(scale: Scale) -> KernelInfo:
+    """FFT (SHOC) — butterfly stages: loop-free loads at large
+    power-of-two strides (poor DRAM row locality), then twiddle
+    arithmetic."""
+    n, gx, gy = _grid(scale)
+    alloc = RegionAllocator()
+    sites = [
+        _site(alloc, f"stage{i}", linear, warp_stride=(1 << (9 + i % 3)))
+        for i in range(6)
+    ]
+    out = _site(alloc, "out", linear, warp_stride=512)
+    ops: List = [ComputeOp(10)]
+    for s in sites:
+        ops += [LoadOp(s), ComputeOp(3)]
+    ops += [ComputeOp(52), StoreOp(out)]
+    prog = WarpProgram(ops=ops, name="fft")
+    return KernelInfo("FFT", n, 8, prog, grid_dim=(gx, gy))
+
+
+def build_scn(scale: Scale) -> KernelInfo:
+    """scan — prefix sum: a single streaming load per element block and
+    a store; bandwidth-light, latency-sensitive."""
+    n, gx, gy = _grid(scale)
+    alloc = RegionAllocator()
+    src = _site(alloc, "src", linear, warp_stride=LINE)
+    out = _site(alloc, "dst", linear, warp_stride=LINE)
+    prog = WarpProgram(
+        ops=[
+            ComputeOp(8),
+            LoadOp(src),
+            ComputeOp(14),
+            StoreOp(out),
+            ComputeOp(4),
+        ],
+        name="scn",
+    )
+    return KernelInfo("SCN", n, 6, prog, grid_dim=(gx, gy))
+
+
+def build_mm(scale: Scale) -> KernelInfo:
+    """matrixMul — 8 warps per CTA (the Figure 1 workload): both tile
+    loads sit in the k-loop (2/2 looped) with a constant tile stride and
+    a multiply-accumulate phase per iteration."""
+    n, gx, gy = _grid(scale)
+    alloc = RegionAllocator()
+    pitch_a = 4224
+    a_tile = _site(
+        alloc,
+        "a_tile",
+        tiled,
+        grid_x=gx,
+        row_pitch=pitch_a,
+        tile_stride=LINE,
+        cta_rows_bytes=8 * pitch_a,
+        cta_cols_bytes=0,
+    )
+    b_tile = _site(
+        alloc,
+        "b_tile",
+        tiled,
+        grid_x=gx,
+        row_pitch=2176,
+        tile_stride=8 * 2176,
+        cta_rows_bytes=0,
+        cta_cols_bytes=2 * LINE,
+    )
+    out = _site(alloc, "c", linear, warp_stride=LINE)
+    prog = WarpProgram(
+        ops=[
+            ComputeOp(10),
+            LoopOp(
+                2,
+                [LoadOp(a_tile), ComputeOp(2), LoadOp(b_tile), ComputeOp(30)],
+            ),
+            ComputeOp(8),
+            StoreOp(out),
+        ],
+        name="mm",
+    )
+    return KernelInfo("MM", n, 8, prog, grid_dim=(gx, gy))
+
+
+# ---------------------------------------------------------------------------
+# Irregular applications
+# ---------------------------------------------------------------------------
+
+def build_pvr(scale: Scale) -> KernelInfo:
+    """PageViewRank (Mars) — sequential record scans (predictable) plus
+    hash-bucket gathers (indirect, excluded from CAPS prefetch)."""
+    n, gx, gy = _grid(scale)
+    alloc = RegionAllocator()
+    keys = _site(alloc, "keys", linear, warp_stride=LINE)
+    vals = _site(alloc, "vals", linear, warp_stride=LINE)
+    offs = _site(alloc, "offsets", linear, warp_stride=LINE)
+    rank_prev = _site(alloc, "rank_prev", linear, warp_stride=LINE)
+    bucket_base = alloc.alloc("buckets")
+    bucket = LoadSite(
+        pc=0,
+        pattern=indirect(bucket_base, region_lines=1 << 11, requests=6, seed=0x9A6E),
+        indirect=True,
+        name="buckets",
+    )
+    out = _site(alloc, "ranks", linear, warp_stride=LINE)
+    prog = WarpProgram(
+        ops=[
+            ComputeOp(8),
+            LoadOp(keys),
+            ComputeOp(2),
+            LoadOp(vals),
+            ComputeOp(2),
+            LoadOp(offs),
+            ComputeOp(2),
+            LoadOp(rank_prev),
+            ComputeOp(24),
+            LoopOp(2, [LoadOp(bucket), ComputeOp(40)]),
+            ComputeOp(8),
+            StoreOp(out),
+        ],
+        name="pvr",
+    )
+    return KernelInfo("PVR", n, 6, prog, grid_dim=(gx, gy))
+
+
+def build_ccl(scale: Scale) -> KernelInfo:
+    """Connected Component Labelling — linear label/pixel loads plus a
+    neighbour gather whose address depends on loaded labels."""
+    n, gx, gy = _grid(scale)
+    alloc = RegionAllocator()
+    labels = _site(alloc, "labels", linear, warp_stride=LINE)
+    pixels = _site(alloc, "pixels", linear, warp_stride=LINE)
+    north = LoadSite(
+        pc=0,
+        pattern=linear(alloc.alloc("labels_n") + 64, warp_stride=LINE),
+        name="labels_n",
+    )
+    west = _site(alloc, "labels_w", linear, warp_stride=LINE)
+    nbr_base = alloc.alloc("nbr")
+    nbr = LoadSite(
+        pc=0,
+        pattern=indirect(nbr_base, region_lines=1 << 11, requests=6, seed=0xCC1),
+        indirect=True,
+        name="nbr",
+    )
+    out = _site(alloc, "labels_out", linear, warp_stride=LINE)
+    prog = WarpProgram(
+        ops=[
+            ComputeOp(8),
+            LoadOp(labels),
+            ComputeOp(2),
+            LoadOp(pixels),
+            ComputeOp(2),
+            LoadOp(north),
+            ComputeOp(2),
+            LoadOp(west),
+            ComputeOp(28),
+            LoopOp(2, [LoadOp(nbr), ComputeOp(44)]),
+            ComputeOp(6),
+            StoreOp(out),
+        ],
+        name="ccl",
+    )
+    return KernelInfo("CCL", n, 6, prog, grid_dim=(gx, gy))
+
+
+def build_bfs(scale: Scale) -> KernelInfo:
+    """Breadth-First Search — the Figure 6b kernel: three predictable
+    tid-indexed metadata loads (mask/nodes/cost) and an edge-expansion
+    loop of indirect gathers over the edge and visited arrays."""
+    n, gx, gy = _grid(scale)
+    alloc = RegionAllocator()
+    mask = _site(alloc, "g_graph_mask", linear, warp_stride=LINE)
+    nodes = _site(alloc, "g_graph_nodes", linear, warp_stride=2 * LINE,
+                  lines_per_access=2)
+    cost = _site(alloc, "g_cost", linear, warp_stride=LINE)
+    edges_base = alloc.alloc("g_graph_edges")
+    visited_base = alloc.alloc("g_graph_visited")
+    edges = LoadSite(
+        pc=0,
+        pattern=indirect(edges_base, region_lines=1 << 12, requests=8, seed=0xBF5),
+        indirect=True,
+        name="g_graph_edges",
+    )
+    visited = LoadSite(
+        pc=0,
+        pattern=indirect(visited_base, region_lines=1 << 11, requests=8, seed=0x715),
+        indirect=True,
+        name="g_graph_visited",
+    )
+    upd_base = alloc.alloc("g_updating_mask")
+    upd = LoadSite(
+        pc=0,
+        pattern=indirect(upd_base, region_lines=1 << 11, requests=8, seed=0x0DD),
+        indirect=True,
+        name="g_updating_mask",
+    )
+    prog = WarpProgram(
+        ops=[
+            ComputeOp(6),
+            LoadOp(mask),
+            ComputeOp(2),
+            LoadOp(nodes),
+            ComputeOp(2),
+            LoadOp(cost),
+            ComputeOp(16),
+            LoopOp(
+                3,
+                [LoadOp(edges), ComputeOp(16), LoadOp(visited), ComputeOp(40)],
+            ),
+            StoreOp(upd),
+            ComputeOp(4),
+        ],
+        name="bfs",
+    )
+    return KernelInfo("BFS", n, 4, prog, grid_dim=(gx, gy))
+
+
+def build_km(scale: Scale) -> KernelInfo:
+    """Kmeans — per-point feature loads walk a row in a loop
+    (predictable, iter-strided) while centroid reads gather a small
+    indirect table that caches well; many dynamic loads (144 static in
+    the original)."""
+    n, gx, gy = _grid(scale)
+    alloc = RegionAllocator()
+    feats = _site(
+        alloc, "features", linear, warp_stride=8 * LINE, iter_stride=LINE
+    )
+    cent_base = alloc.alloc("centroids")
+    cents = LoadSite(
+        pc=0,
+        pattern=indirect(cent_base, region_lines=16, requests=2, seed=0x101),
+        indirect=True,
+        name="centroids",
+    )
+    member = _site(alloc, "membership", linear, warp_stride=LINE)
+    prog = WarpProgram(
+        ops=[
+            ComputeOp(8),
+            LoopOp(5, [LoadOp(feats), ComputeOp(2), LoadOp(cents), ComputeOp(12)]),
+            ComputeOp(8),
+            StoreOp(member),
+        ],
+        name="km",
+    )
+    return KernelInfo(
+        "KM", n, 8, prog, grid_dim=(gx, gy),
+        resources=CTAResources(threads=256, registers_per_thread=32),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+def _spec(abbr, full, suite, irregular, desc, fig4, builder) -> BenchmarkSpec:
+    return BenchmarkSpec(
+        abbr=abbr,
+        full_name=full,
+        suite=suite,
+        irregular=irregular,
+        description=desc,
+        fig4=fig4,
+        builder=builder,
+    )
+
+
+WORKLOADS: Dict[str, BenchmarkSpec] = {
+    s.abbr: s
+    for s in [
+        _spec("CP", "Coulombic Potential", "GPGPU-Sim [19]", False,
+              "electrostatic potential grid; compute-bound",
+              Fig4Stats(0, 2, 1.0), build_cp),
+        _spec("LPS", "laplace3D", "GPGPU-Sim [19]", False,
+              "3D Laplace solver on pitched planes",
+              Fig4Stats(2, 4, 3.0), build_lps),
+        _spec("BPR", "backprop", "Rodinia [20]", False,
+              "neural-network back-propagation; loop-free linear loads",
+              Fig4Stats(0, 14, 1.0), build_bpr),
+        _spec("HSP", "hotspot", "Rodinia [20]", False,
+              "thermal stencil; irregular inter-warp strides",
+              Fig4Stats(0, 2, 1.0), build_hsp),
+        _spec("MRQ", "mri-q", "Parboil [27]", False,
+              "MRI Q-matrix; trig-heavy with linear sample loads",
+              Fig4Stats(0, 7, 1.0), build_mrq),
+        _spec("STE", "stencil", "Parboil [27]", False,
+              "7-point 3D stencil; looped row loads",
+              Fig4Stats(8, 12, 5.0), build_ste),
+        _spec("CNV", "convolutionSeparable", "CUDA SDK [5]", False,
+              "separable convolution; latency-exposed apron loads",
+              Fig4Stats(0, 10, 1.0), build_cnv),
+        _spec("HST", "histogram", "CUDA SDK [5]", False,
+              "byte histogram; one looped scan load",
+              Fig4Stats(1, 1, 8.0), build_hst),
+        _spec("JC1", "jacobi1D", "PolyBench [28]", False,
+              "1D Jacobi relaxation; overlapping 3-point loads",
+              Fig4Stats(0, 4, 1.0), build_jc1),
+        _spec("FFT", "FFT", "SHOC [29]", False,
+              "radix FFT stage; large-stride butterfly loads",
+              Fig4Stats(0, 16, 1.0), build_fft),
+        _spec("SCN", "scan", "CUDA SDK [5]", False,
+              "prefix sum; single streaming load",
+              Fig4Stats(0, 1, 1.0), build_scn),
+        _spec("MM", "MatrixMul", "CUDA SDK [5]", False,
+              "tiled SGEMM; 8 warps/CTA, looped tile loads",
+              Fig4Stats(2, 2, 2.0), build_mm),
+        _spec("PVR", "PageViewRank", "Mars [30]", True,
+              "MapReduce rank; scans + hash-bucket gathers",
+              Fig4Stats(4, 32, 2.0), build_pvr),
+        _spec("CCL", "Connected Component Labelling", "IISWC [31]", True,
+              "label propagation; neighbour gathers",
+              Fig4Stats(1, 22, 1.5), build_ccl),
+        _spec("BFS", "Breadth First Search", "Rodinia [20]", True,
+              "frontier expansion; indirect edge gathers (Fig. 6b)",
+              Fig4Stats(5, 9, 3.0), build_bfs),
+        _spec("KM", "Kmeans", "Mars [30]", True,
+              "clustering; looped feature loads + centroid gathers",
+              Fig4Stats(10, 144, 6.0), build_km),
+    ]
+}
+
+ALL_BENCHMARKS: Tuple[str, ...] = tuple(WORKLOADS)
+REGULAR: Tuple[str, ...] = tuple(a for a, s in WORKLOADS.items() if not s.irregular)
+IRREGULAR: Tuple[str, ...] = tuple(a for a, s in WORKLOADS.items() if s.irregular)
+
+
+def get_spec(abbr: str) -> BenchmarkSpec:
+    try:
+        return WORKLOADS[abbr.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {abbr!r}; choose from {list(WORKLOADS)}"
+        ) from None
+
+
+def build(abbr: str, scale: Scale = Scale.SMALL) -> KernelInfo:
+    """Build a fresh kernel model for benchmark ``abbr``."""
+    return get_spec(abbr).build(scale)

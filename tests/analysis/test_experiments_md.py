@@ -1,0 +1,48 @@
+"""Smoke tests for the EXPERIMENTS.md generator."""
+
+import pytest
+
+from repro.analysis.experiments_md import PAPER, generate_experiments_md
+from repro.config import test_config as tiny_config
+from repro.workloads import Scale
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    path = tmp_path_factory.mktemp("exp") / "EXPERIMENTS.md"
+    generate_experiments_md(
+        path,
+        scale=Scale.TINY,
+        benchmarks=("SCN", "BFS"),
+        fig11_benchmarks=("SCN",),
+        config=tiny_config(max_cycles=600_000),
+    )
+    return path.read_text()
+
+
+class TestGenerator:
+    def test_every_section_present(self, report):
+        for heading in (
+            "Figure 1", "Figure 4", "Tables I & II", "Figure 10",
+            "Figure 11", "Figure 12", "Figure 13", "Figure 14",
+            "Figure 15",
+        ):
+            assert heading in report
+
+    def test_paper_reference_values_quoted(self, report):
+        assert "1.08" in report           # fig10 mean(all)
+        assert "708" in report            # table II total
+        assert "172.7" in report          # fig14b PAS distance
+
+    def test_benchmarks_listed(self, report):
+        assert "SCN" in report and "BFS" in report
+
+    def test_markdown_tables_well_formed(self, report):
+        for line in report.splitlines():
+            if line.startswith("|"):
+                assert line.rstrip().endswith("|")
+
+    def test_paper_constants_sane(self):
+        assert PAPER["fig10_mean_all"] == 1.08
+        assert PAPER["fig14b"]["PA-TLV"] == 172.7
+        assert PAPER["table2_total_bytes"] == 708

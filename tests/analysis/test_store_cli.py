@@ -1,0 +1,140 @@
+"""Tests for the result store (repro.analysis.store) and CLI (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.analysis.driver import run_benchmark
+from repro.analysis.store import ResultStore, RunRecord, SCHEMA_VERSION
+from repro.cli import build_parser, main
+from repro.config import test_config as tiny_config
+from repro.workloads import Scale
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_benchmark("SCN", "none", config=tiny_config(), scale=Scale.TINY)
+
+
+class TestResultStore:
+    def test_add_and_get(self, result):
+        store = ResultStore()
+        store.add_result(result, scale="tiny")
+        rec = store.get("SCN", "none")
+        assert rec is not None
+        assert rec.metrics["ipc"] == pytest.approx(result.ipc)
+
+    def test_key_replacement(self, result):
+        store = ResultStore()
+        store.add_result(result, scale="tiny")
+        store.add_result(result, scale="tiny")
+        assert len(store) == 1
+
+    def test_no_replace_raises(self, result):
+        store = ResultStore()
+        rec = RunRecord.from_result(result, scale="tiny")
+        store.add(rec)
+        with pytest.raises(KeyError):
+            store.add(rec, replace=False)
+
+    def test_select_filters(self, result):
+        store = ResultStore()
+        store.add_result(result, scale="tiny")
+        assert store.select(kernel="SCN")
+        assert not store.select(kernel="MM")
+
+    def test_save_load_roundtrip(self, result, tmp_path):
+        store = ResultStore()
+        store.add_result(result, scale="tiny")
+        p = tmp_path / "results.json"
+        store.save(p)
+        loaded = ResultStore.load(p)
+        assert len(loaded) == 1
+        assert loaded.get("SCN", "none").metrics == \
+            store.get("SCN", "none").metrics
+
+    def test_schema_guard(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({"schema": 99, "records": []}))
+        with pytest.raises(ValueError):
+            ResultStore.load(p)
+
+    def test_merge(self, result, tmp_path):
+        a, b = ResultStore(), ResultStore()
+        a.add_result(result, scale="tiny")
+        b.merge(a)
+        assert len(b) == 1
+
+
+class TestCLI:
+    def test_parser_commands(self):
+        p = build_parser()
+        assert p.parse_args(["list"]).command == "list"
+        args = p.parse_args(["run", "mm", "--engine", "caps"])
+        assert args.bench == "MM"
+        args = p.parse_args(["sweep", "--benchmarks", "SCN",
+                             "--engines", "nlp"])
+        assert args.command == "sweep"
+
+    def test_unknown_bench_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "NOPE"])
+
+    def test_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Coulombic Potential" in out
+        assert "caps" in out
+
+    def test_run_with_store(self, tmp_path, capsys, monkeypatch):
+        # tiny scale keeps the CLI test fast; patch the default config
+        import repro.cli as cli
+        store_path = tmp_path / "r.json"
+        rc = main(["run", "SCN", "--engine", "nlp", "--scale", "tiny",
+                   "--store", str(store_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        loaded = ResultStore.load(store_path)
+        assert loaded.get("SCN", "nlp") is not None
+        assert loaded.get("SCN", "none") is not None
+
+    def test_sweep(self, capsys):
+        rc = main(["sweep", "--benchmarks", "SCN", "--engines", "nlp",
+                   "--scale", "tiny"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "geomean" in out
+
+
+    def test_timeline_command(self, capsys):
+        rc = main(["timeline", "SCN", "--scale", "tiny",
+                   "--interval", "60", "--width", "40"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "burstiness" in out
+        assert "dram q" in out
+
+
+    def test_figures_command_subset(self, tmp_path, capsys):
+        rc = main(["figures", "--out", str(tmp_path), "--scale", "tiny",
+                   "--benchmarks", "SCN,BFS"])
+        assert rc == 0
+        md = (tmp_path / "EXPERIMENTS.md").read_text()
+        assert "Figure 10" in md and "SCN" in md
+
+
+    def test_run_with_scheduler_override(self, capsys):
+        rc = main(["run", "SCN", "--engine", "caps", "--scale", "tiny",
+                   "--scheduler", "two_level"])
+        assert rc == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_bad_scheduler_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "SCN", "--scheduler", "bogus"])
+
+    def test_validate_parser(self):
+        args = build_parser().parse_args(["validate", "--benchmarks", "MM"])
+        assert args.command == "validate"
+        assert args.benchmarks == "MM"

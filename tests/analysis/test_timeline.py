@@ -1,0 +1,94 @@
+"""Tests for the execution-timeline monitor (repro.analysis.timeline)."""
+
+import pytest
+
+from repro.analysis.timeline import (
+    TimelineMonitor,
+    TimelineSample,
+    render_timeline,
+    sparkline,
+)
+from repro.config import test_config as tiny_config
+from repro.sim.gpu import GPU, simulate
+
+from tests.conftest import make_stream_kernel
+
+
+@pytest.fixture(scope="module")
+def monitored():
+    mon = TimelineMonitor(interval=50)
+    result = simulate(make_stream_kernel(num_ctas=8, loads=3),
+                      tiny_config(), monitor=mon)
+    return result, mon
+
+
+class TestMonitor:
+    def test_samples_collected_at_interval(self, monitored):
+        result, mon = monitored
+        assert len(mon.samples) == result.cycles // 50
+        cycles = [s.cycle for s in mon.samples]
+        assert cycles == sorted(cycles)
+        assert all(c % 50 == 0 for c in cycles)
+
+    def test_issue_fraction_bounded(self, monitored):
+        _, mon = monitored
+        for s in mon.samples:
+            assert 0 <= s.issue_fraction <= 1.0 + 1e-9
+            assert 0 <= s.stall_all_fraction <= 1.0 + 1e-9
+
+    def test_issue_fractions_sum_to_instruction_count(self, monitored):
+        result, mon = monitored
+        sm_cycles_per_sample = 50 * 2  # tiny config has 2 SMs
+        issued = sum(s.issue_fraction for s in mon.samples) * sm_cycles_per_sample
+        # samples cover complete intervals only; allow the tail
+        assert issued <= result.instructions
+        assert issued > 0.5 * result.instructions
+
+    def test_waiting_warps_nonnegative(self, monitored):
+        _, mon = monitored
+        assert all(s.waiting_warps >= 0 for s in mon.samples)
+
+    def test_burstiness_positive_for_memory_kernel(self, monitored):
+        _, mon = monitored
+        assert mon.burstiness("dram_queue_depth") >= 0
+
+    def test_series_extraction(self, monitored):
+        _, mon = monitored
+        assert len(mon.series("issue_fraction")) == len(mon.samples)
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            TimelineMonitor(interval=0)
+
+    def test_no_monitor_changes_nothing(self):
+        a = simulate(make_stream_kernel(), tiny_config())
+        mon = TimelineMonitor(interval=25)
+        b = simulate(make_stream_kernel(), tiny_config(), monitor=mon)
+        assert a.cycles == b.cycles
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_zero(self):
+        assert sparkline([0, 0, 0]) == "   "
+
+    def test_peak_is_full_block(self):
+        s = sparkline([0.0, 0.5, 1.0])
+        assert s[-1] == "█"
+        assert s[0] == " "
+
+    def test_resampling_to_width(self):
+        s = sparkline(list(range(100)), width=10)
+        assert len(s) == 10
+
+    def test_short_series_not_padded(self):
+        assert len(sparkline([1, 2], width=10)) == 2
+
+    def test_render_timeline_has_all_rows(self, monitored):
+        _, mon = monitored
+        out = render_timeline(mon, width=40)
+        for label in ("issue", "stalled", "replay", "waiting", "dram q",
+                      "pf infl"):
+            assert label in out

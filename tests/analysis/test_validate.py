@@ -1,0 +1,109 @@
+"""Unit tests for the shape-validation module (repro.analysis.validate),
+using stubbed simulation results so no simulation runs."""
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import pytest
+
+import repro.analysis.validate as V
+from repro.analysis.validate import Check, all_passed, validate_shape
+
+
+@dataclass
+class _StubStats:
+    issued: int = 10
+    early_evicted: int = 0
+    consumed: int = 10
+
+    def early_ratio(self):
+        return self.early_evicted / self.issued if self.issued else 0.0
+
+
+@dataclass
+class _StubResult:
+    ipc: float
+    acc: float = 1.0
+    dram_reads: int = 100
+    prefetch_stats: _StubStats = field(default_factory=_StubStats)
+
+    def accuracy(self):
+        return self.acc
+
+
+def _fake_run(results: Dict):
+    """Build a run_benchmark stand-in from {(bench, engine): result}."""
+
+    def run(bench, engine, *, config=None, scale=None, scheduler=None,
+            use_cache=True):
+        return results[(bench, engine)]
+
+    return run
+
+
+def _healthy(monkeypatch):
+    results = {}
+    for b in ("CNV", "BFS"):
+        results[(b, "none")] = _StubResult(ipc=1.0)
+        results[(b, "inter")] = _StubResult(ipc=0.9, acc=0.3,
+                                            dram_reads=180)
+        results[(b, "caps")] = _StubResult(ipc=1.1, acc=0.98,
+                                           dram_reads=102)
+    monkeypatch.setattr(V, "run_benchmark", _fake_run(results))
+    return results
+
+
+class TestValidateShape:
+    def test_healthy_shape_passes(self, monkeypatch):
+        _healthy(monkeypatch)
+        checks = validate_shape(benchmarks=("CNV", "BFS"))
+        assert all_passed(checks)
+        names = {c.name for c in checks}
+        assert "caps_mean_speedup_positive" in names
+        assert "caps_regular_gain" in names        # CNV is regular
+        assert "caps_irregular_no_regression" in names  # BFS is irregular
+
+    def test_caps_slowdown_fails(self, monkeypatch):
+        results = _healthy(monkeypatch)
+        for b in ("CNV", "BFS"):
+            results[(b, "caps")] = _StubResult(ipc=0.9, acc=0.98)
+        checks = validate_shape(benchmarks=("CNV", "BFS"))
+        failed = {c.name for c in checks if not c.passed}
+        assert "caps_mean_speedup_positive" in failed
+        assert not all_passed(checks)
+
+    def test_inter_winning_fails(self, monkeypatch):
+        results = _healthy(monkeypatch)
+        for b in ("CNV", "BFS"):
+            results[(b, "inter")] = _StubResult(ipc=1.2, acc=0.3)
+        checks = validate_shape(benchmarks=("CNV", "BFS"))
+        failed = {c.name for c in checks if not c.passed}
+        assert "inter_mean_speedup_negative" in failed
+
+    def test_low_accuracy_fails(self, monkeypatch):
+        results = _healthy(monkeypatch)
+        for b in ("CNV", "BFS"):
+            results[(b, "caps")] = _StubResult(ipc=1.1, acc=0.5)
+        checks = validate_shape(benchmarks=("CNV", "BFS"))
+        failed = {c.name for c in checks if not c.passed}
+        assert "caps_accuracy_high" in failed
+
+    def test_traffic_blowup_fails(self, monkeypatch):
+        results = _healthy(monkeypatch)
+        for b in ("CNV", "BFS"):
+            results[(b, "caps")] = _StubResult(ipc=1.1, acc=0.98,
+                                               dram_reads=150)
+        checks = validate_shape(benchmarks=("CNV", "BFS"))
+        failed = {c.name for c in checks if not c.passed}
+        assert "caps_dram_overhead_small" in failed
+
+    def test_early_evictions_fail(self, monkeypatch):
+        results = _healthy(monkeypatch)
+        for b in ("CNV", "BFS"):
+            results[(b, "caps")] = _StubResult(
+                ipc=1.1, acc=0.98,
+                prefetch_stats=_StubStats(issued=10, early_evicted=3),
+            )
+        checks = validate_shape(benchmarks=("CNV", "BFS"))
+        failed = {c.name for c in checks if not c.passed}
+        assert "caps_early_prefetch_rare" in failed

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import test_config
+from repro.sim.isa import ComputeOp, LoadOp, LoadSite, WarpProgram, strided_pattern
+from repro.sim.kernel import KernelInfo
+
+
+@pytest.fixture
+def cfg():
+    """Tiny GPU configuration for fast unit/integration tests."""
+    return test_config()
+
+
+def make_stream_kernel(
+    *,
+    num_ctas: int = 8,
+    warps_per_cta: int = 4,
+    loads: int = 2,
+    compute: int = 6,
+    tail: int = 20,
+    warp_stride: int = 128,
+    base: int = 1 << 20,
+    name: str = "stream",
+) -> KernelInfo:
+    """A simple regular streaming kernel used across tests."""
+    ops = [ComputeOp(4)]
+    for i in range(loads):
+        site = LoadSite(
+            pc=0,
+            pattern=strided_pattern(
+                base + i * (1 << 24), warp_stride=warp_stride
+            ),
+            name=f"arr{i}",
+        )
+        ops += [LoadOp(site), ComputeOp(compute)]
+    ops += [ComputeOp(tail)]
+    return KernelInfo(name, num_ctas, warps_per_cta, WarpProgram(ops=ops, name=name))
+
+
+@pytest.fixture
+def stream_kernel():
+    return make_stream_kernel()

@@ -1,0 +1,256 @@
+"""Unit tests for the CAP prefetch engine (repro.core.caps).
+
+Drives the engine directly with synthetic load events, checking the two
+prefetch-generation cases of Figure 9, the exclusion rules, stride
+verification/throttling, loop-wave coverage and the prefetch window.
+"""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.config import test_config as tiny_config
+from repro.core.caps import CtaAwarePrefetcher
+from repro.sim.isa import LoadSite
+
+LINE = 128
+
+
+@dataclass
+class StubWarp:
+    uid: int
+    cta_slot: int
+    cta_id: int
+    warp_in_cta: int
+
+
+def make_cta(engine, slot, cta_id, n_warps=4, uid_base=None):
+    uid_base = uid_base if uid_base is not None else 100 * (slot + 1)
+    warps = [StubWarp(uid_base + w, slot, cta_id, w) for w in range(n_warps)]
+    engine.on_cta_launch(slot, cta_id, warps)
+    return warps
+
+
+def site(pc=0x40, indirect=False):
+    return LoadSite(pc=pc, pattern=lambda ctx: (0,), indirect=indirect)
+
+
+def load(engine, warp, s, addrs, iteration=0, now=0):
+    line_addrs = tuple(a // LINE * LINE for a in addrs)
+    return engine.on_load_issue(warp, s, tuple(addrs), line_addrs, iteration, now)
+
+
+def engine():
+    return CtaAwarePrefetcher(tiny_config(), sm_id=0)
+
+
+BASE_A = 0x100000
+BASE_B = 0x740000  # unrelated base for the trailing CTA
+STRIDE = 4224
+
+
+class TestCase1_StrideAfterBases:
+    """Figure 9a: bases settle first, the stride detection fires
+    prefetches for every registered CTA."""
+
+    def test_trailing_warps_of_all_ctas_prefetched(self):
+        e = engine()
+        s = site()
+        a = make_cta(e, 0, 10)   # CTA A
+        b = make_cta(e, 1, 17)   # CTA B (non-consecutive id)
+        # Leading warps register bases; no stride yet -> no prefetch.
+        assert load(e, a[0], s, [BASE_A], now=1) == []
+        assert load(e, b[0], s, [BASE_B], now=2) == []
+        # A's second warp reveals the stride -> prefetch for the
+        # trailing warps of BOTH CTAs.
+        cands = load(e, a[1], s, [BASE_A + STRIDE], now=3)
+        lines = {c.line_addr for c in cands}
+        for t in (2, 3):
+            assert (BASE_A + t * STRIDE) // LINE * LINE in lines
+        for t in (1, 2, 3):
+            assert (BASE_B + t * STRIDE) // LINE * LINE in lines
+        # Never for warps that already issued (A0, A1, B0).
+        assert BASE_A // LINE * LINE not in lines
+        assert BASE_B // LINE * LINE not in lines
+
+    def test_targets_bound_to_warp_uids(self):
+        e = engine()
+        s = site()
+        a = make_cta(e, 0, 0)
+        load(e, a[0], s, [BASE_A], now=1)
+        cands = load(e, a[1], s, [BASE_A + STRIDE], now=2)
+        by_line = {c.line_addr: c.target_warp_uid for c in cands}
+        t2 = (BASE_A + 2 * STRIDE) // LINE * LINE
+        assert by_line[t2] == a[2].uid
+
+
+class TestCase2_BaseAfterStride:
+    """Figure 9b: the stride is known before a trailing CTA's base is
+    registered; registering the base prefetches that CTA at once."""
+
+    def test_new_cta_prefetched_on_registration(self):
+        e = engine()
+        s = site()
+        a = make_cta(e, 0, 0)
+        load(e, a[0], s, [BASE_A], now=1)
+        load(e, a[1], s, [BASE_A + STRIDE], now=2)  # stride learned
+        b = make_cta(e, 1, 5)
+        cands = load(e, b[0], s, [BASE_B], now=3)
+        lines = {c.line_addr for c in cands}
+        assert lines == {
+            (BASE_B + t * STRIDE) // LINE * LINE for t in (1, 2, 3)
+        }
+
+    def test_cta_slot_reuse_after_finish(self):
+        e = engine()
+        s = site()
+        a = make_cta(e, 0, 0)
+        load(e, a[0], s, [BASE_A], now=1)
+        load(e, a[1], s, [BASE_A + STRIDE], now=2)
+        e.on_cta_finish(0, 0)
+        c = make_cta(e, 0, 9, uid_base=900)
+        cands = load(e, c[0], s, [BASE_B], now=10)
+        assert len(cands) == 3  # fresh CTA covered via case 2
+
+
+class TestExclusions:
+    def test_indirect_loads_excluded(self):
+        e = engine()
+        s = site(indirect=True)
+        a = make_cta(e, 0, 0)
+        assert load(e, a[0], s, [BASE_A], now=1) == []
+        assert load(e, a[1], s, [BASE_A + STRIDE], now=2) == []
+        assert e.loads_excluded_indirect == 2
+        assert e.dist.find(s.pc) is None
+
+    def test_uncoalesced_loads_excluded(self):
+        e = engine()
+        s = site()
+        a = make_cta(e, 0, 0)
+        addrs = [BASE_A + i * LINE for i in range(5)]  # 5 > 4 transactions
+        assert load(e, a[0], s, addrs, now=1) == []
+        assert e.loads_excluded_uncoalesced == 1
+
+    def test_inconsistent_vector_stride_invalidates(self):
+        """Per-transaction strides that disagree mark the PC as not a
+        striding load (Section V-B)."""
+        e = engine()
+        s = site()
+        a = make_cta(e, 0, 0)
+        load(e, a[0], s, [BASE_A, BASE_A + LINE], now=1)
+        cands = load(e, a[1], s, [BASE_A + STRIDE, BASE_A + LINE + 999], now=2)
+        assert cands == []
+        assert e.strides_rejected == 1
+        ctx_table = e._ctas[0].table
+        assert ctx_table.find(s.pc) is None
+
+    def test_zero_stride_rejected(self):
+        e = engine()
+        s = site()
+        a = make_cta(e, 0, 0)
+        load(e, a[0], s, [BASE_A], now=1)
+        assert load(e, a[1], s, [BASE_A], now=2) == []
+        assert e.dist.find(s.pc) is None
+
+
+class TestVerificationThrottle:
+    def test_irregular_strides_disable_pc(self):
+        e = engine()
+        threshold = e.dist.threshold
+        s = site()
+        # Non-affine warp offsets: stride trained from (0,1) mispredicts
+        # every following warp.
+        def addr(w):
+            return BASE_A + w * STRIDE + (w // 2) * 384
+        a = make_cta(e, 0, 0, n_warps=threshold + 4)
+        load(e, a[0], s, [addr(0)], now=0)
+        load(e, a[1], s, [addr(1)], now=1)
+        for w in range(2, 2 + threshold):
+            load(e, a[w], s, [addr(w)], now=w)
+        assert not e.dist.allowed(s.pc)
+        # Once throttled, a fresh CTA generates nothing.
+        b = make_cta(e, 1, 1)
+        assert load(e, b[0], s, [BASE_B], now=99) == []
+
+    def test_accurate_pc_stays_enabled(self):
+        e = engine()
+        s = site()
+        a = make_cta(e, 0, 0, n_warps=8)
+        for w in range(8):
+            load(e, a[w], s, [BASE_A + w * STRIDE], now=w)
+        assert e.dist.allowed(s.pc)
+        assert e.dist.find(s.pc).mispredicts == 0
+
+
+class TestLoopWaves:
+    def test_leader_reregisters_per_iteration(self):
+        """The paper's 'regardless of the number of iterations' claim:
+        each loop wave of the leading warp re-bases the entry and
+        re-targets the trailing warps."""
+        e = engine()
+        s = site()
+        a = make_cta(e, 0, 0)
+        iter_stride = 1 << 16
+        load(e, a[0], s, [BASE_A], iteration=0, now=1)
+        load(e, a[1], s, [BASE_A + STRIDE], iteration=0, now=2)
+        cands = load(e, a[0], s, [BASE_A + iter_stride], iteration=1, now=50)
+        lines = {c.line_addr for c in cands}
+        assert lines == {
+            (BASE_A + iter_stride + t * STRIDE) // LINE * LINE
+            for t in (1, 2, 3)
+        }
+
+    def test_trailing_warp_on_stale_wave_skips_verification(self):
+        """A trailing warp still on an older loop wave must not charge
+        the misprediction counter: its (correct) wave-0 address simply
+        doesn't match the wave-1 base the leader just registered."""
+        e = engine()
+        s = site()
+        a = make_cta(e, 0, 0)
+        load(e, a[0], s, [BASE_A], iteration=0, now=1)
+        load(e, a[1], s, [BASE_A + STRIDE], iteration=0, now=2)
+        # leader moves to wave 1; warp 2 still issues its wave-0 load
+        load(e, a[0], s, [BASE_A + (1 << 16)], iteration=1, now=3)
+        load(e, a[2], s, [BASE_A + 2 * STRIDE], iteration=0, now=4)
+        assert e.dist.find(s.pc).mispredicts == 0
+        assert e.dist.allowed(s.pc)
+
+
+class TestPrefetchWindow:
+    def test_window_limits_generation(self):
+        cfg = tiny_config()
+        import dataclasses
+        cfg = dataclasses.replace(
+            cfg, prefetch=dataclasses.replace(cfg.prefetch, prefetch_window=2)
+        )
+        e = CtaAwarePrefetcher(cfg, 0)
+        s = site()
+        a = make_cta(e, 0, 0, n_warps=12)
+        load(e, a[0], s, [BASE_A], now=1)
+        cands = load(e, a[1], s, [BASE_A + STRIDE], now=2)
+        # window 2 beyond max_issued (=1): warps 2 and 3 only.
+        assert len(cands) == 2
+
+    def test_window_tops_up_as_warps_issue(self):
+        cfg = tiny_config()
+        import dataclasses
+        cfg = dataclasses.replace(
+            cfg, prefetch=dataclasses.replace(cfg.prefetch, prefetch_window=2)
+        )
+        e = CtaAwarePrefetcher(cfg, 0)
+        s = site()
+        a = make_cta(e, 0, 0, n_warps=12)
+        load(e, a[0], s, [BASE_A], now=1)
+        load(e, a[1], s, [BASE_A + STRIDE], now=2)
+        cands = load(e, a[2], s, [BASE_A + 2 * STRIDE], now=3)
+        lines = {c.line_addr for c in cands}
+        assert (BASE_A + 4 * STRIDE) // LINE * LINE in lines
+
+    def test_no_duplicate_prefetches(self):
+        e = engine()
+        s = site()
+        a = make_cta(e, 0, 0)
+        load(e, a[0], s, [BASE_A], now=1)
+        first = load(e, a[1], s, [BASE_A + STRIDE], now=2)
+        again = load(e, a[2], s, [BASE_A + 2 * STRIDE], now=3)
+        assert first and not again

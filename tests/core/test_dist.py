@@ -1,0 +1,84 @@
+"""Tests for the DIST table (repro.core.dist)."""
+
+import pytest
+
+from repro.core.dist import DistTable
+
+
+class TestRegistration:
+    def test_register_and_find(self):
+        t = DistTable(4, 128)
+        e = t.register(0x40, stride=4224, now=3)
+        assert t.find(0x40) is e
+        assert e.stride == 4224
+        assert t.allowed(0x40)
+
+    def test_reregister_resets_counter_and_enables(self):
+        t = DistTable(4, 2)
+        t.register(0x40, 100, 0)
+        t.verify(0x40, (1,), (2,), 1)
+        t.verify(0x40, (1,), (2,), 2)
+        assert not t.allowed(0x40)
+        t.register(0x40, 128, 3)
+        assert t.allowed(0x40)
+        assert t.find(0x40).mispredicts == 0
+
+    def test_lru_eviction(self):
+        t = DistTable(2, 128)
+        t.register(0x1, 1, now=0)
+        t.register(0x2, 2, now=1)
+        t.find(0x1, now=5)  # touch
+        t.register(0x3, 3, now=6)
+        assert t.find(0x2) is None
+        assert t.find(0x1) is not None
+        assert t.evictions == 1
+
+    @pytest.mark.parametrize("cap,th", [(0, 1), (1, 0)])
+    def test_validation(self, cap, th):
+        with pytest.raises(ValueError):
+            DistTable(cap, th)
+
+
+class TestVerification:
+    """Section V-B: every demand fetch is compared with its predicted
+    prefetch address; a one-byte counter throttles the PC."""
+
+    def test_match_keeps_counter_zero(self):
+        t = DistTable(4, 128)
+        t.register(0x40, 128, 0)
+        assert t.verify(0x40, (1000,), (1000,), 1)
+        assert t.find(0x40).mispredicts == 0
+
+    def test_mismatch_increments(self):
+        t = DistTable(4, 128)
+        t.register(0x40, 128, 0)
+        assert not t.verify(0x40, (1000,), (1064,), 1)
+        assert t.find(0x40).mispredicts == 1
+
+    def test_threshold_disables_pc(self):
+        t = DistTable(4, mispredict_threshold=3)
+        t.register(0x40, 128, 0)
+        for i in range(3):
+            t.verify(0x40, (0,), (1,), i)
+        assert not t.allowed(0x40)
+        assert t.throttled_pcs == 1
+
+    def test_counter_saturates_at_one_byte(self):
+        t = DistTable(4, mispredict_threshold=1000)
+        t.register(0x40, 128, 0)
+        for i in range(300):
+            t.verify(0x40, (0,), (1,), i)
+        assert t.find(0x40).mispredicts == 255
+
+    def test_verify_unknown_pc_is_noop(self):
+        t = DistTable(4, 128)
+        assert t.verify(0x99, (0,), (1,), 0)
+
+    def test_vector_comparison(self):
+        t = DistTable(4, 128)
+        t.register(0x40, 128, 0)
+        assert t.verify(0x40, (1, 2), (1, 2), 1)
+        assert not t.verify(0x40, (1, 2), (1, 3), 2)
+
+    def test_allowed_false_for_unknown(self):
+        assert not DistTable(4, 128).allowed(0x1)

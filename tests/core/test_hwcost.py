@@ -1,0 +1,63 @@
+"""Tests for the Tables I/II hardware-cost model (repro.core.hwcost)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import fermi_config
+from repro.core.hwcost import (
+    CAPS_ACCESS_ENERGY_PJ,
+    CAPS_AREA_MM2,
+    CAPS_STATIC_POWER_UW,
+    HardwareCost,
+    caps_hardware_cost,
+    dist_entry_bytes,
+    percta_entry_bytes,
+)
+
+
+class TestEntryLayouts:
+    def test_table1_percta_entry_is_21_bytes(self):
+        # PC (4B) + leading warp id (1B) + 4 x 4B base addresses
+        assert percta_entry_bytes() == 21
+
+    def test_table1_dist_entry_is_9_bytes(self):
+        # PC (4B) + stride (4B) + mispredict counter (1B)
+        assert dist_entry_bytes() == 9
+
+    def test_percta_entry_scales_with_vector_width(self):
+        assert percta_entry_bytes(1) == 9
+        assert percta_entry_bytes(2) == 13
+
+    def test_vector_width_validation(self):
+        with pytest.raises(ValueError):
+            percta_entry_bytes(0)
+
+
+class TestTable2:
+    def test_paper_totals(self):
+        cost = caps_hardware_cost(fermi_config())
+        assert cost.dist_total_bytes == 36
+        assert cost.percta_total_bytes == 672
+        assert cost.total_bytes == 708
+
+    def test_scales_with_config(self):
+        cfg = fermi_config()
+        cfg = dataclasses.replace(
+            cfg,
+            max_ctas_per_sm=4,
+            prefetch=dataclasses.replace(cfg.prefetch, percta_entries=2),
+        )
+        cost = caps_hardware_cost(cfg)
+        assert cost.percta_total_bytes == 21 * 2 * 4
+
+    def test_area_fraction_matches_paper(self):
+        cost = caps_hardware_cost(fermi_config())
+        # paper: 0.018 mm^2 of a 22 mm^2 SM = 0.08%
+        assert cost.area_fraction_of_sm == pytest.approx(0.018 / 22.0)
+        assert round(100 * cost.area_fraction_of_sm, 2) == 0.08
+
+    def test_synthesis_constants(self):
+        assert CAPS_AREA_MM2 == 0.018
+        assert CAPS_ACCESS_ENERGY_PJ == 15.07
+        assert CAPS_STATIC_POWER_UW == 550.0

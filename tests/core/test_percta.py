@@ -1,0 +1,93 @@
+"""Tests for the PerCTA table (repro.core.percta)."""
+
+import pytest
+
+from repro.core.percta import PerCTAEntry, PerCTATable
+
+
+class TestRegistration:
+    def test_register_and_find(self):
+        t = PerCTATable(4)
+        e = t.register(0x100, leading_warp=2, base_addrs=(1000,), now=5)
+        assert t.find(0x100) is e
+        assert e.leading_warp == 2
+        assert e.base_addrs == (1000,)
+        assert e.was_issued(2)  # leading warp counts as issued
+
+    def test_duplicate_pc_rejected(self):
+        t = PerCTATable(4)
+        t.register(0x100, 0, (1,), 0)
+        with pytest.raises(ValueError):
+            t.register(0x100, 1, (2,), 1)
+
+    def test_base_vector_width_limits(self):
+        t = PerCTATable(4)
+        with pytest.raises(ValueError):
+            t.register(0x1, 0, (), 0)
+        with pytest.raises(ValueError):
+            t.register(0x2, 0, (1, 2, 3, 4, 5), 0)
+        e = t.register(0x3, 0, (1, 2, 3, 4), 0)
+        assert len(e.base_addrs) == 4
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PerCTATable(0)
+
+
+class TestReplacement:
+    def test_lru_eviction_on_overflow(self):
+        """Section V-B: the least recently updated entry is evicted."""
+        t = PerCTATable(2)
+        t.register(0x1, 0, (10,), now=0)
+        t.register(0x2, 0, (20,), now=1)
+        t.touch(0x1, now=5)  # 0x2 becomes LRU
+        t.register(0x3, 0, (30,), now=6)
+        assert t.find(0x2) is None
+        assert t.find(0x1) is not None
+        assert t.find(0x3) is not None
+        assert t.evictions == 1
+
+    def test_invalidate(self):
+        t = PerCTATable(4)
+        t.register(0x1, 0, (10,), 0)
+        assert t.invalidate(0x1)
+        assert t.find(0x1) is None
+        assert not t.invalidate(0x1)
+        assert t.invalidations == 1
+
+    def test_clear_on_cta_retire(self):
+        t = PerCTATable(4)
+        t.register(0x1, 0, (10,), 0)
+        t.register(0x2, 0, (20,), 0)
+        t.clear()
+        assert len(t) == 0
+
+
+class TestMasks:
+    def test_issued_mask(self):
+        e = PerCTAEntry(pc=0x1, leading_warp=0, base_addrs=(0,))
+        assert not e.was_issued(3)
+        e.mark_issued(3)
+        assert e.was_issued(3)
+        assert e.max_issued == 3
+
+    def test_prefetched_mask(self):
+        e = PerCTAEntry(pc=0x1, leading_warp=0, base_addrs=(0,))
+        e.mark_prefetched(5)
+        assert e.was_prefetched(5)
+        assert not e.was_prefetched(4)
+
+    def test_advance_iteration_resets_masks(self):
+        """Loop waves: re-registration by the leading warp moves the
+        base and clears both masks so the new wave is prefetchable."""
+        e = PerCTAEntry(pc=0x1, leading_warp=2, base_addrs=(100,))
+        e.mark_issued(2)
+        e.mark_issued(5)
+        e.mark_prefetched(4)
+        e.advance_iteration((200,), iteration=1, now=10)
+        assert e.base_addrs == (200,)
+        assert e.iteration == 1
+        assert e.was_issued(2)       # leader stays issued
+        assert not e.was_issued(5)
+        assert not e.was_prefetched(4)
+        assert e.max_issued == 2

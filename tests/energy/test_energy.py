@@ -1,0 +1,72 @@
+"""Tests for the energy model (repro.energy)."""
+
+import pytest
+
+from repro.config import test_config as tiny_config
+from repro.config import SchedulerKind
+from repro.energy.model import (
+    EnergyCoefficients,
+    EnergyModel,
+    normalized_energy,
+)
+from repro.prefetch import make_prefetcher
+from repro.sim.gpu import simulate
+
+from tests.conftest import make_stream_kernel
+
+
+@pytest.fixture(scope="module")
+def runs():
+    cfg = tiny_config()
+    base = simulate(make_stream_kernel(num_ctas=8, loads=3, compute=4), cfg)
+    caps = simulate(
+        make_stream_kernel(num_ctas=8, loads=3, compute=4),
+        cfg.with_scheduler(SchedulerKind.PAS),
+        make_prefetcher("caps"),
+    )
+    return cfg, base, caps
+
+
+class TestEnergyModel:
+    def test_breakdown_components_positive(self, runs):
+        cfg, base, _ = runs
+        bd = EnergyModel(cfg.num_sms).evaluate(base)
+        assert bd.instructions > 0
+        assert bd.l1 > 0
+        assert bd.dram > 0
+        assert bd.static > 0
+        assert bd.total == pytest.approx(sum(bd.as_dict()[k] for k in (
+            "instructions", "l1", "l2", "dram", "icnt", "static",
+            "prefetcher")))
+
+    def test_baseline_has_no_prefetcher_energy(self, runs):
+        cfg, base, caps = runs
+        model = EnergyModel(cfg.num_sms)
+        assert model.evaluate(base).prefetcher == 0.0
+        assert model.evaluate(caps).prefetcher > 0.0
+
+    def test_static_energy_scales_with_cycles(self, runs):
+        cfg, base, _ = runs
+        model = EnergyModel(cfg.num_sms)
+        import copy, dataclasses
+        longer = dataclasses.replace(base, cycles=base.cycles * 2)
+        assert model.evaluate(longer).static == pytest.approx(
+            2 * model.evaluate(base).static
+        )
+
+    def test_normalized_energy_near_one(self, runs):
+        cfg, base, caps = runs
+        ratio = normalized_energy(caps, base, cfg.num_sms)
+        assert 0.7 < ratio < 1.3
+
+    def test_identity_normalization(self, runs):
+        cfg, base, _ = runs
+        assert normalized_energy(base, base, cfg.num_sms) == pytest.approx(1.0)
+
+    def test_dram_dominates_per_event(self):
+        c = EnergyCoefficients()
+        assert c.dram_read_pj > c.l2_access_pj > c.l1_access_pj
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyModel(0)

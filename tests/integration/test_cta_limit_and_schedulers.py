@@ -1,0 +1,71 @@
+"""Integration tests for concurrent-CTA limits and scheduler variants
+at the whole-GPU level (Figure 11's premises in miniature)."""
+
+import pytest
+
+from repro.analysis.driver import run_benchmark
+from repro.config import SchedulerKind, small_config
+from repro.workloads import Scale
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return small_config(max_cycles=800_000)
+
+
+class TestCtaLimits:
+    def test_more_ctas_more_throughput(self, cfg):
+        """The baseline gains monotonically from concurrency (the paper's
+        'curtailing CTAs is not beneficial')."""
+        ipcs = []
+        for limit in (1, 2, 8):
+            r = run_benchmark("BPR", "none", config=cfg.with_cta_limit(limit),
+                              scale=Scale.TINY)
+            ipcs.append(r.ipc)
+        assert ipcs[0] < ipcs[1] <= ipcs[2] * 1.05
+
+    def test_single_cta_starves_caps(self, cfg):
+        """With one concurrent CTA there are no trailing CTAs to
+        prefetch for: CAPS's cross-CTA generation is mostly idle."""
+        one = run_benchmark("BPR", "caps", config=cfg.with_cta_limit(1),
+                            scale=Scale.TINY)
+        eight = run_benchmark("BPR", "caps", config=cfg.with_cta_limit(8),
+                              scale=Scale.TINY)
+        assert eight.prefetch_stats.issued >= one.prefetch_stats.issued
+
+    def test_limit_one_still_completes_every_engine(self, cfg):
+        lcfg = cfg.with_cta_limit(1)
+        for engine in ("none", "intra", "caps"):
+            r = run_benchmark("MM", engine, config=lcfg, scale=Scale.TINY)
+            assert r.completed, engine
+
+
+class TestSchedulerVariants:
+    @pytest.mark.parametrize("kind", list(SchedulerKind))
+    def test_identical_work_under_every_scheduler(self, cfg, kind):
+        r = run_benchmark("LPS", "none", config=cfg, scale=Scale.TINY,
+                          scheduler=kind)
+        base = run_benchmark("LPS", "none", config=cfg, scale=Scale.TINY)
+        assert r.instructions == base.instructions
+        assert r.completed
+
+    def test_pas_variants_improve_prefetch_lead(self, cfg):
+        """Each prefetch-aware scheduler lengthens CAPS's lead over its
+        plain counterpart (the Section V-A claim, Figure 14b)."""
+        def lead(kind):
+            r = run_benchmark("BPR", "caps", config=cfg, scale=Scale.TINY,
+                              scheduler=kind)
+            return r.prefetch_stats.mean_lead()
+
+        assert lead(SchedulerKind.PAS_GTO) > lead(SchedulerKind.GTO) * 0.9
+        assert lead(SchedulerKind.PAS) > lead(SchedulerKind.LRR) * 0.9
+
+    def test_gto_greediness_observable(self, cfg):
+        """GTO drains one warp's instructions before switching, so the
+        first warp finishes earlier than under LRR."""
+        # indirectly: both complete with identical instruction counts
+        g = run_benchmark("SCN", "none", config=cfg, scale=Scale.TINY,
+                          scheduler=SchedulerKind.GTO)
+        l = run_benchmark("SCN", "none", config=cfg, scale=Scale.TINY,
+                          scheduler=SchedulerKind.LRR)
+        assert g.instructions == l.instructions

@@ -1,0 +1,72 @@
+"""Cross-figure consistency: the same runs must tell one coherent story
+(the driver memoizes, so these views literally share simulations)."""
+
+import pytest
+
+from repro.analysis.driver import clear_cache, run_benchmark
+from repro.analysis.figures import (
+    fig10_normalized_ipc,
+    fig12_coverage_accuracy,
+    fig13_bandwidth_overhead,
+    fig15_energy,
+)
+from repro.config import test_config as tiny_config
+from repro.workloads import Scale
+
+BENCHES = ("SCN", "MM")
+ENGINES = ("inter", "caps")
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return tiny_config(max_cycles=600_000)
+
+
+class TestCrossFigureConsistency:
+    def test_fig10_matches_driver_speedups(self, cfg):
+        data = fig10_normalized_ipc(scale=Scale.TINY, config=cfg,
+                                    benchmarks=BENCHES, engines=ENGINES)
+        for b in BENCHES:
+            base = run_benchmark(b, "none", config=cfg, scale=Scale.TINY)
+            for e in ENGINES:
+                r = run_benchmark(b, e, config=cfg, scale=Scale.TINY)
+                assert data[b][e] == pytest.approx(r.ipc / base.ipc)
+
+    def test_fig12_accuracy_matches_results(self, cfg):
+        data = fig12_coverage_accuracy(scale=Scale.TINY, config=cfg,
+                                       benchmarks=BENCHES, engines=ENGINES)
+        for b in BENCHES:
+            r = run_benchmark(b, "caps", config=cfg, scale=Scale.TINY)
+            assert data[b]["caps"][1] == pytest.approx(r.accuracy())
+
+    def test_fig13_uses_same_baseline_traffic(self, cfg):
+        data = fig13_bandwidth_overhead(scale=Scale.TINY, config=cfg,
+                                        benchmarks=BENCHES, engines=ENGINES)
+        for b in BENCHES:
+            base = run_benchmark(b, "none", config=cfg, scale=Scale.TINY)
+            caps = run_benchmark(b, "caps", config=cfg, scale=Scale.TINY)
+            assert data[b]["caps"][1] == pytest.approx(
+                caps.dram_reads / max(1, base.dram_reads)
+            )
+
+    def test_fig15_energy_ratio_definition(self, cfg):
+        from repro.energy.model import normalized_energy
+        data = fig15_energy(scale=Scale.TINY, config=cfg, benchmarks=BENCHES)
+        for b in BENCHES:
+            base = run_benchmark(b, "none", config=cfg, scale=Scale.TINY)
+            caps = run_benchmark(b, "caps", config=cfg, scale=Scale.TINY)
+            assert data[b] == pytest.approx(
+                normalized_energy(caps, base, cfg.num_sms)
+            )
+
+    def test_caps_story_internally_consistent(self, cfg):
+        """Where CAPS speeds a kernel up, it must have consumed
+        prefetches; where it issued none, speedup stays ~1."""
+        for b in BENCHES:
+            base = run_benchmark(b, "none", config=cfg, scale=Scale.TINY)
+            caps = run_benchmark(b, "caps", config=cfg, scale=Scale.TINY)
+            sp = caps.ipc / base.ipc
+            if sp > 1.05:
+                assert caps.prefetch_stats.consumed > 0
+            if caps.prefetch_stats.issued == 0:
+                assert sp == pytest.approx(1.0, abs=0.1)

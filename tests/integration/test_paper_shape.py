@@ -1,0 +1,46 @@
+"""The paper's headline claims as a regression gate.
+
+Runs a representative benchmark subset at SMALL scale (the same machine
+the benchmark harness uses) and grades the Section VI claims via
+:mod:`repro.analysis.validate`.  Slower than the unit tests (~1 min) but
+the single most important test in the suite: it fails if a change stops
+the code from reproducing the paper.
+"""
+
+import pytest
+
+from repro.analysis.validate import Check, all_passed, validate_shape
+from repro.workloads import Scale
+
+#: Regular + irregular representatives covering the main behaviours:
+#: CAPS's best case (CNV), a loop app (MM), a throttled app (HSP) and a
+#: graph app (BFS, KM).
+SUBSET = ("CNV", "BPR", "MM", "HSP", "KM", "BFS")
+
+
+@pytest.fixture(scope="module")
+def checks():
+    return validate_shape(benchmarks=SUBSET, scale=Scale.SMALL)
+
+
+def test_all_shape_checks_pass(checks):
+    failed = [str(c) for c in checks if not c.passed]
+    assert all_passed(checks), "\n".join(failed)
+
+
+def test_checks_cover_the_headline_claims(checks):
+    names = {c.name for c in checks}
+    assert {
+        "caps_mean_speedup_positive",
+        "inter_mean_speedup_negative",
+        "caps_beats_inter",
+        "caps_accuracy_high",
+        "caps_dram_overhead_small",
+        "caps_early_prefetch_rare",
+    } <= names
+
+
+def test_check_formatting():
+    c = Check("x", True, 1.234, "why")
+    assert "PASS" in str(c)
+    assert "1.234" in str(c)

@@ -1,0 +1,46 @@
+"""Prefetch-metadata semantics of the L1 tag store."""
+
+import pytest
+
+from repro.config import CacheConfig
+from repro.mem.cache import Cache
+
+
+def cache():
+    return Cache(CacheConfig(size_bytes=4 * 128, line_bytes=128, assoc=4,
+                             hit_latency=1, mshr_entries=4))
+
+
+class TestPrefetchMetadata:
+    def test_refill_resets_prefetch_state(self):
+        """Refilling a line as a demand fill clears stale prefetch
+        metadata (the line's provenance is the latest fill)."""
+        c = cache()
+        c.fill(0, prefetched=True, prefetch_pc=0x40, prefetch_issue_cycle=5)
+        c.fill(0)  # demand refill of the same line
+        line = c.probe(0)
+        assert not line.prefetched
+        assert line.used
+
+    def test_lookup_marks_lru_not_used(self):
+        """A lookup touches recency but usefulness marking is the SM's
+        job (it needs to record the distance first)."""
+        c = cache()
+        c.fill(0, prefetched=True, prefetch_issue_cycle=3)
+        line = c.lookup(0)
+        assert line.prefetched and not line.used
+
+    def test_fill_cycle_recorded(self):
+        c = cache()
+        c.fill(0, cycle=123)
+        assert c.probe(0).fill_cycle == 123
+
+    def test_eviction_order_independent_of_prefetch_flag(self):
+        """LRU ignores the prefetched bit: no implicit protection."""
+        c = cache()
+        c.fill(0, prefetched=True)
+        for a in (128, 256, 384):
+            c.fill(a)
+        victim = c.fill(512)  # set is full; LRU is the prefetched line
+        assert victim.line_addr == 0
+        assert victim.prefetched

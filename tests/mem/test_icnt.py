@@ -1,0 +1,80 @@
+"""Tests for the interconnect pipe (repro.mem.icnt)."""
+
+import pytest
+
+from repro.mem.icnt import Pipe
+from repro.mem.request import Access, MemoryRequest
+
+
+def req(line=0):
+    return MemoryRequest(line_addr=line, sm_id=0, access=Access.DEMAND)
+
+
+class TestPipe:
+    def test_latency_gates_delivery(self):
+        p = Pipe(latency=5, requests_per_cycle=4, capacity=8)
+        p.push(req(), now=10)
+        out = []
+        assert p.drain(14, out.append or (lambda r: True)) == 0
+
+    def test_delivery_after_latency(self):
+        p = Pipe(latency=5, requests_per_cycle=4, capacity=8)
+        r = req()
+        p.push(r, now=10)
+        got = []
+        n = p.drain(15, lambda x: got.append(x) or True)
+        assert n == 1 and got == [r]
+        assert len(p) == 0
+
+    def test_bandwidth_cap(self):
+        p = Pipe(latency=0, requests_per_cycle=2, capacity=8)
+        for i in range(5):
+            p.push(req(i * 128), now=0)
+        assert p.drain(0, lambda r: True) == 2
+        assert p.drain(1, lambda r: True) == 2
+        assert p.drain(2, lambda r: True) == 1
+
+    def test_capacity_and_overflow(self):
+        p = Pipe(latency=1, requests_per_cycle=1, capacity=2)
+        p.push(req(0), 0)
+        p.push(req(128), 0)
+        assert p.full and not p.can_accept()
+        with pytest.raises(OverflowError):
+            p.push(req(256), 0)
+
+    def test_refusal_blocks_head_in_order(self):
+        p = Pipe(latency=0, requests_per_cycle=4, capacity=8)
+        a, b = req(0), req(128)
+        p.push(a, 0)
+        p.push(b, 0)
+        # Refuse the head; nothing behind it may pass (HOL blocking).
+        assert p.drain(0, lambda r: r is not a and False) == 0
+        assert len(p) == 2
+        got = []
+        p.drain(0, lambda r: got.append(r) or True)
+        assert got == [a, b]
+
+    def test_fifo_order_preserved(self):
+        p = Pipe(latency=0, requests_per_cycle=10, capacity=16)
+        reqs = [req(i * 128) for i in range(6)]
+        for r in reqs:
+            p.push(r, 0)
+        got = []
+        p.drain(0, lambda r: got.append(r) or True)
+        assert got == reqs
+
+    def test_stats(self):
+        p = Pipe(latency=0, requests_per_cycle=1, capacity=4)
+        p.push(req(), 0)
+        p.push(req(128), 0)
+        assert p.total_entered == 2
+        assert p.peak_occupancy == 2
+
+    @pytest.mark.parametrize("kw", [
+        dict(latency=-1, requests_per_cycle=1, capacity=1),
+        dict(latency=0, requests_per_cycle=0, capacity=1),
+        dict(latency=0, requests_per_cycle=1, capacity=0),
+    ])
+    def test_validation(self, kw):
+        with pytest.raises(ValueError):
+            Pipe(**kw)

@@ -1,0 +1,31 @@
+"""Tests for the memory request records (repro.mem.request)."""
+
+from repro.mem.request import Access, MemoryRequest
+
+
+class TestMemoryRequest:
+    def test_uids_unique_and_monotonic(self):
+        a = MemoryRequest(0, 0, Access.DEMAND)
+        b = MemoryRequest(0, 0, Access.DEMAND)
+        assert b.uid > a.uid
+
+    def test_class_predicates(self):
+        assert MemoryRequest(0, 0, Access.PREFETCH).is_prefetch
+        assert not MemoryRequest(0, 0, Access.PREFETCH).is_store
+        assert MemoryRequest(0, 0, Access.STORE).is_store
+        d = MemoryRequest(0, 0, Access.DEMAND)
+        assert not d.is_prefetch and not d.is_store
+
+    def test_promotion_changes_class(self):
+        """The late-merge path retags an in-flight prefetch as demand."""
+        r = MemoryRequest(0, 0, Access.PREFETCH)
+        r.access = Access.DEMAND
+        assert not r.is_prefetch
+
+    def test_defaults(self):
+        r = MemoryRequest(0x8000, 3, Access.DEMAND)
+        assert r.pc == -1
+        assert r.warp_uid == -1
+        assert r.target_warp == -1
+        assert not r.l2_hit
+        assert r.sm_id == 3

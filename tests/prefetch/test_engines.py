@@ -1,0 +1,206 @@
+"""Unit tests for the baseline prefetch engines (repro.prefetch.*)."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.config import test_config as tiny_config
+from repro.prefetch import (
+    InterWarpStride,
+    IntraWarpStride,
+    LocalityAware,
+    ManyThreadAware,
+    NextLine,
+    NoPrefetcher,
+    Orchestrated,
+    PREFETCHERS,
+    make_prefetcher,
+)
+from repro.prefetch.factory import default_scheduler_for
+from repro.config import SchedulerKind
+from repro.sim.isa import LoadSite
+
+LINE = 128
+
+
+@dataclass
+class StubWarp:
+    uid: int
+    slot: int
+    cta_slot: int = 0
+    cta_id: int = 0
+    warp_in_cta: int = 0
+
+
+def _site(pc=0x40, indirect=False):
+    return LoadSite(pc=pc, pattern=lambda ctx: (0,), indirect=indirect)
+
+
+def load(engine, warp, s, addrs, iteration=0, now=0):
+    lines = tuple(a // LINE * LINE for a in addrs)
+    return engine.on_load_issue(warp, s, tuple(addrs), lines, iteration, now)
+
+
+class TestFactory:
+    def test_registry_covers_paper_legend(self):
+        assert PREFETCHERS == ("intra", "inter", "mta", "nlp", "lap",
+                               "orch", "caps")
+
+    @pytest.mark.parametrize("name", PREFETCHERS + ("none",))
+    def test_factory_builds(self, name):
+        pf = make_prefetcher(name)(tiny_config(), 0)
+        assert pf.name == name
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            make_prefetcher("bogus")
+
+    def test_scheduler_pairings(self):
+        assert default_scheduler_for("caps") is SchedulerKind.PAS
+        for name in ("none", "intra", "inter", "mta", "nlp", "lap", "orch"):
+            assert default_scheduler_for(name) is SchedulerKind.TWO_LEVEL
+
+    def test_none_prefetcher_is_inert(self):
+        pf = NoPrefetcher(tiny_config(), 0)
+        w = StubWarp(1, 0)
+        assert load(pf, w, _site(), [0x1000]) == []
+        assert pf.on_l1_miss(w, 0x40, 0x1000, 0) == []
+
+
+class TestIntra:
+    def test_needs_two_confirmations(self):
+        pf = IntraWarpStride(tiny_config(), 0)
+        w = StubWarp(1, 0)
+        s = _site()
+        assert load(pf, w, s, [0x10000], 0, 0) == []
+        assert load(pf, w, s, [0x11000], 1, 10) == []  # stride learned
+        cands = load(pf, w, s, [0x12000], 2, 20)       # confirmed
+        assert [c.line_addr for c in cands] == [0x13000]
+        assert cands[0].target_warp_uid == w.uid
+
+    def test_stride_change_resets_confidence(self):
+        pf = IntraWarpStride(tiny_config(), 0)
+        w = StubWarp(1, 0)
+        s = _site()
+        load(pf, w, s, [0x10000], 0, 0)
+        load(pf, w, s, [0x11000], 1, 1)
+        load(pf, w, s, [0x12000], 2, 2)
+        assert load(pf, w, s, [0x20000], 3, 3) == []  # break
+        assert load(pf, w, s, [0x21000], 4, 4) == []  # retrain
+
+    def test_warps_tracked_independently(self):
+        pf = IntraWarpStride(tiny_config(), 0)
+        a, b = StubWarp(1, 0), StubWarp(2, 1)
+        s = _site()
+        load(pf, a, s, [0x10000], 0, 0)
+        load(pf, a, s, [0x11000], 1, 1)
+        # b's first access must not inherit a's training
+        assert load(pf, b, s, [0x90000], 0, 2) == []
+
+
+class TestInter:
+    def test_trains_on_adjacent_slots_and_extrapolates(self):
+        cfg = tiny_config()
+        pf = InterWarpStride(cfg, 0)
+        s = _site()
+        load(pf, StubWarp(1, slot=0), s, [0x10000], 0, 0)
+        cands = load(pf, StubWarp(2, slot=1), s, [0x10080], 0, 1)
+        d = cfg.prefetch.inter_warp_distance
+        assert len(cands) == d
+        assert cands[0].line_addr == 0x10100
+        # predictions ignore CTA boundaries by construction
+        assert cands[-1].line_addr == (0x10080 + d * 0x80) // LINE * LINE
+
+    def test_non_adjacent_slots_do_not_train(self):
+        pf = InterWarpStride(tiny_config(), 0)
+        s = _site()
+        load(pf, StubWarp(1, slot=0), s, [0x10000], 0, 0)
+        assert load(pf, StubWarp(2, slot=5), s, [0x99000], 0, 1) == []
+
+    def test_ignores_loop_iterations(self):
+        pf = InterWarpStride(tiny_config(), 0)
+        s = _site()
+        w = StubWarp(1, slot=0)
+        load(pf, w, s, [0x10000], 0, 0)
+        assert load(pf, w, s, [0x11000], 1, 1) == []
+
+
+class TestMTA:
+    def test_routes_loop_loads_to_intra(self):
+        pf = ManyThreadAware(tiny_config(), 0)
+        w = StubWarp(1, slot=0)
+        s = _site()
+        load(pf, w, s, [0x10000], 0, 0)   # routed to inter (no loop yet)
+        load(pf, w, s, [0x11000], 1, 1)   # marks the PC as looping
+        load(pf, w, s, [0x12000], 2, 2)   # intra trains its stride
+        cands = load(pf, w, s, [0x13000], 3, 3)
+        assert cands and cands[0].target_warp_uid == w.uid  # intra-style
+
+    def test_routes_loopfree_loads_to_inter(self):
+        pf = ManyThreadAware(tiny_config(), 0)
+        s = _site()
+        load(pf, StubWarp(1, slot=0), s, [0x10000], 0, 0)
+        cands = load(pf, StubWarp(2, slot=1), s, [0x10080], 0, 1)
+        assert cands and cands[0].target_warp_uid == -1  # inter-style
+
+
+class TestNLP:
+    def test_prefetches_next_line_on_miss(self):
+        pf = NextLine(tiny_config(), 0)
+        cands = pf.on_l1_miss(StubWarp(1, 0), 0x40, 0x8000, 0)
+        assert [c.line_addr for c in cands] == [0x8080]
+
+    def test_degree(self):
+        import dataclasses
+        cfg = tiny_config()
+        cfg = dataclasses.replace(
+            cfg, prefetch=dataclasses.replace(cfg.prefetch, nlp_degree=3)
+        )
+        pf = NextLine(cfg, 0)
+        cands = pf.on_l1_miss(StubWarp(1, 0), 0x40, 0x8000, 0)
+        assert [c.line_addr for c in cands] == [0x8080, 0x8100, 0x8180]
+
+    def test_no_action_on_load_issue(self):
+        pf = NextLine(tiny_config(), 0)
+        assert load(pf, StubWarp(1, 0), _site(), [0x8000]) == []
+
+
+class TestLAP:
+    def test_macroblock_trigger(self):
+        pf = LocalityAware(tiny_config(), 0)
+        w = StubWarp(1, 0)
+        # Macro-block of 4 lines at 0x8000; two misses trigger the rest.
+        assert pf.on_l1_miss(w, 0x40, 0x8000, 0) == []
+        cands = pf.on_l1_miss(w, 0x40, 0x8080, 1)
+        assert {c.line_addr for c in cands} == {0x8100, 0x8180}
+
+    def test_fires_once_per_block(self):
+        pf = LocalityAware(tiny_config(), 0)
+        w = StubWarp(1, 0)
+        pf.on_l1_miss(w, 0x40, 0x8000, 0)
+        pf.on_l1_miss(w, 0x40, 0x8080, 1)
+        assert pf.on_l1_miss(w, 0x40, 0x8100, 2) == []
+
+    def test_distinct_blocks_independent(self):
+        pf = LocalityAware(tiny_config(), 0)
+        w = StubWarp(1, 0)
+        pf.on_l1_miss(w, 0x40, 0x8000, 0)
+        assert pf.on_l1_miss(w, 0x40, 0x10000, 1) == []
+
+    def test_table_capacity_eviction(self):
+        pf = LocalityAware(tiny_config(), 0)
+        w = StubWarp(1, 0)
+        pf.on_l1_miss(w, 0x40, 0x0, 0)
+        # Evict the 0x0 block by touching 64 newer blocks.
+        for i in range(1, 65):
+            pf.on_l1_miss(w, 0x40, i * 0x10000, i)
+        # Block 0x0 was evicted: a second miss re-registers, no trigger.
+        assert pf.on_l1_miss(w, 0x40, 0x80, 99) == []
+
+
+class TestORCH:
+    def test_is_lap_plus_interleave(self):
+        pf = Orchestrated(tiny_config(), 0)
+        assert isinstance(pf, LocalityAware)
+        assert pf.wants_group_interleave
+        assert not LocalityAware(tiny_config(), 0).wants_group_interleave

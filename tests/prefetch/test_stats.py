@@ -1,0 +1,79 @@
+"""Tests for prefetch outcome accounting (repro.prefetch.stats)."""
+
+import pytest
+
+from repro.prefetch.stats import PrefetchStats
+
+
+class TestDerivedMetrics:
+    def test_accuracy(self):
+        s = PrefetchStats()
+        s.issued = 10
+        s.record_useful(100)
+        s.record_useful(200)
+        s.record_late_merge(50)
+        assert s.consumed == 3
+        assert s.accuracy() == pytest.approx(0.3)
+
+    def test_accuracy_empty(self):
+        assert PrefetchStats().accuracy() == 0.0
+
+    def test_coverage_definition(self):
+        """coverage = issued / (demand fetches to memory + fetches the
+        consumed prefetches absorbed)."""
+        s = PrefetchStats()
+        s.issued = 20
+        s.record_useful(10)
+        s.record_late_merge(5)
+        assert s.coverage(demand_mem_fetches=78) == pytest.approx(20 / 80)
+
+    def test_coverage_empty_denominator(self):
+        assert PrefetchStats().coverage(0) == 0.0
+
+    def test_early_ratio(self):
+        s = PrefetchStats()
+        s.issued = 8
+        s.early_evicted = 2
+        assert s.early_ratio() == pytest.approx(0.25)
+
+    def test_mean_distance_only_useful(self):
+        s = PrefetchStats()
+        s.record_useful(100)
+        s.record_useful(300)
+        s.record_late_merge(1000)
+        assert s.mean_distance() == pytest.approx(200)
+
+    def test_mean_lead_includes_merges(self):
+        s = PrefetchStats()
+        s.record_useful(100)
+        s.record_late_merge(50)
+        assert s.mean_lead() == pytest.approx(75)
+
+    def test_mean_lead_empty(self):
+        assert PrefetchStats().mean_lead() == 0.0
+
+
+class TestMerge:
+    def test_merge_sums_every_field(self):
+        a, b = PrefetchStats(), PrefetchStats()
+        a.issued = 3
+        a.record_useful(10)
+        b.issued = 4
+        b.record_late_merge(20)
+        b.early_evicted = 1
+        a.merge(b)
+        assert a.issued == 7
+        assert a.useful == 1
+        assert a.late_merge == 1
+        assert a.early_evicted == 1
+        assert a.distance_sum == 10
+        assert a.late_wait_sum == 20
+
+    def test_as_dict_contains_derived(self):
+        s = PrefetchStats()
+        s.issued = 2
+        s.record_useful(8)
+        d = s.as_dict()
+        assert d["issued"] == 2
+        assert d["accuracy"] == pytest.approx(0.5)
+        assert d["mean_distance"] == pytest.approx(8)

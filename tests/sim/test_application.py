@@ -1,0 +1,71 @@
+"""Tests for multi-kernel applications (repro.sim.application)."""
+
+import pytest
+
+from repro.config import test_config as tiny_config
+from repro.sim.application import ApplicationResult, simulate_application
+from repro.sim.gpu import simulate
+from repro.sim.isa import ComputeOp, LoadOp, LoadSite, WarpProgram, strided_pattern
+from repro.sim.kernel import KernelInfo
+
+from tests.conftest import make_stream_kernel
+
+
+def kernel_over(base, name, ctas=4, warps=2):
+    site = LoadSite(pc=0, pattern=strided_pattern(base, warp_stride=128))
+    prog = WarpProgram(ops=[ComputeOp(4), LoadOp(site), ComputeOp(8)])
+    return KernelInfo(name, ctas, warps, prog)
+
+
+class TestApplication:
+    def test_runs_all_kernels(self):
+        app = simulate_application(
+            [make_stream_kernel(name="k0"), make_stream_kernel(name="k1")],
+            tiny_config(),
+        )
+        assert app.completed
+        assert [k.kernel for k in app.kernels] == ["k0", "k1"]
+        assert app.total_cycles == sum(k.cycles for k in app.kernels)
+        assert app.total_instructions == sum(k.instructions for k in app.kernels)
+        assert app.ipc > 0
+
+    def test_empty_application_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_application([], tiny_config())
+
+    def test_l2_reuse_between_kernels(self):
+        """A consumer kernel re-reading the producer's data hits in the
+        persistent L2: its DRAM reads drop to (near) zero."""
+        base = 1 << 22
+        producer = kernel_over(base, "producer")
+        consumer = kernel_over(base, "consumer")
+        app = simulate_application([producer, consumer], tiny_config())
+        assert app.kernels[0].dram_reads > 0
+        assert app.kernels[1].dram_reads < app.kernels[0].dram_reads
+        assert app.kernels[1].l2_hit_rate > 0.5
+
+    def test_cold_second_kernel_sees_no_reuse(self):
+        app = simulate_application(
+            [kernel_over(1 << 22, "a"), kernel_over(1 << 26, "b")],
+            tiny_config(),
+        )
+        assert app.kernels[1].dram_reads == app.kernels[0].dram_reads
+
+    def test_second_kernel_not_slower_than_standalone(self):
+        """Carrying L2 state over must never make a kernel slower than a
+        cold standalone run (stale timing state would)."""
+        base = 1 << 26
+        standalone = simulate(kernel_over(base, "solo"), tiny_config())
+        app = simulate_application(
+            [kernel_over(1 << 22, "warm"), kernel_over(base, "solo")],
+            tiny_config(),
+        )
+        assert app.kernels[1].cycles <= standalone.cycles * 1.05
+
+    def test_traffic_counters_are_per_kernel(self):
+        app = simulate_application(
+            [kernel_over(1 << 22, "a"), kernel_over(1 << 26, "b")],
+            tiny_config(),
+        )
+        solo = simulate(kernel_over(1 << 26, "b"), tiny_config())
+        assert app.kernels[1].core_requests == solo.core_requests

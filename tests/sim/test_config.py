@@ -1,0 +1,157 @@
+"""Tests for repro.config: Table III defaults, occupancy, validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    CTAResources,
+    DRAMConfig,
+    GPUConfig,
+    SchedulerKind,
+    fermi_config,
+    occupancy,
+    small_config,
+)
+from repro.config import test_config as tiny_config
+
+
+class TestTableIIIDefaults:
+    """The default configuration must match the paper's Table III."""
+
+    def test_core(self):
+        cfg = fermi_config()
+        assert cfg.num_sms == 15
+        assert cfg.simt_width == 32
+        assert cfg.max_warps_per_sm == 48
+        assert cfg.max_ctas_per_sm == 8
+
+    def test_register_file_is_128kb(self):
+        assert fermi_config().registers_per_sm * 4 == 128 * 1024
+
+    def test_shared_memory(self):
+        assert fermi_config().shared_mem_per_sm == 48 * 1024
+
+    def test_scheduler_is_two_level_with_8_ready_warps(self):
+        cfg = fermi_config()
+        assert cfg.scheduler is SchedulerKind.TWO_LEVEL
+        assert cfg.ready_queue_size == 8
+
+    def test_l1d_geometry(self):
+        l1 = fermi_config().l1d
+        assert l1.size_bytes == 16 * 1024
+        assert l1.line_bytes == 128
+        assert l1.assoc == 4
+        assert l1.mshr_entries == 32
+        assert l1.num_lines == 128
+        assert l1.num_sets == 32
+
+    def test_l2_geometry(self):
+        cfg = fermi_config()
+        assert cfg.l2_partitions == 12
+        assert cfg.l2.size_bytes == 64 * 1024
+        assert cfg.l2.assoc == 8
+        assert cfg.l2.mshr_entries == 32
+
+    def test_dram_six_channels_16_entry_queues(self):
+        d = fermi_config().dram
+        assert d.channels == 6
+        assert d.queue_entries == 16
+
+    def test_prefetcher_table_defaults(self):
+        p = fermi_config().prefetch
+        assert p.percta_entries == 4
+        assert p.dist_entries == 4
+        assert p.mispredict_threshold == 128
+        assert p.max_coalesced_targets == 4
+
+
+class TestCacheConfigValidation:
+    def test_rejects_size_not_multiple_of_line(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, line_bytes=128, assoc=4,
+                        hit_latency=1, mshr_entries=4)
+
+    def test_rejects_non_pow2_sets(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=127 * 128, line_bytes=128, assoc=1,
+                        hit_latency=1, mshr_entries=4)
+
+    def test_rejects_non_pow2_line(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=16 * 96, line_bytes=96, assoc=4,
+                        hit_latency=1, mshr_entries=4)
+
+    def test_rejects_lines_not_multiple_of_assoc(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=128 * 6, line_bytes=128, assoc=4,
+                        hit_latency=1, mshr_entries=4)
+
+
+class TestConfigHelpers:
+    def test_with_scheduler_returns_new_config(self):
+        cfg = fermi_config()
+        pas = cfg.with_scheduler(SchedulerKind.PAS)
+        assert pas.scheduler is SchedulerKind.PAS
+        assert cfg.scheduler is SchedulerKind.TWO_LEVEL
+
+    def test_with_cta_limit(self):
+        assert fermi_config().with_cta_limit(2).max_ctas_per_sm == 2
+
+    def test_with_cta_limit_rejects_zero(self):
+        with pytest.raises(ValueError):
+            fermi_config().with_cta_limit(0)
+
+    def test_configs_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            fermi_config().num_sms = 1
+
+    def test_configs_hashable_for_run_cache(self):
+        assert hash(fermi_config()) == hash(fermi_config())
+        assert fermi_config() == fermi_config()
+
+    def test_small_and_test_configs_shrink_machine(self):
+        assert small_config().num_sms < fermi_config().num_sms
+        assert tiny_config().num_sms <= small_config().num_sms
+
+    def test_overrides(self):
+        assert fermi_config(num_sms=2).num_sms == 2
+        assert small_config(max_cycles=1).max_cycles == 1
+        assert tiny_config(max_cycles=2).max_cycles == 2
+
+
+class TestOccupancy:
+    """Section II-B: min over CTA / warp / register / shared-mem limits."""
+
+    def test_hardware_cta_limit(self):
+        cfg = fermi_config()
+        res = CTAResources(threads=32, registers_per_thread=1)
+        assert occupancy(cfg, res) == cfg.max_ctas_per_sm
+
+    def test_warp_limit(self):
+        # 24 warps per CTA -> only 2 fit in 48 warps (paper's example).
+        cfg = fermi_config()
+        res = CTAResources(threads=24 * 32, registers_per_thread=1)
+        assert occupancy(cfg, res) == 2
+
+    def test_register_limit(self):
+        cfg = fermi_config()
+        # 256 threads * 64 regs = 16384 regs -> 2 CTAs in 32768.
+        res = CTAResources(threads=256, registers_per_thread=64)
+        assert occupancy(cfg, res) == 2
+
+    def test_shared_memory_limit(self):
+        cfg = fermi_config()
+        res = CTAResources(threads=32, registers_per_thread=1,
+                           shared_mem_bytes=16 * 1024)
+        assert occupancy(cfg, res) == 3
+
+    def test_zero_when_cta_cannot_fit(self):
+        cfg = fermi_config()
+        res = CTAResources(threads=32, registers_per_thread=2048)
+        assert occupancy(cfg, res) == 0
+
+    def test_rejects_empty_cta(self):
+        with pytest.raises(ValueError):
+            occupancy(fermi_config(), CTAResources(threads=0))

@@ -1,0 +1,55 @@
+"""Validation tests for GPUConfig's cross-field invariants."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    DRAMConfig,
+    GPUConfig,
+    fermi_config,
+)
+
+
+def l1(line=128):
+    return CacheConfig(size_bytes=16 * 1024, line_bytes=line, assoc=4,
+                       hit_latency=28, mshr_entries=32)
+
+
+class TestGPUConfigValidation:
+    def test_partitions_must_divide_channels(self):
+        """An uneven partition->channel map makes one channel hot and
+        skews every bandwidth experiment (found the hard way)."""
+        with pytest.raises(ValueError, match="multiple of dram.channels"):
+            GPUConfig(l2_partitions=4, dram=DRAMConfig(channels=3))
+
+    def test_even_mapping_accepted(self):
+        cfg = GPUConfig(l2_partitions=6, dram=DRAMConfig(channels=3))
+        assert cfg.l2_partitions == 6
+
+    def test_line_sizes_must_match(self):
+        with pytest.raises(ValueError, match="line sizes"):
+            GPUConfig(
+                l1d=l1(line=128),
+                l2=CacheConfig(size_bytes=64 * 1024, line_bytes=256, assoc=8,
+                               hit_latency=120, mshr_entries=32),
+            )
+
+    def test_zero_sms_rejected(self):
+        with pytest.raises(ValueError):
+            GPUConfig(num_sms=0)
+
+    def test_zero_ready_queue_rejected(self):
+        with pytest.raises(ValueError):
+            GPUConfig(ready_queue_size=0)
+
+    def test_replace_revalidates(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(fermi_config(), num_sms=0)
+
+    def test_default_configs_all_valid(self):
+        from repro.config import small_config, test_config
+        for cfg in (fermi_config(), small_config(), test_config()):
+            assert cfg.l2_partitions % cfg.dram.channels == 0
+            assert cfg.l1d.line_bytes == cfg.l2.line_bytes

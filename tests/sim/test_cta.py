@@ -1,0 +1,91 @@
+"""Tests for CTA distribution (repro.sim.cta) — paper Fig. 3 semantics."""
+
+import pytest
+
+from repro.sim.cta import CTADistributor
+
+
+class TestInitialFill:
+    def test_round_robin_order(self):
+        d = CTADistributor(num_ctas=12, num_sms=3, max_ctas_per_sm=2)
+        fill = d.initial_fill()
+        # One CTA per SM per round: (0,sm0) (1,sm1) (2,sm2) (3,sm0) ...
+        assert fill == [(0, 0), (1, 1), (2, 2), (3, 0), (4, 1), (5, 2)]
+        assert d.remaining == 6
+
+    def test_fewer_ctas_than_slots(self):
+        d = CTADistributor(num_ctas=4, num_sms=3, max_ctas_per_sm=2)
+        fill = d.initial_fill()
+        assert [c for c, _ in fill] == [0, 1, 2, 3]
+        assert d.exhausted
+
+    def test_initial_fill_only_once(self):
+        d = CTADistributor(4, 2, 2)
+        d.initial_fill()
+        with pytest.raises(RuntimeError):
+            d.initial_fill()
+
+    def test_active_counts(self):
+        d = CTADistributor(12, 3, 2)
+        d.initial_fill()
+        assert all(d.active_on(sm) == 2 for sm in range(3))
+
+
+class TestDemandDriven:
+    def test_finishing_sm_gets_next_cta(self):
+        """Paper's Figure 3: CTA 5 on SM 2 finishes first -> CTA 6 goes
+        to SM 2; then CTA 3 on SM 0 finishes -> CTA 7 to SM 0."""
+        d = CTADistributor(num_ctas=12, num_sms=3, max_ctas_per_sm=2)
+        d.initial_fill()
+        assert d.on_cta_finish(2) == 6
+        assert d.on_cta_finish(0) == 7
+
+    def test_returns_none_when_exhausted(self):
+        d = CTADistributor(num_ctas=6, num_sms=3, max_ctas_per_sm=2)
+        d.initial_fill()
+        assert d.on_cta_finish(1) is None
+        assert d.active_on(1) == 1
+
+    def test_finish_without_active_raises(self):
+        d = CTADistributor(num_ctas=6, num_sms=3, max_ctas_per_sm=2)
+        d.initial_fill()
+        d.on_cta_finish(1)
+        d.on_cta_finish(1)
+        with pytest.raises(RuntimeError):
+            d.on_cta_finish(1)
+
+    def test_bad_sm_id(self):
+        d = CTADistributor(6, 3, 2)
+        d.initial_fill()
+        with pytest.raises(IndexError):
+            d.on_cta_finish(5)
+
+    def test_sm_local_ctas_not_consecutive(self):
+        """The motivating observation: an SM sees non-consecutive CTA
+        ids, so inter-CTA strides within an SM are irregular."""
+        d = CTADistributor(num_ctas=24, num_sms=3, max_ctas_per_sm=2)
+        d.initial_fill()
+        # SM 0 keeps finishing; it gets every freed CTA.
+        for _ in range(4):
+            d.on_cta_finish(0)
+        seen = d.ctas_seen_by(0)
+        assert seen[0] == 0 and seen[1] == 3
+        diffs = [b - a for a, b in zip(seen, seen[1:])]
+        assert any(x != 1 for x in diffs)
+
+    def test_every_cta_issued_exactly_once(self):
+        d = CTADistributor(num_ctas=20, num_sms=4, max_ctas_per_sm=2)
+        d.initial_fill()
+        sm = 0
+        while not d.exhausted:
+            d.on_cta_finish(sm % 4)
+            sm += 1
+        issued = [a.cta_id for a in d.history]
+        assert sorted(issued) == list(range(20))
+
+
+class TestValidation:
+    @pytest.mark.parametrize("args", [(0, 1, 1), (1, 0, 1), (1, 1, 0)])
+    def test_rejects_non_positive(self, args):
+        with pytest.raises(ValueError):
+            CTADistributor(*args)

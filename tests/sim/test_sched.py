@@ -1,0 +1,268 @@
+"""Tests for the warp schedulers (repro.sim.sched)."""
+
+import pytest
+
+from repro.config import SchedulerKind
+from repro.config import test_config as tiny_config
+from repro.sim.isa import ComputeOp, LoadOp, LoadSite, WarpProgram, strided_pattern
+from repro.sim.sched import (
+    GreedyThenOldest,
+    LooseRoundRobin,
+    PrefetchAwareGTO,
+    PrefetchAwareLRR,
+    PrefetchAwareTwoLevel,
+    TwoLevel,
+    make_scheduler,
+)
+from repro.sim.warp import Warp, WarpState
+
+
+def make_program(loads=1, compute=2):
+    ops = [ComputeOp(compute)]
+    for i in range(loads):
+        site = LoadSite(pc=0, pattern=strided_pattern(1 << 20, warp_stride=128))
+        ops.append(LoadOp(site))
+    return WarpProgram(ops=ops)
+
+
+def make_warp(slot=0, cta=0, warp_in_cta=0, leading=False, program=None):
+    return Warp(
+        sm_id=0, slot=slot, cta_slot=0, cta_id=cta, warp_in_cta=warp_in_cta,
+        program=program or make_program(), leading=leading,
+    )
+
+
+def cfg(ready=4):
+    return tiny_config(ready_queue_size=ready)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind,cls", [
+        (SchedulerKind.LRR, LooseRoundRobin),
+        (SchedulerKind.GTO, GreedyThenOldest),
+        (SchedulerKind.TWO_LEVEL, TwoLevel),
+        (SchedulerKind.PAS, PrefetchAwareTwoLevel),
+        (SchedulerKind.PAS_LRR, PrefetchAwareLRR),
+        (SchedulerKind.PAS_GTO, PrefetchAwareGTO),
+    ])
+    def test_make_scheduler(self, kind, cls):
+        assert isinstance(make_scheduler(cfg().with_scheduler(kind)), cls)
+
+
+class TestLRR:
+    def test_rotates_among_ready_warps(self):
+        s = LooseRoundRobin(cfg())
+        warps = [make_warp(slot=i) for i in range(3)]
+        for w in warps:
+            s.add_warp(w)
+        picked = [s.pick(0, True) for _ in range(3)]
+        assert picked == warps  # round robin visits everyone
+
+    def test_skips_unready(self):
+        s = LooseRoundRobin(cfg())
+        a, b = make_warp(0), make_warp(1)
+        a.ready_at = 100
+        s.add_warp(a)
+        s.add_warp(b)
+        assert s.pick(0, True) is b
+
+    def test_none_when_no_warp_ready(self):
+        s = LooseRoundRobin(cfg())
+        a = make_warp(0)
+        a.ready_at = 10
+        s.add_warp(a)
+        assert s.pick(0, True) is None
+
+    def test_skips_mem_instr_when_lsu_busy(self):
+        prog = WarpProgram(ops=[LoadOp(
+            LoadSite(pc=0, pattern=strided_pattern(0, warp_stride=128)))])
+        s = LooseRoundRobin(cfg())
+        a = make_warp(0, program=prog)
+        b = make_warp(1)  # next instr is ALU
+        s.add_warp(a)
+        s.add_warp(b)
+        assert s.pick(0, lsu_free=False) is b
+
+
+class TestGTO:
+    def test_greedy_sticks_with_current(self):
+        s = GreedyThenOldest(cfg())
+        a, b = make_warp(0), make_warp(1)
+        s.add_warp(a)
+        s.add_warp(b)
+        first = s.pick(0, True)
+        assert s.pick(1, True) is first
+        assert s.pick(2, True) is first
+
+    def test_oldest_after_block(self):
+        s = GreedyThenOldest(cfg())
+        a, b = make_warp(0), make_warp(1)
+        s.add_warp(a)
+        s.add_warp(b)
+        assert s.pick(0, True) is a
+        a.block_on_memory(1, 0)
+        s.on_block(a)
+        assert s.pick(1, True) is b
+
+    def test_remove_current(self):
+        s = GreedyThenOldest(cfg())
+        a, b = make_warp(0), make_warp(1)
+        s.add_warp(a)
+        s.add_warp(b)
+        s.pick(0, True)
+        s.remove_warp(a)
+        assert s.pick(1, True) is b
+
+
+class TestTwoLevel:
+    def test_ready_queue_bounded(self):
+        s = TwoLevel(cfg(ready=2))
+        warps = [make_warp(i) for i in range(5)]
+        for w in warps:
+            s.add_warp(w)
+        assert len(s.ready) == 2
+        assert len(s.eligible) == 3
+
+    def test_only_ready_queue_issues(self):
+        s = TwoLevel(cfg(ready=2))
+        warps = [make_warp(i) for i in range(4)]
+        for w in warps:
+            s.add_warp(w)
+        seen = {s.pick(t, True) for t in range(4)}
+        assert seen == {warps[0], warps[1]}
+
+    def test_block_frees_slot_for_eligible(self):
+        s = TwoLevel(cfg(ready=2))
+        warps = [make_warp(i) for i in range(3)]
+        for w in warps:
+            s.add_warp(w)
+        warps[0].block_on_memory(1, 0)
+        s.on_block(warps[0])
+        picked = {s.pick(t, True) for t in range(4)}
+        assert warps[2] in picked
+
+    def test_unblocked_warp_reenters_fifo(self):
+        s = TwoLevel(cfg(ready=1))
+        a, b, c = (make_warp(i) for i in range(3))
+        for w in (a, b, c):
+            s.add_warp(w)
+        a.block_on_memory(1, 0)
+        s.on_block(a)
+        a.piece_arrived(5)
+        s.on_unblock(a)
+        # b was first in eligible, then c, then a returns behind them.
+        assert list(s.eligible)[-1] is a
+
+    def test_remove_from_eligible(self):
+        s = TwoLevel(cfg(ready=1))
+        a, b = make_warp(0), make_warp(1)
+        s.add_warp(a)
+        s.add_warp(b)
+        s.remove_warp(b)
+        assert b not in s.eligible and b not in s.ready
+
+
+class TestPAS:
+    def test_leading_warps_enqueue_at_front(self):
+        s = PrefetchAwareTwoLevel(cfg(ready=4))
+        trail = [make_warp(i, warp_in_cta=i + 1) for i in range(2)]
+        for w in trail:
+            s.add_warp(w)
+        lead = make_warp(5, leading=True)
+        s.add_warp(lead)
+        assert s.ready[0] is lead
+
+    def test_leading_warps_first_into_eligible(self):
+        s = PrefetchAwareTwoLevel(cfg(ready=1))
+        a = make_warp(0)
+        s.add_warp(a)
+        t = make_warp(1)
+        s.add_warp(t)
+        lead = make_warp(2, leading=True)
+        s.add_warp(lead)
+        assert s.eligible[0] is lead
+
+    def test_unblock_priority_for_armed_leaders(self):
+        s = PrefetchAwareTwoLevel(cfg(ready=1))
+        a, t = make_warp(0), make_warp(1)
+        s.add_warp(a)
+        s.add_warp(t)
+        lead = make_warp(2, leading=True)
+        s.add_warp(lead)
+        lead2 = make_warp(3, leading=True)
+        s.add_warp(lead2)
+        assert list(s.eligible)[0].leading
+
+    def test_eager_wakeup_promotes_into_full_ready_queue(self):
+        s = PrefetchAwareTwoLevel(cfg(ready=2))
+        warps = [make_warp(i) for i in range(4)]
+        for w in warps:
+            s.add_warp(w)
+        target = warps[3]
+        assert target in s.eligible
+        s.on_prefetch_fill(target)
+        assert target in s.ready
+        assert len(s.ready) == 2
+
+    def test_eager_wakeup_ignores_blocked_warp(self):
+        s = PrefetchAwareTwoLevel(cfg(ready=2))
+        warps = [make_warp(i) for i in range(3)]
+        for w in warps:
+            s.add_warp(w)
+        target = warps[2]
+        target.block_on_memory(1, 0)
+        s.on_prefetch_fill(target)
+        assert target not in s.ready
+
+    def test_eager_wakeup_noop_for_ready_warp(self):
+        s = PrefetchAwareTwoLevel(cfg(ready=2))
+        a = make_warp(0)
+        s.add_warp(a)
+        s.on_prefetch_fill(a)
+        assert s.ready.count(a) == 1
+
+
+class TestPASVariants:
+    def test_pas_lrr_prefers_armed_leaders(self):
+        s = PrefetchAwareLRR(cfg())
+        trail = [make_warp(i) for i in range(3)]
+        for w in trail:
+            s.add_warp(w)
+        lead = make_warp(9, leading=True)
+        s.add_warp(lead)
+        assert s.pick(0, True) is lead
+
+    def test_pas_lrr_plain_rotation_after_disarm(self):
+        s = PrefetchAwareLRR(cfg())
+        a, b = make_warp(0), make_warp(1)
+        s.add_warp(a)
+        s.add_warp(b)
+        assert s.pick(0, True) is a
+        assert s.pick(1, True) is b
+
+    def test_pas_gto_greedy_on_leader(self):
+        s = PrefetchAwareGTO(cfg())
+        old = make_warp(0)
+        s.add_warp(old)
+        lead = make_warp(1, leading=True)
+        s.add_warp(lead)
+        assert s.pick(0, True) is lead
+        assert s.pick(1, True) is lead  # greedy until it stalls
+
+    def test_pas_gto_falls_back_to_oldest(self):
+        s = PrefetchAwareGTO(cfg())
+        old = make_warp(0)
+        s.add_warp(old)
+        lead = make_warp(1, leading=True)
+        s.add_warp(lead)
+        s.pick(0, True)
+        lead.block_on_memory(1, 0)
+        s.on_block(lead)
+        assert s.pick(1, True) is old
+
+    def test_prefetch_aware_property(self):
+        assert SchedulerKind.PAS.prefetch_aware
+        assert SchedulerKind.PAS_LRR.prefetch_aware
+        assert SchedulerKind.PAS_GTO.prefetch_aware
+        assert not SchedulerKind.TWO_LEVEL.prefetch_aware
+        assert not SchedulerKind.LRR.prefetch_aware

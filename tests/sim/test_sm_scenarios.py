@@ -1,0 +1,169 @@
+"""Crafted SM-level scenarios: replay stalls, prefetch port arbitration,
+drop classification, eager wake-up plumbing and stall accounting."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import SchedulerKind
+from repro.config import test_config as tiny_config
+from repro.prefetch.base import Prefetcher, PrefetchCandidate
+from repro.sim.gpu import GPU, simulate
+from repro.sim.isa import ComputeOp, LoadOp, LoadSite, WarpProgram, strided_pattern
+from repro.sim.kernel import KernelInfo
+
+
+def kernel_divergent(lines=16, ctas=2, warps=4):
+    """Each warp load scatters over many lines: MSHR pressure."""
+    def pattern(ctx):
+        base = (ctx.cta_id * warps + ctx.warp_in_cta) * lines * 128 + (1 << 24)
+        return tuple(base + i * 128 for i in range(lines))
+    site = LoadSite(pc=0, pattern=pattern)
+    prog = WarpProgram(ops=[ComputeOp(2), LoadOp(site), ComputeOp(4)])
+    return KernelInfo("div", ctas, warps, prog)
+
+
+class TestReplay:
+    def test_mshr_pressure_forces_replays(self):
+        cfg = tiny_config()  # 8 L1 MSHRs
+        r = simulate(kernel_divergent(lines=16), cfg)
+        assert r.completed
+        assert r.sm_stats.replay_cycles > 0
+
+    def test_no_replays_without_pressure(self):
+        cfg = tiny_config()
+        r = simulate(kernel_divergent(lines=2, ctas=1, warps=1), cfg)
+        assert r.sm_stats.replay_cycles == 0
+
+    def test_replay_preserves_correctness(self):
+        cfg = tiny_config()
+        k = kernel_divergent(lines=16)
+        r = simulate(k, cfg)
+        assert r.instructions == k.dynamic_instructions()
+        # every distinct line fetched exactly once
+        assert r.dram_reads == 2 * 4 * 16
+
+
+class _FloodPrefetcher(Prefetcher):
+    """Floods candidates far from any demand to exercise drop paths."""
+
+    name = "flood"
+
+    def on_load_issue(self, warp, site, addresses, line_addrs, iteration, now):
+        base = 1 << 30
+        return self._emit([
+            PrefetchCandidate(line_addr=base + i * 128, pc=site.pc)
+            for i in range(8)
+        ])
+
+
+class _SelfPrefetcher(Prefetcher):
+    """Prefetches the line the same warp will demand next (dup check)."""
+
+    name = "selfpf"
+
+    def on_load_issue(self, warp, site, addresses, line_addrs, iteration, now):
+        return self._emit(
+            [PrefetchCandidate(line_addr=a, pc=site.pc) for a in line_addrs]
+        )
+
+
+class TestPrefetchPort:
+    def test_inflight_duplicates_dropped(self):
+        cfg = tiny_config(num_sms=1)
+        k = kernel_divergent(lines=2, ctas=1, warps=2)
+        r = simulate(k, cfg, lambda c, s: _SelfPrefetcher(c, s))
+        ps = r.prefetch_stats
+        # the demanded lines are already in flight (or resident): every
+        # candidate is dropped, none issued
+        assert ps.issued == 0
+        assert ps.drop_inflight + ps.drop_l1_hit == ps.candidates
+
+    def test_flood_counts_resource_drops(self):
+        cfg = tiny_config(num_sms=1)
+        cfg = dataclasses.replace(
+            cfg,
+            prefetch=dataclasses.replace(cfg.prefetch,
+                                         prefetch_inflight_entries=2),
+        )
+        k = kernel_divergent(lines=4, ctas=2, warps=4)
+        r = simulate(k, cfg, lambda c, s: _FloodPrefetcher(c, s))
+        ps = r.prefetch_stats
+        assert ps.drop_resource > 0
+        assert ps.issued <= ps.candidates
+
+    def test_flood_never_breaks_execution(self):
+        cfg = tiny_config(num_sms=1)
+        k = kernel_divergent(lines=4, ctas=2, warps=4)
+        r = simulate(k, cfg, lambda c, s: _FloodPrefetcher(c, s))
+        assert r.completed
+        assert r.instructions == k.dynamic_instructions()
+
+    def test_unused_flood_prefetches_classified(self):
+        cfg = tiny_config(num_sms=1)
+        k = kernel_divergent(lines=2, ctas=1, warps=2)
+        r = simulate(k, cfg, lambda c, s: _FloodPrefetcher(c, s))
+        ps = r.prefetch_stats
+        assert ps.consumed == 0
+        assert ps.issued == ps.early_evicted + ps.unused_at_end
+
+
+class TestStallAccounting:
+    def test_cycle_classification_partitions_active_cycles(self):
+        cfg = tiny_config()
+        r = simulate(kernel_divergent(), cfg)
+        s = r.sm_stats
+        assert (
+            s.issue_cycles + s.stall_mem_all + s.stall_mem_partial
+            + s.stall_other == s.active_cycles
+        )
+
+    def test_memory_bound_kernel_stalls_on_memory(self):
+        site = LoadSite(pc=0, pattern=strided_pattern(1 << 24, warp_stride=128))
+        prog = WarpProgram(ops=[ComputeOp(1), LoadOp(site), ComputeOp(1)])
+        k = KernelInfo("mem", 4, 2, prog)
+        r = simulate(k, tiny_config())
+        s = r.sm_stats
+        assert s.stall_mem_all + s.stall_mem_partial > 0
+
+    def test_compute_kernel_rarely_stalls_on_memory(self):
+        prog = WarpProgram(ops=[ComputeOp(64, latency=1)])
+        k = KernelInfo("alu", 4, 4, prog)
+        r = simulate(k, tiny_config())
+        assert r.sm_stats.stall_mem_all == 0
+        assert r.ipc > 1.0  # 2 SMs crunching
+
+
+class TestEagerWakeupPlumbing:
+    def test_prefetch_fill_promotes_bound_warp(self):
+        """A warp far back in the two-level eligible pool gets promoted
+        when the data prefetched for it arrives (PAS wake-up)."""
+        captured = {}
+
+        class Engine(Prefetcher):
+            name = "bind"
+            wants_eager_wakeup = True
+
+            def on_load_issue(self, warp, site, addresses, line_addrs,
+                              iteration, now):
+                if warp.warp_in_cta == 0 and not captured:
+                    captured["target"] = None
+                    # prefetch warp 3's line, bound to warp 3
+                    target_line = (1 << 24) + 3 * 128
+                    sm = None
+                    return self._emit([PrefetchCandidate(
+                        line_addr=target_line, pc=site.pc,
+                        target_warp_uid=warp.uid + 3)])
+                return []
+
+        site = LoadSite(pc=0, pattern=strided_pattern(1 << 24, warp_stride=128))
+        prog = WarpProgram(ops=[ComputeOp(20), LoadOp(site), ComputeOp(8)])
+        k = KernelInfo("wake", 1, 4, prog)
+        cfg = tiny_config(num_sms=1, ready_queue_size=2).with_scheduler(
+            SchedulerKind.PAS
+        )
+        r = simulate(k, cfg, lambda c, s: Engine(c, s))
+        assert r.completed
+        ps = r.prefetch_stats
+        assert ps.issued == 1
+        assert ps.consumed == 1

@@ -1,0 +1,74 @@
+"""Tests for the load-stream tracer (repro.sim.trace)."""
+
+import csv
+
+import pytest
+
+from repro.config import test_config as tiny_config
+from repro.sim.trace import LoadRecord, trace_kernel
+from repro.workloads import Scale, build
+
+from tests.conftest import make_stream_kernel
+
+
+@pytest.fixture(scope="module")
+def traced():
+    k = make_stream_kernel(num_ctas=4, warps_per_cta=2, loads=2)
+    return k, trace_kernel(k, tiny_config())
+
+
+class TestTraceKernel:
+    def test_records_every_dynamic_load(self, traced):
+        k, tr = traced
+        assert len(tr.records) == k.total_warps * 2
+        assert tr.result.completed
+
+    def test_records_time_ordered(self, traced):
+        _, tr = traced
+        cycles = [r.cycle for r in tr.records]
+        assert cycles == sorted(cycles)
+
+    def test_by_pc_partitions_records(self, traced):
+        k, tr = traced
+        by_pc = tr.by_pc()
+        assert len(by_pc) == len(k.program.load_sites())
+        assert sum(len(v) for v in by_pc.values()) == len(tr.records)
+
+    def test_by_sm_partitions_records(self, traced):
+        _, tr = traced
+        by_sm = tr.by_sm()
+        assert sum(len(v) for v in by_sm.values()) == len(tr.records)
+        for sm, recs in by_sm.items():
+            assert all(r.sm_id == sm for r in recs)
+
+    def test_addresses_match_pattern(self, traced):
+        k, tr = traced
+        from repro.sim.isa import AddressContext
+        sites = {s.pc: s for s in k.program.load_sites()}
+        for r in tr.records[:8]:
+            ctx = AddressContext(r.cta_id, r.warp_in_cta, r.iteration,
+                                 k.warps_per_cta, k.num_ctas)
+            assert r.address == sites[r.pc].addresses(ctx)[0]
+
+    def test_tracing_does_not_perturb_timing(self):
+        from repro.sim.gpu import simulate
+        k1 = make_stream_kernel()
+        plain = simulate(k1, tiny_config())
+        tr = trace_kernel(make_stream_kernel(), tiny_config())
+        assert tr.result.cycles == plain.cycles
+        assert tr.result.prefetch_stats.issued == 0
+
+    def test_indirect_flag_recorded(self):
+        tr = trace_kernel(build("BFS", Scale.TINY), tiny_config(max_cycles=500_000))
+        assert any(r.indirect for r in tr.records)
+        assert any(not r.indirect for r in tr.records)
+
+    def test_csv_roundtrip(self, traced, tmp_path):
+        _, tr = traced
+        path = tmp_path / "trace.csv"
+        tr.to_csv(path)
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == len(tr.records)
+        assert int(rows[0]["cycle"]) == tr.records[0].cycle
+        assert set(rows[0]) == set(LoadRecord.__dataclass_fields__)

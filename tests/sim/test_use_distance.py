@@ -1,0 +1,138 @@
+"""Tests for the load use-distance (deferred blocking / MLP) mechanism."""
+
+import pytest
+
+from repro.config import test_config as tiny_config
+from repro.sim.gpu import simulate
+from repro.sim.isa import ComputeOp, LoadOp, LoadSite, WarpProgram, strided_pattern
+from repro.sim.kernel import KernelInfo
+from repro.sim.warp import Warp, WarpState
+
+
+def make_warp():
+    return Warp(sm_id=0, slot=0, cta_slot=0, cta_id=0, warp_in_cta=0,
+                program=WarpProgram(ops=[ComputeOp(1)]))
+
+
+class TestWarpDeferral:
+    def test_defer_keeps_warp_ready(self):
+        w = make_warp()
+        w.defer_on_memory(2, use_distance=3)
+        assert w.state is WarpState.READY
+        assert w.pending_pieces == 2
+
+    def test_budget_exhaustion_blocks(self):
+        w = make_warp()
+        w.defer_on_memory(1, use_distance=2)
+        assert not w.charge_defer_budget(10)
+        assert w.charge_defer_budget(11)
+        assert w.state is WarpState.WAITING_MEM
+
+    def test_data_arrival_cancels_deferral(self):
+        w = make_warp()
+        w.defer_on_memory(1, use_distance=5)
+        assert not w.piece_arrived(20)  # READY warp never "unblocks"
+        assert w.pending_pieces == 0
+        assert w.defer_budget == 0
+        assert not w.charge_defer_budget(21)
+
+    def test_block_accumulates_outstanding_pieces(self):
+        w = make_warp()
+        w.defer_on_memory(2, use_distance=4)
+        w.block_on_memory(1, 30)  # chained load ends the window
+        assert w.state is WarpState.WAITING_MEM
+        assert w.pending_pieces == 3
+        assert not w.piece_arrived(40)
+        assert not w.piece_arrived(41)
+        assert w.piece_arrived(42)
+        assert w.state is WarpState.READY
+
+    def test_validation(self):
+        w = make_warp()
+        with pytest.raises(ValueError):
+            w.defer_on_memory(0, 1)
+        with pytest.raises(ValueError):
+            w.defer_on_memory(1, 0)
+        with pytest.raises(RuntimeError):
+            w.piece_arrived(0)
+
+
+def _cluster_kernel(use_distance):
+    """Four loads with long independent tails when use_distance > 0."""
+    ops = [ComputeOp(4)]
+    for i in range(4):
+        site = LoadSite(
+            pc=0,
+            pattern=strided_pattern((1 << 22) + i * (1 << 24), warp_stride=128),
+        )
+        ops.append(LoadOp(site, use_distance=use_distance))
+        ops.append(ComputeOp(2))
+    ops.append(ComputeOp(30))
+    return KernelInfo("mlp", 6, 2, WarpProgram(ops=ops))
+
+
+class TestEndToEndMLP:
+    def test_independent_loads_overlap_their_misses(self):
+        """With use distance, a warp issues its whole load cluster before
+        blocking, overlapping the four misses (memory-level parallelism)
+        instead of serializing four round trips."""
+        cfg = tiny_config()
+        serial = simulate(_cluster_kernel(0), cfg)
+        overlapped = simulate(_cluster_kernel(8), cfg)
+        assert overlapped.completed and serial.completed
+        assert overlapped.cycles < serial.cycles
+        assert overlapped.instructions == serial.instructions
+
+    def test_same_traffic_either_way(self):
+        cfg = tiny_config()
+        serial = simulate(_cluster_kernel(0), cfg)
+        overlapped = simulate(_cluster_kernel(8), cfg)
+        assert overlapped.dram_reads == serial.dram_reads
+
+
+class TestExitWithOutstandingLoads:
+    def test_warp_waits_for_deferred_load_before_retiring(self):
+        """Regression (found by the fuzzer): a warp whose deferred load
+        is still in flight at EXIT must not retire until the data
+        arrives — otherwise completions dangle on a dead warp."""
+        site = LoadSite(
+            pc=0, pattern=strided_pattern(1 << 22, warp_stride=128)
+        )
+        # Load with a big use distance, then only one trailing compute:
+        # the warp reaches EXIT while the miss is outstanding.
+        prog = WarpProgram(ops=[ComputeOp(2),
+                                LoadOp(site, use_distance=16),
+                                ComputeOp(1)])
+        k = KernelInfo("exitrace", 2, 2, prog)
+        r = simulate(k, tiny_config())
+        assert r.completed
+        assert r.instructions == k.dynamic_instructions()
+
+    def test_l1_hit_case_also_safe(self):
+        site = LoadSite(pc=0, pattern=lambda ctx: (0x4000,))
+        prog = WarpProgram(ops=[LoadOp(site, use_distance=8), ComputeOp(1)])
+        k = KernelInfo("exithit", 1, 2, prog)
+        r = simulate(k, tiny_config())
+        assert r.completed
+
+
+    def test_response_while_deferred_is_credited(self):
+        """Regression (found by the fuzzer): a miss response arriving
+        while the warp is still deferred (READY, issuing independent
+        instructions) must decrement its outstanding pieces — dropping
+        it leaves the warp blocked forever at EXIT."""
+        from repro.workloads.generators import indirect
+        site = LoadSite(
+            pc=0,
+            pattern=indirect(1 << 24, region_lines=256, requests=2, seed=1),
+            indirect=True,
+        )
+        prog = WarpProgram(ops=[LoadOp(site, use_distance=3), ComputeOp(1)])
+        k = KernelInfo("lostpiece", 6, 4, prog)
+        from repro.config import SchedulerKind
+        for kind in (SchedulerKind.LRR, SchedulerKind.PAS, SchedulerKind.GTO):
+            r = simulate(k if kind is SchedulerKind.LRR else
+                         KernelInfo("lostpiece", 6, 4,
+                                    WarpProgram(ops=prog.ops)),
+                         tiny_config(max_cycles=100_000).with_scheduler(kind))
+            assert r.completed, kind

@@ -1,0 +1,77 @@
+"""Tests for warp state (repro.sim.warp) and coalescing (repro.sim.coalesce)."""
+
+import pytest
+
+from repro.sim.coalesce import coalesce, coalesced_count
+from repro.sim.isa import ComputeOp, WarpProgram
+from repro.sim.warp import Warp, WarpState
+
+
+def make_warp(**kw):
+    defaults = dict(sm_id=0, slot=0, cta_slot=0, cta_id=0, warp_in_cta=0,
+                    program=WarpProgram(ops=[ComputeOp(1)]))
+    defaults.update(kw)
+    return Warp(**defaults)
+
+
+class TestWarpState:
+    def test_initial_state(self):
+        w = make_warp(launch_cycle=7)
+        assert w.state is WarpState.READY
+        assert w.ready_at == 7
+        assert w.issuable(7) and not w.issuable(6)
+
+    def test_uids_unique(self):
+        assert make_warp().uid != make_warp().uid
+
+    def test_block_and_unblock(self):
+        w = make_warp()
+        w.block_on_memory(2, now=10)
+        assert w.state is WarpState.WAITING_MEM
+        assert not w.issuable(100)
+        assert not w.piece_arrived(20)
+        assert w.piece_arrived(30)
+        assert w.state is WarpState.READY
+        assert w.ready_at == 31
+
+    def test_block_requires_pieces(self):
+        with pytest.raises(ValueError):
+            make_warp().block_on_memory(0, 0)
+
+    def test_piece_arrival_requires_waiting(self):
+        with pytest.raises(RuntimeError):
+            make_warp().piece_arrived(0)
+
+    def test_finish(self):
+        w = make_warp()
+        w.finish(55)
+        assert w.finished
+        assert w.finish_cycle == 55
+        assert not w.issuable(100)
+
+
+class TestCoalesce:
+    def test_single_line(self):
+        assert coalesce([0, 4, 64, 127], 128) == (0,)
+
+    def test_alignment(self):
+        assert coalesce([130], 128) == (128,)
+
+    def test_multiple_lines_ordered_by_first_touch(self):
+        assert coalesce([300, 10, 290], 128) == (256, 0)
+
+    def test_dedup(self):
+        assert coalesced_count([0, 128, 0, 129], 128) == 2
+
+    def test_divergent_worst_case(self):
+        addrs = [i * 128 for i in range(32)]
+        assert coalesced_count(addrs, 128) == 32
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            coalesce([-1], 128)
+
+    @pytest.mark.parametrize("line", [0, 100, -128])
+    def test_rejects_bad_line_size(self, line):
+        with pytest.raises(ValueError):
+            coalesce([0], line)

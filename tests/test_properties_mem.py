@@ -1,0 +1,132 @@
+"""Property-based tests on the DRAM channel, the memory subsystem and
+the CAPS tables."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import DRAMConfig
+from repro.config import test_config as tiny_config
+from repro.core.dist import DistTable
+from repro.core.percta import PerCTATable
+from repro.mem.dram import DramChannel
+from repro.mem.request import Access, MemoryRequest
+from repro.mem.subsystem import MemorySubsystem
+
+LINE = 128
+
+access_kinds = st.sampled_from([Access.DEMAND, Access.PREFETCH, Access.STORE])
+line_addrs = st.integers(0, 1 << 16).map(lambda i: i * LINE)
+
+
+class TestDramProperties:
+    @given(st.lists(st.tuples(line_addrs, access_kinds), min_size=1,
+                    max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_every_read_completes_exactly_once(self, reqs):
+        ch = DramChannel(
+            DRAMConfig(channels=1, queue_entries=64, banks_per_channel=4,
+                       row_bytes=1024, row_hit_cycles=4, row_miss_cycles=20),
+            0,
+        )
+        pushed = []
+        for addr, kind in reqs:
+            r = MemoryRequest(addr, 0, kind)
+            ch.push(r)
+            pushed.append(r)
+        done = []
+        t = 0
+        while not ch.drained and t < 100_000:
+            ch.cycle(t, done.append)
+            t += 1
+        assert ch.drained
+        reads = [r for r in pushed if not r.is_store]
+        assert Counter(id(r) for r in done) == Counter(id(r) for r in reads)
+        assert ch.reads == len(reads)
+        assert ch.writes == len(pushed) - len(reads)
+
+    @given(st.lists(line_addrs, min_size=2, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_row_stats_partition_accesses(self, addrs):
+        ch = DramChannel(
+            DRAMConfig(channels=1, queue_entries=32, banks_per_channel=4,
+                       row_bytes=1024, row_hit_cycles=4, row_miss_cycles=20),
+            0,
+        )
+        for a in addrs:
+            ch.push(MemoryRequest(a, 0, Access.DEMAND))
+        t = 0
+        while not ch.drained and t < 100_000:
+            ch.cycle(t, lambda r: None)
+            t += 1
+        assert ch.row_hits + ch.row_misses == len(addrs)
+
+
+class TestSubsystemProperties:
+    @given(st.lists(st.tuples(line_addrs, access_kinds, st.integers(0, 1)),
+                    min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_reads_in_equals_responses_out(self, reqs):
+        cfg = tiny_config()
+        responses = []
+        sub = MemorySubsystem(cfg, cfg.num_sms, responses.append)
+        expected_reads = 0
+        t = 0
+        for addr, kind, sm in reqs:
+            r = MemoryRequest(addr, sm, kind)
+            while not sub.submit(r, t):
+                sub.cycle(t)
+                t += 1
+            if kind is not Access.STORE:
+                expected_reads += 1
+        for _ in range(50_000):
+            if len(responses) == expected_reads and sub.drained():
+                break
+            sub.cycle(t)
+            t += 1
+        assert len(responses) == expected_reads
+        assert sub.drained()
+
+
+class TestTableProperties:
+    @given(st.lists(st.tuples(st.integers(0, 9), st.integers(0, 47)),
+                    min_size=1, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_percta_capacity_invariant(self, ops):
+        t = PerCTATable(4)
+        now = 0
+        for pc, warp in ops:
+            now += 1
+            if t.find(pc) is None:
+                t.register(pc, warp, (warp * 128,), now)
+            else:
+                t.touch(pc, now)
+            assert len(t) <= 4
+        # registrations minus evictions minus invalidations == live
+        assert t.registrations - t.evictions - t.invalidations == len(t)
+
+    @given(st.lists(st.tuples(st.integers(0, 9), st.integers(1, 512)),
+                    min_size=1, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_dist_capacity_and_reregistration(self, ops):
+        d = DistTable(4, 8)
+        now = 0
+        for pc, stride in ops:
+            now += 1
+            d.register(pc, stride, now)
+            assert len(d) <= 4
+            e = d.find(pc)
+            assert e is not None and e.stride == stride
+            assert not e.disabled
+
+    @given(st.integers(1, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_dist_throttle_threshold_exact(self, threshold):
+        d = DistTable(4, threshold)
+        d.register(0x40, 128, 0)
+        for i in range(threshold - 1):
+            d.verify(0x40, (0,), (1,), i)
+            assert d.allowed(0x40)
+        d.verify(0x40, (0,), (1,), threshold)
+        assert not d.allowed(0x40)

@@ -1,0 +1,85 @@
+"""Behavioural tests: each workload model exhibits the memory character
+the paper attributes to the original application (simulated at TINY
+scale on the test machine)."""
+
+import pytest
+
+from repro.analysis.driver import run_benchmark
+from repro.config import small_config
+from repro.workloads import Scale
+
+CFG = None  # use the driver's default sweep config
+
+
+def run(bench, engine="none"):
+    return run_benchmark(bench, engine,
+                         config=small_config(max_cycles=800_000),
+                         scale=Scale.TINY)
+
+
+class TestComputeVsMemoryCharacter:
+    def test_cp_is_compute_bound(self):
+        """CP hides memory latency behind its long arithmetic phase
+        better than the latency-exposed apps."""
+        cp = run("CP")
+        assert cp.ipc > 2.0
+        assert cp.stall_fraction() < run("CNV").stall_fraction() + 0.1
+        assert cp.stall_fraction() < run("BPR").stall_fraction() + 0.1
+
+    def test_cnv_is_latency_exposed(self):
+        """CNV's bare load cluster leaves latency visible."""
+        cp, cnv = run("CP"), run("CNV")
+        assert cnv.ipc < cp.ipc
+
+    def test_bfs_is_the_slowest(self):
+        """Divergent gathers make BFS's IPC the suite's lowest."""
+        bfs = run("BFS")
+        for other in ("CP", "MM", "SCN"):
+            assert bfs.ipc < run(other).ipc
+
+
+class TestCacheBehaviour:
+    def test_km_centroids_cache_well(self):
+        """KM's small centroid table gives it real L1 reuse."""
+        assert run("KM").l1_hit_rate > 0.3
+
+    def test_jc1_overlapping_loads_reuse(self):
+        """The 3-point stencil re-reads neighbouring lines."""
+        assert run("JC1").l1_hit_rate > 0.15
+
+    def test_streaming_apps_have_no_reuse(self):
+        for b in ("BPR", "MRQ", "SCN"):
+            assert run(b).l1_hit_rate < 0.05, b
+
+    def test_ste_planes_reused(self):
+        """The shared-plane stencil re-reads each plane across
+        iterations (L1 + L2 combined)."""
+        r = run("STE")
+        assert r.l1_hit_rate + r.l2_hit_rate > 0.3
+
+
+class TestPrefetcherInteraction:
+    def test_hsp_defeats_stride_detection(self):
+        """HSP's non-affine warp offsets must be caught by CAP's
+        verification (low accuracy before throttle, tiny coverage)."""
+        r = run("HSP", "caps")
+        assert r.coverage() < 0.5
+
+    def test_mm_fig1_geometry(self):
+        """MM runs 8 warps per CTA — the Figure 1 premise."""
+        from repro.workloads import build
+        assert build("MM", Scale.TINY).warps_per_cta == 8
+
+    def test_regular_apps_give_caps_perfect_accuracy(self):
+        for b in ("BPR", "SCN", "MM", "CNV"):
+            r = run(b, "caps")
+            if r.prefetch_stats.issued:
+                assert r.accuracy() > 0.9, b
+
+    def test_irregular_apps_have_tiny_caps_coverage(self):
+        for b in ("PVR", "CCL", "BFS"):
+            assert run(b, "caps").coverage() < 0.35, b
+
+    def test_stores_present_where_expected(self):
+        for b in ("CP", "LPS", "MM", "KM"):
+            assert run(b).dram_writes > 0, b

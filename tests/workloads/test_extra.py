@@ -1,0 +1,23 @@
+"""Tests for the extra (non-Table IV) workload models."""
+
+from repro.config import small_config
+from repro.config import test_config as tiny_config
+from repro.sim.gpu import simulate
+from repro.workloads import Scale
+from repro.workloads.extra import build_nn
+
+
+class TestNearestNeighbor:
+    def test_occupancy_limited_to_two_ctas(self):
+        k = build_nn(Scale.TINY)
+        assert k.max_ctas_per_sm(small_config()) == 2
+
+    def test_paper_stall_claim(self):
+        """Section I: ~62% of cycles with all warps waiting on memory."""
+        r = simulate(build_nn(Scale.SMALL), small_config())
+        s = r.sm_stats
+        assert 0.45 < s.stall_mem_all / s.active_cycles < 0.80
+
+    def test_completes_at_tiny_scale(self):
+        r = simulate(build_nn(Scale.TINY), tiny_config())
+        assert r.completed

@@ -1,0 +1,127 @@
+"""Tests for the address-pattern library (repro.workloads.generators)."""
+
+import pytest
+
+from repro.sim.isa import AddressContext
+from repro.workloads.generators import (
+    RegionAllocator,
+    broadcast,
+    indirect,
+    irregular_warp_stride,
+    linear,
+    mix64,
+    pitched_2d,
+    tiled,
+)
+
+
+def ctx(cta=0, warp=0, iteration=0, wpc=4, ctas=64):
+    return AddressContext(cta_id=cta, warp_in_cta=warp, iteration=iteration,
+                          warps_per_cta=wpc, num_ctas=ctas)
+
+
+class TestLinear:
+    def test_global_thread_indexing(self):
+        fn = linear(0, warp_stride=128)
+        assert fn(ctx(cta=2, warp=3, wpc=4))[0] == (2 * 4 + 3) * 128
+
+    def test_iter_stride(self):
+        fn = linear(0, warp_stride=128, iter_stride=1024)
+        assert fn(ctx(iteration=3))[0] == 3072
+
+    def test_lines_per_access(self):
+        fn = linear(0, warp_stride=256, lines_per_access=2)
+        assert fn(ctx(warp=1)) == (256, 384)
+
+
+class TestPitched2D:
+    def test_theta_depends_on_both_cta_coords(self):
+        fn = pitched_2d(0, grid_x=8, pitch=4224, cta_rows=4, cta_cols_bytes=128)
+        x_neighbor = fn(ctx(cta=1))[0] - fn(ctx(cta=0))[0]
+        y_neighbor = fn(ctx(cta=8))[0] - fn(ctx(cta=0))[0]
+        assert x_neighbor == 128
+        assert y_neighbor == 4 * 4224
+
+    def test_default_warp_stride_is_pitch(self):
+        fn = pitched_2d(0, grid_x=8, pitch=4224, cta_rows=4, cta_cols_bytes=128)
+        assert fn(ctx(warp=1))[0] - fn(ctx(warp=0))[0] == 4224
+
+    def test_custom_warp_stride(self):
+        fn = pitched_2d(0, grid_x=8, pitch=4224, cta_rows=4,
+                        cta_cols_bytes=1024, warp_stride=128)
+        assert fn(ctx(warp=1))[0] - fn(ctx(warp=0))[0] == 128
+
+
+class TestTiled:
+    def test_iteration_moves_tile(self):
+        fn = tiled(0, grid_x=8, row_pitch=4224, tile_stride=128,
+                   cta_rows_bytes=8 * 4224)
+        assert fn(ctx(iteration=1))[0] - fn(ctx(iteration=0))[0] == 128
+
+    def test_warp_stride_is_row_pitch(self):
+        fn = tiled(0, grid_x=8, row_pitch=4224, tile_stride=128,
+                   cta_rows_bytes=8 * 4224)
+        assert fn(ctx(warp=2))[0] - fn(ctx(warp=0))[0] == 2 * 4224
+
+
+class TestIrregularWarpStride:
+    def test_consecutive_deltas_alternate(self):
+        fn = irregular_warp_stride(0, grid_x=8, pitch=2176, halo_bytes=384,
+                                   cta_rows=8)
+        addrs = [fn(ctx(warp=w))[0] for w in range(4)]
+        deltas = [b - a for a, b in zip(addrs, addrs[1:])]
+        assert deltas[0] != deltas[1]
+
+
+class TestIndirect:
+    def test_deterministic(self):
+        fn = indirect(0, region_lines=1024, requests=8, seed=7)
+        assert fn(ctx(cta=5, warp=2)) == fn(ctx(cta=5, warp=2))
+
+    def test_varies_with_identity(self):
+        fn = indirect(0, region_lines=1 << 16, requests=8, seed=7)
+        assert fn(ctx(cta=1)) != fn(ctx(cta=2))
+        assert fn(ctx(warp=0)) != fn(ctx(warp=1))
+        assert fn(ctx(iteration=0)) != fn(ctx(iteration=1))
+
+    def test_stays_in_region(self):
+        base, lines = 1 << 20, 64
+        fn = indirect(base, region_lines=lines, requests=16, seed=1)
+        for a in fn(ctx()):
+            assert base <= a < base + lines * 128
+            assert a % 128 == 0
+
+    def test_request_count(self):
+        fn = indirect(0, region_lines=1024, requests=12)
+        assert len(fn(ctx())) == 12
+
+    def test_rejects_empty_region(self):
+        with pytest.raises(ValueError):
+            indirect(0, region_lines=0)
+
+    def test_mix64_avalanche(self):
+        # adjacent inputs give wildly different outputs
+        assert mix64(1) != mix64(2)
+        assert bin(mix64(1) ^ mix64(2)).count("1") > 10
+
+
+class TestBroadcast:
+    def test_same_for_everyone(self):
+        fn = broadcast(0xABC00)
+        assert fn(ctx(cta=0, warp=0)) == fn(ctx(cta=9, warp=3)) == (0xABC00,)
+
+
+class TestRegionAllocator:
+    def test_distinct_spaced_regions(self):
+        a = RegionAllocator()
+        r1, r2 = a.alloc("x"), a.alloc("y")
+        assert r2 - r1 == RegionAllocator.REGION_BYTES
+
+    def test_duplicate_name_rejected(self):
+        a = RegionAllocator()
+        a.alloc("x")
+        with pytest.raises(ValueError):
+            a.alloc("x")
+
+    def test_fresh_allocators_identical(self):
+        assert RegionAllocator().alloc("x") == RegionAllocator().alloc("x")
