@@ -1,0 +1,75 @@
+"""Execution-engine scaling micro-benchmark (infrastructure, not a
+paper figure).
+
+Runs a fixed 4-benchmark × 2-engine matrix (TINY scale, test config)
+through :class:`repro.exec.ExecutionEngine` at ``--jobs 1/2/4``, cold
+then warm against a fresh persistent cache per job count, and records
+wall time plus the simulated/cached cell split.  The warm rows must
+perform zero simulations — the telemetry-backed acceptance criterion of
+the execution subsystem.
+
+On a single-core container the parallel rows mostly measure spawn
+overhead; the point of the table is the warm/cold contrast and that the
+numbers exist at all job counts.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.analysis.report import format_table
+from repro.config import test_config
+from repro.exec import EventLog, ExecutionEngine, ResultCache, RunKey
+from repro.prefetch.factory import default_scheduler_for
+from repro.workloads import Scale
+
+BENCHES = ("SCN", "MM", "BPR", "BFS")
+ENGINES = ("none", "caps")
+JOB_COUNTS = (1, 2, 4)
+
+
+def matrix_keys():
+    cfg = test_config()
+    return [
+        RunKey(b, e, Scale.TINY, cfg.with_scheduler(default_scheduler_for(e)))
+        for b in BENCHES
+        for e in ENGINES
+    ]
+
+
+def test_exec_scaling(benchmark, emit, tmp_path_factory):
+    keys = matrix_keys()
+
+    def measure():
+        rows = []
+        for jobs in JOB_COUNTS:
+            cache_root = tmp_path_factory.mktemp(f"exec-cache-j{jobs}")
+            for phase in ("cold", "warm"):
+                events = EventLog()
+                engine = ExecutionEngine(jobs=jobs,
+                                         cache=ResultCache(cache_root),
+                                         events=events)
+                t0 = time.perf_counter()
+                engine.run_many(keys)
+                wall = time.perf_counter() - t0
+                rows.append((jobs, phase, wall,
+                             events.simulations(),
+                             events.count("cache_hit")))
+        return rows
+
+    rows = run_once(benchmark, measure)
+    emit(
+        "exec_scaling",
+        format_table(
+            ["jobs", "cache", "wall [s]", "simulated", "cached"],
+            rows,
+            title=f"Execution-engine scaling over a "
+                  f"{len(BENCHES)}x{len(ENGINES)} TINY matrix",
+        ),
+    )
+    for jobs, phase, _wall, simulated, cached in rows:
+        if phase == "cold":
+            assert simulated == len(keys), (jobs, phase)
+        else:  # warm: the persistent cache serves everything
+            assert simulated == 0, (jobs, phase)
+            assert cached == len(keys), (jobs, phase)

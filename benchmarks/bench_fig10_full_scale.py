@@ -12,7 +12,6 @@ CAPS means reg 1.066 / irreg 1.064 / all 1.065 — against the paper's
 number and every ordering claim holds.
 """
 
-import math
 
 from conftest import full_sweep, run_once
 

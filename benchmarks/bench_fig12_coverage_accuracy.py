@@ -11,7 +11,7 @@ from conftest import run_once
 
 from repro.analysis.figures import ENGINES, fig12_coverage_accuracy
 from repro.analysis.report import format_percent, format_table
-from repro.workloads import ALL_BENCHMARKS, IRREGULAR, Scale
+from repro.workloads import ALL_BENCHMARKS, Scale
 
 
 def test_fig12_coverage_accuracy(benchmark, emit):

@@ -10,8 +10,17 @@ Run with::
 
     pytest benchmarks/ --benchmark-only
 
-Set ``REPRO_BENCH_FULL=1`` to run the Figure 11 CTA sweep over all 16
-benchmarks (default: a 6-benchmark subset, to keep the sweep quick).
+Environment knobs:
+
+``REPRO_BENCH_FULL=1``
+    run the Figure 11 CTA sweep over all 16 benchmarks (default: a
+    6-benchmark subset, to keep the sweep quick);
+``REPRO_BENCH_JOBS=N``
+    execute simulation matrices on ``N`` worker processes (see
+    ``docs/execution.md``);
+``REPRO_BENCH_CACHE=DIR``
+    persist simulation results to an on-disk cache, so re-running the
+    harness (or sharing runs with the CLI) skips completed cells.
 """
 
 from __future__ import annotations
@@ -26,6 +35,23 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 def full_sweep() -> bool:
     return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def exec_engine():
+    """Install the session's execution engine from the env knobs above."""
+    from repro.analysis.driver import get_engine, set_engine
+    from repro.exec import EventLog, ExecutionEngine, ResultCache
+
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE", "")
+    cache = ResultCache(cache_dir) if cache_dir else None
+    previous = get_engine()
+    engine = set_engine(
+        ExecutionEngine(jobs=max(1, jobs), cache=cache, events=EventLog())
+    )
+    yield engine
+    set_engine(previous)
 
 
 @pytest.fixture(scope="session")

@@ -5,8 +5,11 @@ from repro.analysis.metrics import geomean, mean, normalized, safe_div
 from repro.analysis.driver import (
     RunKey,
     clear_cache,
+    get_engine,
+    make_key,
     run_benchmark,
     run_matrix,
+    set_engine,
     speedups_over_baseline,
 )
 from repro.analysis.report import format_table, format_percent
@@ -21,6 +24,9 @@ __all__ = [
     "safe_div",
     "RunKey",
     "clear_cache",
+    "get_engine",
+    "set_engine",
+    "make_key",
     "run_benchmark",
     "run_matrix",
     "speedups_over_baseline",

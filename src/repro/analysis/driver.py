@@ -2,35 +2,73 @@
 
 Every figure of the evaluation section is a view over the same runs
 (IPC for Fig. 10, coverage/accuracy for Fig. 12, traffic for Fig. 13,
-energy for Fig. 15), so results are memoized per process by
-:class:`RunKey`; the benchmark harness regenerating all figures performs
-each simulation exactly once.
+energy for Fig. 15).  Execution is delegated to the process-wide
+:class:`repro.exec.ExecutionEngine`, which memoizes results per
+:class:`repro.exec.RunKey` in-process (so the benchmark harness
+regenerating all figures performs each simulation exactly once) and can
+additionally parallelize across worker processes and persist results to
+an on-disk cache — see ``docs/execution.md``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.config import GPUConfig, SchedulerKind, small_config
-from repro.prefetch.factory import default_scheduler_for, make_prefetcher
-from repro.sim.gpu import SimResult, simulate
-from repro.workloads import Scale, build
+from repro.exec import ExecutionEngine, RunKey
+from repro.prefetch.factory import default_scheduler_for
+from repro.sim.gpu import SimResult
+from repro.workloads import Scale
+
+__all__ = [
+    "RunKey",
+    "clear_cache",
+    "get_engine",
+    "set_engine",
+    "make_key",
+    "run_benchmark",
+    "run_matrix",
+    "speedups_over_baseline",
+]
+
+_ENGINE = ExecutionEngine()
 
 
-@dataclass(frozen=True)
-class RunKey:
-    benchmark: str
-    prefetcher: str
-    scale: Scale
-    config: GPUConfig
+def get_engine() -> ExecutionEngine:
+    """The process-wide execution engine."""
+    return _ENGINE
 
 
-_CACHE: Dict[RunKey, SimResult] = {}
+def set_engine(engine: ExecutionEngine) -> ExecutionEngine:
+    """Install ``engine`` as the process-wide execution engine.
+
+    The CLI (``--jobs``/``--cache``) and the benchmark harness
+    (``REPRO_BENCH_JOBS``/``REPRO_BENCH_CACHE``) use this to configure
+    parallelism and persistence; library callers rarely need to.
+    """
+    global _ENGINE
+    _ENGINE = engine
+    return engine
 
 
 def clear_cache() -> None:
-    _CACHE.clear()
+    """Drop the engine's in-process memo (persistent cache untouched)."""
+    _ENGINE.clear_memo()
+
+
+def make_key(
+    benchmark: str,
+    prefetcher: str = "none",
+    *,
+    config: Optional[GPUConfig] = None,
+    scale: Scale = Scale.SMALL,
+    scheduler: Optional[SchedulerKind] = None,
+) -> RunKey:
+    """Resolve defaults into the canonical :class:`RunKey` for one cell."""
+    cfg = config if config is not None else small_config()
+    kind = scheduler if scheduler is not None else default_scheduler_for(prefetcher)
+    return RunKey(benchmark.upper(), prefetcher, scale,
+                  cfg.with_scheduler(kind))
 
 
 def run_benchmark(
@@ -48,23 +86,9 @@ def run_benchmark(
     CAPS, two-level otherwise); pass ``scheduler`` to override (the
     Figure 14b sweep does).
     """
-    cfg = config if config is not None else small_config()
-    kind = scheduler if scheduler is not None else default_scheduler_for(prefetcher)
-    cfg = cfg.with_scheduler(kind)
-    key = RunKey(benchmark.upper(), prefetcher, scale, cfg)
-    if use_cache and key in _CACHE:
-        return _CACHE[key]
-    kernel = build(benchmark, scale)
-    factory = make_prefetcher(prefetcher) if prefetcher != "none" else None
-    result = simulate(kernel, cfg, factory)
-    if not result.completed:
-        raise RuntimeError(
-            f"{benchmark}/{prefetcher} hit the cycle limit "
-            f"({cfg.max_cycles}) before completing"
-        )
-    if use_cache:
-        _CACHE[key] = result
-    return result
+    key = make_key(benchmark, prefetcher, config=config, scale=scale,
+                   scheduler=scheduler)
+    return _ENGINE.run(key, use_cache=use_cache)
 
 
 def run_matrix(
@@ -75,14 +99,20 @@ def run_matrix(
     scale: Scale = Scale.SMALL,
     scheduler: Optional[SchedulerKind] = None,
 ) -> Dict[Tuple[str, str], SimResult]:
-    """Run the full (benchmark × prefetcher) matrix."""
-    out: Dict[Tuple[str, str], SimResult] = {}
-    for b in benchmarks:
-        for p in prefetchers:
-            out[(b, p)] = run_benchmark(
-                b, p, config=config, scale=scale, scheduler=scheduler
-            )
-    return out
+    """Run the full (benchmark × prefetcher) matrix.
+
+    The whole matrix is handed to the engine in one batch, so with
+    ``jobs > 1`` cells execute in parallel, duplicates collapse to one
+    simulation, and cached cells are never re-run.
+    """
+    keys = {
+        (b, p): make_key(b, p, config=config, scale=scale,
+                         scheduler=scheduler)
+        for b in benchmarks
+        for p in prefetchers
+    }
+    results = _ENGINE.run_many(list(keys.values()))
+    return {bp: results[key] for bp, key in keys.items()}
 
 
 def speedups_over_baseline(

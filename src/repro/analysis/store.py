@@ -9,6 +9,7 @@ scheduler, scale, config label).
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional
@@ -93,6 +94,13 @@ class ResultStore:
 
     # ------------------------------------------------------------ persistence
     def save(self, path) -> None:
+        """Atomically persist the store.
+
+        The payload is written to a temp file in the destination
+        directory and swapped in with ``os.replace``, so an interrupted
+        sweep leaves either the old store or the new one — never a
+        truncated file.
+        """
         payload = {
             "schema": SCHEMA_VERSION,
             "records": [
@@ -107,7 +115,14 @@ class ResultStore:
                 for r in self._records.values()
             ],
         }
-        pathlib.Path(path).write_text(json.dumps(payload, indent=1))
+        path = pathlib.Path(path)
+        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+        try:
+            tmp.write_text(json.dumps(payload, indent=1))
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
 
     @classmethod
     def load(cls, path) -> "ResultStore":

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.driver import run_benchmark
+from repro.analysis.driver import run_matrix
 from repro.analysis.metrics import geomean, mean
 from repro.config import GPUConfig
 from repro.workloads import ALL_BENCHMARKS, IRREGULAR, REGULAR, Scale
@@ -41,12 +41,12 @@ def validate_shape(
 ) -> List[Check]:
     """Grade the paper's headline claims on the given benchmark set."""
     engines = ("none", "inter", "caps")
+    # One batched matrix, so the execution engine can run cells in
+    # parallel (and serve repeats from its cache) before grading.
+    matrix = run_matrix(benchmarks, engines, config=config, scale=scale)
     data: Dict[str, Dict[str, object]] = {}
     for b in benchmarks:
-        data[b] = {
-            e: run_benchmark(b, e, config=config, scale=scale)
-            for e in engines
-        }
+        data[b] = {e: matrix[(b, e)] for e in engines}
 
     def speedups(engine):
         return [data[b][engine].ipc / data[b]["none"].ipc for b in benchmarks]

@@ -23,11 +23,19 @@ import pathlib
 import sys
 from typing import List, Optional, Sequence
 
-from repro.analysis.driver import run_benchmark
+from repro.analysis.driver import run_benchmark, run_matrix, set_engine
 from repro.analysis.metrics import geomean
 from repro.analysis.report import format_percent, format_table
 from repro.analysis.store import ResultStore
 from repro.config import SchedulerKind, fermi_config, small_config
+from repro.exec import (
+    DEFAULT_CACHE_DIR,
+    EventLog,
+    ExecutionEngine,
+    JSONLSink,
+    ResultCache,
+    TTYProgress,
+)
 from repro.prefetch import PREFETCHERS
 from repro.workloads import ALL_BENCHMARKS, WORKLOADS, Scale
 
@@ -62,9 +70,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = p.add_subparsers(dest="command", required=True)
 
+    # Execution-engine flags shared by every simulating command.
+    ex = argparse.ArgumentParser(add_help=False)
+    ex.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="worker processes for the simulation matrix "
+                         "(default: 1, serial)")
+    ex.add_argument("--cache", type=pathlib.Path, nargs="?",
+                    const=pathlib.Path(DEFAULT_CACHE_DIR), default=None,
+                    metavar="DIR",
+                    help="persist results to an on-disk cache "
+                         f"(default dir: {DEFAULT_CACHE_DIR})")
+    ex.add_argument("--events-log", type=pathlib.Path, default=None,
+                    metavar="FILE",
+                    help="append telemetry events to this JSONL file")
+
     sub.add_parser("list", help="show workloads and engines")
 
-    run = sub.add_parser("run", help="simulate one benchmark")
+    run = sub.add_parser("run", help="simulate one benchmark",
+                         parents=[ex])
     run.add_argument("bench", type=str.upper, choices=sorted(ALL_BENCHMARKS))
     run.add_argument("--engine", choices=ENGINE_CHOICES, default="caps")
     run.add_argument("--scale", choices=sorted(SCALES), default="small")
@@ -73,7 +96,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--store", type=pathlib.Path, default=None,
                      help="append the run to this JSON result store")
 
-    sweep = sub.add_parser("sweep", help="run a benchmark x engine matrix")
+    sweep = sub.add_parser("sweep", help="run a benchmark x engine matrix",
+                           parents=[ex])
     sweep.add_argument("--benchmarks", type=str, default=",".join(ALL_BENCHMARKS),
                        help="comma-separated benchmark list")
     sweep.add_argument("--engines", type=str,
@@ -83,7 +107,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--config", type=_config, default="small")
     sweep.add_argument("--store", type=pathlib.Path, default=None)
 
-    figs = sub.add_parser("figures", help="regenerate paper figures")
+    figs = sub.add_parser("figures", help="regenerate paper figures",
+                          parents=[ex])
     figs.add_argument("--out", type=pathlib.Path, default=pathlib.Path("results"))
     figs.add_argument("--scale", choices=sorted(SCALES), default="small")
     figs.add_argument("--benchmarks", type=str, default=None,
@@ -95,6 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
     val = sub.add_parser(
         "validate",
         help="grade the paper's headline claims (regression gate)",
+        parents=[ex],
     )
     val.add_argument("--benchmarks", type=str,
                      default="CNV,BPR,MM,HSP,KM,BFS")
@@ -157,19 +183,24 @@ def cmd_run(args) -> int:
 
 def cmd_sweep(args) -> int:
     benches = [b.strip().upper() for b in args.benchmarks.split(",") if b.strip()]
-    engines = [e.strip() for e in args.engines.split(",") if e.strip()]
+    engines = [e.strip() for e in args.engines.split(",")
+               if e.strip() and e.strip() != "none"]
     scale = SCALES[args.scale]
+    # One batched matrix: the engine deduplicates cells, runs them in
+    # parallel under --jobs, and serves repeats (notably the "none"
+    # baseline, simulated once per benchmark x scale) from its cache.
+    matrix = run_matrix(benches, ("none",) + tuple(engines),
+                        config=args.config, scale=scale)
     store = ResultStore()
-    rows = []
+    for result in matrix.values():
+        store.add_result(result, scale=args.scale)
+    rows: List = []
     speedups = {e: [] for e in engines}
     for b in benches:
-        base = run_benchmark(b, "none", config=args.config, scale=scale)
-        store.add_result(base, scale=args.scale)
+        base = matrix[(b, "none")]
         row: List = [b]
         for e in engines:
-            r = run_benchmark(b, e, config=args.config, scale=scale)
-            store.add_result(r, scale=args.scale)
-            sp = r.ipc / base.ipc
+            sp = matrix[(b, e)].ipc / base.ipc
             speedups[e].append(sp)
             row.append(sp)
         rows.append(tuple(row))
@@ -236,8 +267,32 @@ def cmd_figures(args) -> int:
     return 0
 
 
+def _install_engine(args) -> None:
+    """Configure the process-wide execution engine from CLI flags.
+
+    With the default flags (serial, no persistence, no telemetry sink)
+    the already-installed engine is kept, so repeated in-process CLI
+    invocations share its memo.
+    """
+    jobs = getattr(args, "jobs", 1)
+    cache_dir = getattr(args, "cache", None)
+    events_log = getattr(args, "events_log", None)
+    if jobs == 1 and cache_dir is None and events_log is None:
+        return
+    if jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    events = EventLog()
+    if events_log is not None:
+        events.subscribe(JSONLSink(events_log))
+    if sys.stderr.isatty():
+        events.subscribe(TTYProgress())
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    set_engine(ExecutionEngine(jobs=jobs, cache=cache, events=events))
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    _install_engine(args)
     return {
         "list": cmd_list,
         "run": cmd_run,

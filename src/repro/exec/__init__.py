@@ -1,0 +1,58 @@
+"""Parallel experiment-execution engine with a persistent result cache.
+
+Every figure of the paper is a view over the same
+(benchmark × prefetcher × scale × config) simulation matrix, so the
+execution layer is factored out of the analysis code:
+
+* :mod:`repro.exec.cache` — :class:`RunKey` (one cell of the matrix),
+  stable content hashing of :class:`repro.config.GPUConfig`, lossless
+  JSON serialization of :class:`repro.sim.gpu.SimResult`, and the
+  on-disk :class:`ResultCache` under ``.repro-cache/``;
+* :mod:`repro.exec.events` — the progress/telemetry event stream
+  (queued / started / cache_hit / finished / retry / failed) with a
+  JSONL sink and a TTY renderer;
+* :mod:`repro.exec.runner` — :class:`ExecutionEngine`, which executes
+  cells serially or on a spawn-safe process pool with per-task timeout
+  and bounded retry.
+
+See ``docs/execution.md`` for the full design.
+"""
+
+from repro.exec.cache import (
+    CACHE_SCHEMA_VERSION,
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    RunKey,
+    config_fingerprint,
+    deserialize_result,
+    key_fingerprint,
+    serialize_result,
+)
+from repro.exec.events import EventLog, ExecEvent, JSONLSink, TTYProgress
+from repro.exec.runner import (
+    CellError,
+    CellTimeout,
+    ExecutionEngine,
+    IncompleteRunError,
+    execute_cell,
+)
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "RunKey",
+    "config_fingerprint",
+    "deserialize_result",
+    "key_fingerprint",
+    "serialize_result",
+    "EventLog",
+    "ExecEvent",
+    "JSONLSink",
+    "TTYProgress",
+    "CellError",
+    "CellTimeout",
+    "ExecutionEngine",
+    "IncompleteRunError",
+    "execute_cell",
+]

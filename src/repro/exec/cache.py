@@ -1,0 +1,218 @@
+"""Persistent on-disk result cache keyed by run-content hashes.
+
+A :class:`RunKey` names one cell of the experiment matrix.  Its cache
+identity is a SHA-256 over the *content* of the cell — benchmark,
+prefetcher, scale and every field of the :class:`~repro.config.GPUConfig`
+(enums flattened to their values) — so two configs that compare equal
+always hash equal, regardless of how they were constructed, and any
+config change (a cache knob, a scheduler, a queue depth) produces a new
+cache entry instead of silently reusing a stale one.
+
+Layout::
+
+    .repro-cache/
+      v1/                      # bumping CACHE_SCHEMA_VERSION retires
+        <key-hash>.json        # every old entry wholesale
+        ...
+
+Each entry embeds the key description and the config hash it was
+computed under; :meth:`ResultCache.get` re-derives the hash and treats
+any mismatch (or unreadable/corrupt file) as a miss, deleting the stale
+entry.  Writes are atomic (temp file + ``os.replace``) so a killed sweep
+can never leave a half-written entry behind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pathlib
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Dict, Optional
+
+from repro.config import GPUConfig
+from repro.prefetch.stats import PrefetchStats
+from repro.sim.gpu import SimResult
+from repro.sim.sm import SMStats
+from repro.workloads import Scale
+
+#: Bump whenever the serialized form of SimResult (or the key content
+#: that feeds the hash) changes incompatibly; old entries are ignored.
+CACHE_SCHEMA_VERSION = 1
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+@dataclass(frozen=True)
+class RunKey:
+    """One cell of the (benchmark × prefetcher × scale × config) matrix."""
+
+    benchmark: str
+    prefetcher: str
+    scale: Scale
+    config: GPUConfig
+
+    def describe(self) -> str:
+        return (f"{self.benchmark}/{self.prefetcher}"
+                f"@{self.scale.value}/{self.config.scheduler.value}")
+
+
+def _jsonify(obj: Any) -> Any:
+    """Recursively flatten dataclasses/enums into JSON-encodable values."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _jsonify(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, dict):
+        return {k: _jsonify(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonify(v) for v in obj]
+    return obj
+
+
+def _canonical(obj: Any) -> str:
+    return json.dumps(_jsonify(obj), sort_keys=True, separators=(",", ":"))
+
+
+@lru_cache(maxsize=None)
+def config_fingerprint(config: GPUConfig) -> str:
+    """Stable content hash of every field of a :class:`GPUConfig`."""
+    return hashlib.sha256(_canonical(config).encode()).hexdigest()
+
+
+def key_fingerprint(key: RunKey) -> str:
+    """Stable content hash identifying one cache entry."""
+    payload = _canonical({
+        "schema": CACHE_SCHEMA_VERSION,
+        "benchmark": key.benchmark,
+        "prefetcher": key.prefetcher,
+        "scale": key.scale.value,
+        "config": config_fingerprint(key.config),
+    })
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# --------------------------------------------------------- serialization
+def serialize_result(result: SimResult) -> Dict[str, Any]:
+    """Lossless JSON form of a :class:`SimResult` (stats included)."""
+    out = {
+        f.name: getattr(result, f.name)
+        for f in dataclasses.fields(SimResult)
+    }
+    out["sm_stats"] = dataclasses.asdict(result.sm_stats)
+    out["prefetch_stats"] = dataclasses.asdict(result.prefetch_stats)
+    out["extra"] = dict(result.extra)
+    return out
+
+
+def deserialize_result(payload: Dict[str, Any]) -> SimResult:
+    """Inverse of :func:`serialize_result`."""
+    data = dict(payload)
+    data["sm_stats"] = SMStats(**data["sm_stats"])
+    data["prefetch_stats"] = PrefetchStats(**data["prefetch_stats"])
+    return SimResult(**data)
+
+
+def result_bytes(result: SimResult) -> bytes:
+    """Canonical byte serialization (the determinism-test currency)."""
+    return _canonical(serialize_result(result)).encode()
+
+
+class ResultCache:
+    """Persistent :class:`RunKey` → :class:`SimResult` cache.
+
+    ``hits``/``misses``/``invalidated`` count lookups since construction
+    (telemetry and tests read them).
+    """
+
+    def __init__(self, root: Any = DEFAULT_CACHE_DIR):
+        self.root = pathlib.Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.invalidated = 0
+
+    @property
+    def version_dir(self) -> pathlib.Path:
+        return self.root / f"v{CACHE_SCHEMA_VERSION}"
+
+    def path_for(self, key: RunKey) -> pathlib.Path:
+        return self.version_dir / f"{key_fingerprint(key)}.json"
+
+    def __len__(self) -> int:
+        if not self.version_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.version_dir.glob("*.json"))
+
+    def get(self, key: RunKey) -> Optional[SimResult]:
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._invalidate(path)
+            return None
+        entry_key = payload.get("key", {})
+        if (payload.get("schema") != CACHE_SCHEMA_VERSION
+                or entry_key.get("config_hash")
+                != config_fingerprint(key.config)):
+            self._invalidate(path)
+            return None
+        try:
+            result = deserialize_result(payload["result"])
+        except (KeyError, TypeError):
+            self._invalidate(path)
+            return None
+        self.hits += 1
+        return result
+
+    def _invalidate(self, path: pathlib.Path) -> None:
+        self.misses += 1
+        self.invalidated += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def put(self, key: RunKey, result: SimResult) -> pathlib.Path:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": {
+                "benchmark": key.benchmark,
+                "prefetcher": key.prefetcher,
+                "scale": key.scale.value,
+                "scheduler": key.config.scheduler.value,
+                "config_hash": config_fingerprint(key.config),
+            },
+            "result": serialize_result(result),
+        }
+        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+        try:
+            tmp.write_text(json.dumps(payload, indent=1))
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry of the current schema; returns the count."""
+        removed = 0
+        if self.version_dir.is_dir():
+            for p in self.version_dir.glob("*.json"):
+                try:
+                    p.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

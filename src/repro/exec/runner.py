@@ -1,0 +1,274 @@
+"""Execution engine: runs experiment-matrix cells, serially or in parallel.
+
+:class:`ExecutionEngine` owns three layers of reuse and resilience:
+
+* an **in-process memo** (`RunKey` → the exact `SimResult` object), so
+  repeated lookups inside one process return the identical object —
+  the contract the analysis layer has always had;
+* an optional **persistent cache** (:class:`repro.exec.cache.ResultCache`)
+  shared across processes and invocations;
+* a **spawn-safe process pool** (``jobs > 1``) with a per-task timeout
+  (delivered via ``SIGALRM`` inside the worker, so a wedged simulation
+  cannot wedge the pool), bounded retry on worker failure, and recovery
+  from a broken pool (a worker dying hard re-creates the pool and
+  resubmits the in-flight cells).  With ``jobs=1`` everything runs
+  inline in the calling process — no subprocess is ever spawned.
+
+The module-level :func:`execute_cell` is the single place that maps a
+:class:`RunKey` onto a simulation; it is importable by name so the
+``spawn`` start method can pickle tasks to fresh interpreters.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.exec.cache import ResultCache, RunKey, config_fingerprint
+from repro.exec.events import EventLog
+from repro.prefetch.factory import make_prefetcher
+from repro.sim.gpu import SimResult, simulate
+from repro.workloads import build
+
+
+class IncompleteRunError(RuntimeError):
+    """The simulation hit the cycle limit before completing."""
+
+
+class CellTimeout(RuntimeError):
+    """A cell exceeded the engine's per-task timeout."""
+
+
+class CellError(RuntimeError):
+    """A cell failed after exhausting its retry budget."""
+
+    def __init__(self, key: RunKey, cause: BaseException, attempts: int):
+        super().__init__(
+            f"{key.describe()} failed after {attempts} attempt(s): {cause!r}"
+        )
+        self.key = key
+        self.cause = cause
+        self.attempts = attempts
+
+
+def execute_cell(key: RunKey) -> SimResult:
+    """Simulate one matrix cell (no caching; raises on incomplete runs)."""
+    kernel = build(key.benchmark, key.scale)
+    factory = (make_prefetcher(key.prefetcher)
+               if key.prefetcher != "none" else None)
+    result = simulate(kernel, key.config, factory)
+    if not result.completed:
+        raise IncompleteRunError(
+            f"{key.benchmark}/{key.prefetcher} hit the cycle limit "
+            f"({key.config.max_cycles}) before completing"
+        )
+    return result
+
+
+def call_with_timeout(fn: Callable[[], SimResult],
+                      timeout_s: Optional[float]) -> SimResult:
+    """Run ``fn`` under a ``SIGALRM`` deadline (main thread only)."""
+    if not timeout_s:
+        return fn()
+
+    def _expired(signum, frame):
+        raise CellTimeout(f"cell exceeded the {timeout_s}s timeout")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        return fn()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _worker(key: RunKey, timeout_s: Optional[float]) -> SimResult:
+    """Pool entry point: one cell, with the per-task deadline armed."""
+    return call_with_timeout(lambda: execute_cell(key), timeout_s)
+
+
+class ExecutionEngine:
+    """Executes :class:`RunKey` cells with caching, retry and parallelism.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for :meth:`run_many`; ``1`` (the default) runs
+        every cell inline.
+    cache:
+        Optional persistent :class:`ResultCache` shared across
+        processes/invocations.  ``None`` keeps only the in-process memo.
+    events:
+        :class:`EventLog` receiving the telemetry stream (one is created
+        if omitted).
+    timeout_s:
+        Per-cell wall-time budget, enforced inside workers (and inline
+        when running serially).
+    retries:
+        How many times a failing cell is resubmitted before
+        :class:`CellError` is raised.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        events: Optional[EventLog] = None,
+        timeout_s: Optional[float] = None,
+        retries: int = 1,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.jobs = jobs
+        self.cache = cache
+        self.events = events if events is not None else EventLog()
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self._memo: Dict[RunKey, SimResult] = {}
+
+    # ------------------------------------------------------------- memo
+    def clear_memo(self) -> None:
+        self._memo.clear()
+
+    def _emit(self, kind: str, key: RunKey, **kw) -> None:
+        self.events.emit(kind, key.describe(),
+                         config_fingerprint(key.config)[:12], **kw)
+
+    def _lookup(self, key: RunKey) -> Optional[SimResult]:
+        if key in self._memo:
+            self._emit("cache_hit", key, detail="memo")
+            return self._memo[key]
+        if self.cache is not None:
+            result = self.cache.get(key)
+            if result is not None:
+                self._memo[key] = result
+                self._emit("cache_hit", key, detail="disk")
+                return result
+        return None
+
+    def _store(self, key: RunKey, result: SimResult) -> None:
+        self._memo[key] = result
+        if self.cache is not None:
+            self.cache.put(key, result)
+
+    # -------------------------------------------------------- execution
+    def run(self, key: RunKey, use_cache: bool = True) -> SimResult:
+        """Execute one cell inline (cache layers apply unless disabled)."""
+        if use_cache:
+            hit = self._lookup(key)
+            if hit is not None:
+                return hit
+        self._emit("queued", key)
+        return self._run_inline(key, use_cache)
+
+    def _run_inline(self, key: RunKey, use_cache: bool) -> SimResult:
+        self._emit("started", key)
+        t0 = time.perf_counter()
+        try:
+            result = call_with_timeout(lambda: execute_cell(key),
+                                       self.timeout_s)
+        except Exception as exc:
+            self._emit("failed", key, wall_s=time.perf_counter() - t0,
+                       error=repr(exc))
+            raise
+        if use_cache:
+            self._store(key, result)
+        self._emit("finished", key, wall_s=time.perf_counter() - t0)
+        return result
+
+    def run_many(self, keys: Sequence[RunKey],
+                 use_cache: bool = True) -> Dict[RunKey, SimResult]:
+        """Execute a batch of cells, deduplicated, cache-first.
+
+        Returns a dict covering every distinct key.  Raises
+        :class:`CellError` (after cancelling outstanding work) if any
+        cell still fails once its retry budget is spent.
+        """
+        ordered: List[RunKey] = []
+        seen = set()
+        for key in keys:
+            if key not in seen:
+                seen.add(key)
+                ordered.append(key)
+        results: Dict[RunKey, SimResult] = {}
+        pending: List[RunKey] = []
+        for key in ordered:
+            hit = self._lookup(key) if use_cache else None
+            if hit is not None:
+                results[key] = hit
+            else:
+                self._emit("queued", key)
+                pending.append(key)
+        if not pending:
+            return results
+        if self.jobs == 1 or len(pending) == 1:
+            for key in pending:
+                results[key] = self._run_inline(key, use_cache)
+        else:
+            results.update(self._run_parallel(pending, use_cache))
+        return results
+
+    def _run_parallel(self, keys: List[RunKey],
+                      use_cache: bool) -> Dict[RunKey, SimResult]:
+        ctx = multiprocessing.get_context("spawn")
+        workers = min(self.jobs, len(keys))
+        results: Dict[RunKey, SimResult] = {}
+        attempts: Dict[RunKey, int] = {k: 0 for k in keys}
+        started_at: Dict[RunKey, float] = {}
+        future_key: Dict[object, RunKey] = {}
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+
+        def submit(key: RunKey) -> None:
+            attempts[key] += 1
+            self._emit("started", key, attempt=attempts[key])
+            started_at[key] = time.perf_counter()
+            future_key[pool.submit(_worker, key, self.timeout_s)] = key
+
+        try:
+            for key in keys:
+                submit(key)
+            while future_key:
+                done, _ = wait(list(future_key), return_when=FIRST_COMPLETED)
+                resubmit: List[RunKey] = []
+                broken = False
+                for fut in done:
+                    key = future_key.pop(fut)
+                    wall = time.perf_counter() - started_at[key]
+                    try:
+                        result = fut.result()
+                    except Exception as exc:
+                        broken = broken or isinstance(exc, BrokenProcessPool)
+                        if attempts[key] > self.retries:
+                            self._emit("failed", key, attempt=attempts[key],
+                                       wall_s=wall, error=repr(exc))
+                            raise CellError(key, exc, attempts[key]) from exc
+                        self._emit("retry", key, attempt=attempts[key],
+                                   wall_s=wall, error=repr(exc))
+                        resubmit.append(key)
+                    else:
+                        results[key] = result
+                        if use_cache:
+                            self._store(key, result)
+                        self._emit("finished", key, attempt=attempts[key],
+                                   wall_s=wall)
+                if broken:
+                    # A worker died hard: the executor is unusable and
+                    # every in-flight future is doomed.  Rebuild the pool
+                    # and resubmit what had not finished.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    resubmit.extend(future_key.values())
+                    future_key.clear()
+                    pool = ProcessPoolExecutor(max_workers=workers,
+                                               mp_context=ctx)
+                for key in resubmit:
+                    submit(key)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return results

@@ -20,7 +20,6 @@ it, after inaccurate prefetch interleaving) changes effective latency.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.config import DRAMConfig

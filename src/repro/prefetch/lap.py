@@ -11,7 +11,7 @@ of recently observed macro-blocks.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Set
+from typing import Set
 
 from repro.config import GPUConfig
 from repro.prefetch.base import Prefetcher, PrefetchCandidate

@@ -18,7 +18,7 @@ aggregates them.  Definitions follow Section VI:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 

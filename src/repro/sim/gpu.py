@@ -13,7 +13,7 @@ from typing import Dict, List, Optional
 
 from repro.config import GPUConfig
 from repro.mem.subsystem import MemorySubsystem
-from repro.prefetch.base import NoPrefetcher, Prefetcher
+from repro.prefetch.base import NoPrefetcher
 from repro.prefetch.stats import PrefetchStats
 from repro.sim.cta import CTADistributor
 from repro.sim.kernel import KernelInfo

@@ -24,7 +24,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
-from repro.config import GPUConfig, SchedulerKind
+from repro.config import GPUConfig
 from repro.mem.cache import Cache
 from repro.mem.request import Access, MemoryRequest
 from repro.mem.subsystem import MemorySubsystem

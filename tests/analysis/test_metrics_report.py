@@ -1,13 +1,11 @@
 """Tests for analysis helpers: metrics, report formatting, driver."""
 
-import math
 
 import pytest
 
 from repro.analysis.metrics import geomean, mean, normalized, safe_div
 from repro.analysis.report import format_percent, format_table
 from repro.analysis.driver import (
-    RunKey,
     clear_cache,
     run_benchmark,
     run_matrix,

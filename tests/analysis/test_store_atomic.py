@@ -1,0 +1,46 @@
+"""Atomicity tests for ResultStore.save (temp file + os.replace)."""
+
+import json
+
+import pytest
+
+from repro.analysis.store import ResultStore, RunRecord
+
+
+def record(kernel="SCN"):
+    return RunRecord(kernel=kernel, prefetcher="none",
+                     scheduler="two_level", scale="tiny",
+                     config_label="default", metrics={"ipc": 1.0})
+
+
+def test_save_leaves_no_temp_files(tmp_path):
+    store = ResultStore()
+    store.add(record())
+    path = tmp_path / "results.json"
+    store.save(path)
+    assert [p.name for p in tmp_path.iterdir()] == ["results.json"]
+    assert json.loads(path.read_text())["records"]
+
+
+def test_interrupted_save_preserves_previous_store(tmp_path, monkeypatch):
+    path = tmp_path / "results.json"
+    first = ResultStore()
+    first.add(record("SCN"))
+    first.save(path)
+    before = path.read_text()
+
+    import repro.analysis.store as store_mod
+
+    def exploding_replace(src, dst):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(store_mod.os, "replace", exploding_replace)
+    second = ResultStore()
+    second.add(record("MM"))
+    with pytest.raises(OSError):
+        second.save(path)
+    # The previous store is intact and parseable; no temp files remain.
+    assert path.read_text() == before
+    assert [p.name for p in tmp_path.iterdir()] == ["results.json"]
+    loaded = ResultStore.load(path)
+    assert loaded.get("SCN", "none") is not None

@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.analysis.driver import run_benchmark
-from repro.analysis.store import ResultStore, RunRecord, SCHEMA_VERSION
+from repro.analysis.store import ResultStore, RunRecord
 from repro.cli import build_parser, main
 from repro.config import test_config as tiny_config
 from repro.workloads import Scale
@@ -88,7 +88,6 @@ class TestCLI:
 
     def test_run_with_store(self, tmp_path, capsys, monkeypatch):
         # tiny scale keeps the CLI test fast; patch the default config
-        import repro.cli as cli
         store_path = tmp_path / "r.json"
         rc = main(["run", "SCN", "--engine", "nlp", "--scale", "tiny",
                    "--store", str(store_path)])

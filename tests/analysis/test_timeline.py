@@ -4,12 +4,11 @@ import pytest
 
 from repro.analysis.timeline import (
     TimelineMonitor,
-    TimelineSample,
     render_timeline,
     sparkline,
 )
 from repro.config import test_config as tiny_config
-from repro.sim.gpu import GPU, simulate
+from repro.sim.gpu import simulate
 
 from tests.conftest import make_stream_kernel
 

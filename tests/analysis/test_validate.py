@@ -4,10 +4,9 @@ using stubbed simulation results so no simulation runs."""
 from dataclasses import dataclass, field
 from typing import Dict
 
-import pytest
 
 import repro.analysis.validate as V
-from repro.analysis.validate import Check, all_passed, validate_shape
+from repro.analysis.validate import all_passed, validate_shape
 
 
 @dataclass
@@ -31,12 +30,13 @@ class _StubResult:
         return self.acc
 
 
-def _fake_run(results: Dict):
-    """Build a run_benchmark stand-in from {(bench, engine): result}."""
+def _fake_matrix(results: Dict):
+    """Build a run_matrix stand-in from {(bench, engine): result}."""
 
-    def run(bench, engine, *, config=None, scale=None, scheduler=None,
-            use_cache=True):
-        return results[(bench, engine)]
+    def run(benchmarks, prefetchers, *, config=None, scale=None,
+            scheduler=None):
+        return {(b, e): results[(b, e)]
+                for b in benchmarks for e in prefetchers}
 
     return run
 
@@ -49,7 +49,7 @@ def _healthy(monkeypatch):
                                             dram_reads=180)
         results[(b, "caps")] = _StubResult(ipc=1.1, acc=0.98,
                                            dram_reads=102)
-    monkeypatch.setattr(V, "run_benchmark", _fake_run(results))
+    monkeypatch.setattr(V, "run_matrix", _fake_matrix(results))
     return results
 
 

@@ -7,7 +7,6 @@ verification/throttling, loop-wave coverage and the prefetch window.
 
 from dataclasses import dataclass
 
-import pytest
 
 from repro.config import test_config as tiny_config
 from repro.core.caps import CtaAwarePrefetcher

@@ -9,7 +9,6 @@ from repro.core.hwcost import (
     CAPS_ACCESS_ENERGY_PJ,
     CAPS_AREA_MM2,
     CAPS_STATIC_POWER_UW,
-    HardwareCost,
     caps_hardware_cost,
     dist_entry_bytes,
     percta_entry_bytes,

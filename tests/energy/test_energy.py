@@ -48,7 +48,7 @@ class TestEnergyModel:
     def test_static_energy_scales_with_cycles(self, runs):
         cfg, base, _ = runs
         model = EnergyModel(cfg.num_sms)
-        import copy, dataclasses
+        import dataclasses
         longer = dataclasses.replace(base, cycles=base.cycles * 2)
         assert model.evaluate(longer).static == pytest.approx(
             2 * model.evaluate(base).static

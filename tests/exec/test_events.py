@@ -1,0 +1,91 @@
+"""Tests for the telemetry event stream (repro.exec.events)."""
+
+import io
+import json
+
+import pytest
+
+from repro.exec import EventLog, JSONLSink, TTYProgress
+
+
+class TestEventLog:
+    def test_sequence_numbers_monotonic(self):
+        log = EventLog()
+        log.emit("queued", "A/none@tiny/two_level")
+        log.emit("started", "A/none@tiny/two_level")
+        log.emit("finished", "A/none@tiny/two_level", wall_s=0.5)
+        assert [e.seq for e in log.events] == [0, 1, 2]
+
+    def test_counts_and_cells(self):
+        log = EventLog()
+        log.emit("started", "A")
+        log.emit("started", "B")
+        log.emit("cache_hit", "C", detail="disk")
+        assert log.count("started") == 2
+        assert log.simulations() == 2
+        assert log.cells("cache_hit") == ["C"]
+
+    def test_total_wall(self):
+        log = EventLog()
+        log.emit("finished", "A", wall_s=1.0)
+        log.emit("finished", "B", wall_s=0.25)
+        log.emit("cache_hit", "C", wall_s=99.0)  # not counted
+        assert log.total_wall() == pytest.approx(1.25)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            EventLog().emit("exploded", "A")
+
+    def test_subscriber_fan_out(self):
+        log = EventLog()
+        seen = []
+        log.subscribe(lambda e: seen.append(e.kind))
+        log.emit("queued", "A")
+        log.emit("failed", "A", error="boom")
+        assert seen == ["queued", "failed"]
+
+
+class TestJSONLSink:
+    def test_events_written_as_parseable_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog()
+        sink = JSONLSink(path)
+        log.subscribe(sink)
+        log.emit("queued", "A/none@tiny/two_level", "abc123")
+        log.emit("finished", "A/none@tiny/two_level", "abc123", wall_s=0.1)
+        sink.close()
+        lines = [json.loads(x) for x in path.read_text().splitlines()]
+        assert [e["kind"] for e in lines] == ["queued", "finished"]
+        assert lines[1]["wall_s"] == pytest.approx(0.1)
+        assert lines[0]["config_hash"] == "abc123"
+
+
+class TestTTYProgress:
+    def test_renders_completions_with_counter(self):
+        # Mirrors the engine's emission order: cached cells are never
+        # queued, executed cells are queued before they start.
+        out = io.StringIO()
+        log = EventLog()
+        log.subscribe(TTYProgress(stream=out))
+        log.emit("queued", "A")
+        log.emit("started", "A")
+        log.emit("finished", "A", wall_s=0.2)
+        log.emit("cache_hit", "B", detail="memo")
+        text = out.getvalue()
+        assert "A: 0.20s" in text
+        assert "cached (memo)" in text
+        assert "[  1/  1]" in text
+        assert "[  2/  2]" in text
+
+    def test_renders_retry_and_failure(self):
+        out = io.StringIO()
+        log = EventLog()
+        log.subscribe(TTYProgress(stream=out))
+        log.emit("queued", "A")
+        log.emit("started", "A")
+        log.emit("retry", "A", attempt=1, error="KeyError('x')")
+        log.emit("started", "A", attempt=2)
+        log.emit("failed", "A", attempt=2, error="KeyError('x')")
+        text = out.getvalue()
+        assert "retry A" in text
+        assert "FAILED" in text

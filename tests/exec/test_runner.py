@@ -1,0 +1,136 @@
+"""Tests for the execution engine (repro.exec.runner).
+
+The parallel tests use the real ``spawn`` pool with tiny workloads, so
+they double as an end-to-end check that tasks and results pickle across
+process boundaries.
+"""
+
+import time
+
+import pytest
+
+from repro.config import test_config as tiny_config
+from repro.exec import (
+    CellError,
+    CellTimeout,
+    EventLog,
+    ExecutionEngine,
+    ResultCache,
+    RunKey,
+)
+from repro.exec.cache import result_bytes
+from repro.exec.runner import call_with_timeout
+from repro.prefetch.factory import default_scheduler_for
+from repro.workloads import Scale
+
+
+def make_key(bench="SCN", engine="none"):
+    cfg = tiny_config().with_scheduler(default_scheduler_for(engine))
+    return RunKey(bench, engine, Scale.TINY, cfg)
+
+
+#: A cell whose worker raises (unknown benchmark) — the crash injector.
+BAD_KEY = RunKey("__BOOM__", "none", Scale.TINY, tiny_config())
+
+MATRIX = [make_key("SCN", "none"), make_key("SCN", "nlp"),
+          make_key("BFS", "none")]
+
+
+class TestSerial:
+    def test_memo_identity(self):
+        engine = ExecutionEngine()
+        key = make_key()
+        a = engine.run(key)
+        b = engine.run(key)
+        assert a is b
+        assert engine.events.simulations() == 1
+        assert engine.events.count("cache_hit") == 1
+
+    def test_use_cache_false_bypasses_memo(self):
+        engine = ExecutionEngine()
+        key = make_key()
+        a = engine.run(key)
+        b = engine.run(key, use_cache=False)
+        assert a is not b
+        assert a == b  # deterministic simulator
+        assert key in engine._memo  # uncached run did not pollute the memo
+        assert engine._memo[key] is a
+
+    def test_event_stream_order(self):
+        engine = ExecutionEngine()
+        engine.run(make_key())
+        kinds = [e.kind for e in engine.events.events]
+        assert kinds == ["queued", "started", "finished"]
+        assert engine.events.events[-1].wall_s > 0
+
+    def test_failure_emits_failed_and_raises(self):
+        engine = ExecutionEngine()
+        with pytest.raises(KeyError):
+            engine.run(BAD_KEY)
+        assert engine.events.count("failed") == 1
+
+    def test_persistent_cache_shared_across_engines(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = ExecutionEngine(cache=cache)
+        key = make_key()
+        a = first.run(key)
+        second = ExecutionEngine(cache=ResultCache(tmp_path))
+        b = second.run(key)
+        assert second.events.simulations() == 0
+        assert second.events.cells("cache_hit") == [key.describe()]
+        assert result_bytes(a) == result_bytes(b)
+
+    def test_run_many_serial_dedupes(self):
+        engine = ExecutionEngine()
+        out = engine.run_many(MATRIX + MATRIX)
+        assert len(out) == len(MATRIX)
+        assert engine.events.simulations() == len(MATRIX)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionEngine(jobs=0)
+        with pytest.raises(ValueError):
+            ExecutionEngine(retries=-1)
+
+
+class TestTimeout:
+    def test_call_with_timeout_expires(self):
+        with pytest.raises(CellTimeout):
+            call_with_timeout(lambda: time.sleep(2.0), 0.2)
+
+    def test_call_with_timeout_passes_result(self):
+        assert call_with_timeout(lambda: 42, 5.0) == 42
+
+    def test_no_timeout_runs_bare(self):
+        assert call_with_timeout(lambda: 7, None) == 7
+
+
+class TestParallel:
+    def test_determinism_serial_vs_parallel(self):
+        serial = ExecutionEngine(jobs=1).run_many(MATRIX)
+        parallel = ExecutionEngine(jobs=2).run_many(MATRIX)
+        for key in MATRIX:
+            assert result_bytes(serial[key]) == result_bytes(parallel[key])
+
+    def test_crash_is_retried_then_reported(self):
+        events = EventLog()
+        engine = ExecutionEngine(jobs=2, retries=1, events=events)
+        with pytest.raises(CellError) as err:
+            engine.run_many([BAD_KEY, make_key("SCN", "none")])
+        assert err.value.key == BAD_KEY
+        assert err.value.attempts == 2  # initial try + one retry
+        assert events.count("retry") == 1
+        assert events.count("failed") == 1
+        assert "__BOOM__" in events.cells("failed")[0]
+
+    def test_parallel_populates_memo_and_disk(self, tmp_path):
+        events = EventLog()
+        engine = ExecutionEngine(jobs=2, cache=ResultCache(tmp_path),
+                                 events=events)
+        engine.run_many(MATRIX)
+        assert events.simulations() == len(MATRIX)
+        # Warm pass: everything served from the memo, zero simulations.
+        engine.run_many(MATRIX)
+        assert events.simulations() == len(MATRIX)
+        assert events.count("cache_hit") == len(MATRIX)
+        assert len(ResultCache(tmp_path)) == len(MATRIX)

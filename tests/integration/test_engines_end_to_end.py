@@ -1,7 +1,6 @@
 """End-to-end behaviour of the baseline engines inside the full machine
 (unit tests drive them in isolation; here they run against real traffic)."""
 
-import pytest
 
 from repro.config import test_config as tiny_config
 from repro.prefetch import make_prefetcher

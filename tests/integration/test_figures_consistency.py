@@ -3,7 +3,7 @@
 
 import pytest
 
-from repro.analysis.driver import clear_cache, run_benchmark
+from repro.analysis.driver import run_benchmark
 from repro.analysis.figures import (
     fig10_normalized_ipc,
     fig12_coverage_accuracy,

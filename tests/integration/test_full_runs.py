@@ -5,7 +5,6 @@ import pytest
 
 from repro.analysis.driver import run_benchmark
 from repro.config import small_config
-from repro.config import test_config as tiny_config
 from repro.prefetch import PREFETCHERS
 from repro.workloads import ALL_BENCHMARKS, Scale
 

@@ -2,7 +2,6 @@
 through the full machine (every scheduler, with and without CAPS) and
 must uphold the global invariants."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.config import SchedulerKind
@@ -120,7 +119,6 @@ class TestFuzz:
     @given(kernels())
     @settings(max_examples=6, deadline=None)
     def test_determinism_under_fuzz(self, kernel):
-        import copy
         cfg = tiny_config(max_cycles=400_000)
         # rebuild an identical kernel via a second cursor-independent run
         a = simulate(kernel, cfg)

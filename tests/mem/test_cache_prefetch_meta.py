@@ -1,6 +1,5 @@
 """Prefetch-metadata semantics of the L1 tag store."""
 
-import pytest
 
 from repro.config import CacheConfig
 from repro.mem.cache import Cache

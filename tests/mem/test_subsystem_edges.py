@@ -1,7 +1,6 @@
 """Edge-case tests for the memory subsystem: merge limits, write-drain
 hysteresis, response ordering and partition fairness."""
 
-import pytest
 
 from repro.config import DRAMConfig
 from repro.config import test_config as tiny_config

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.config import test_config as tiny_config
-from repro.sim.application import ApplicationResult, simulate_application
+from repro.sim.application import simulate_application
 from repro.sim.gpu import simulate
 from repro.sim.isa import ComputeOp, LoadOp, LoadSite, WarpProgram, strided_pattern
 from repro.sim.kernel import KernelInfo

@@ -7,8 +7,6 @@ import pytest
 from repro.config import (
     CacheConfig,
     CTAResources,
-    DRAMConfig,
-    GPUConfig,
     SchedulerKind,
     fermi_config,
     occupancy,

@@ -5,7 +5,6 @@ import pytest
 from repro.sim.isa import (
     AddressContext,
     ComputeOp,
-    Instr,
     InstrKind,
     LoadOp,
     LoadSite,

@@ -1,6 +1,5 @@
 """Edge-case tests for the instruction-stream model beyond the basics."""
 
-import pytest
 
 from repro.sim.isa import (
     ComputeOp,

@@ -1,11 +1,10 @@
 """White-box tests of PAS mechanics inside a running SM: the leading
 marker lifecycle and the prefetch candidate queue."""
 
-import pytest
 
 from repro.config import SchedulerKind
 from repro.config import test_config as tiny_config
-from repro.prefetch.base import NoPrefetcher, PrefetchCandidate
+from repro.prefetch.base import PrefetchCandidate
 from repro.sim.gpu import GPU
 from repro.sim.isa import ComputeOp, LoadOp, LoadSite, WarpProgram, strided_pattern
 from repro.sim.kernel import KernelInfo

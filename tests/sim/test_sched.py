@@ -14,7 +14,7 @@ from repro.sim.sched import (
     TwoLevel,
     make_scheduler,
 )
-from repro.sim.warp import Warp, WarpState
+from repro.sim.warp import Warp
 
 
 def make_program(loads=1, compute=2):

@@ -6,7 +6,7 @@ from repro.config import SchedulerKind
 from repro.config import test_config as tiny_config
 from repro.prefetch.base import Prefetcher, PrefetchCandidate
 from repro.sim.gpu import GPU, simulate
-from repro.sim.isa import ComputeOp, LoadOp, LoadSite, LoopOp, StoreOp, WarpProgram, strided_pattern
+from repro.sim.isa import ComputeOp, LoadOp, LoadSite, StoreOp, WarpProgram, strided_pattern
 from repro.sim.kernel import KernelInfo
 
 from tests.conftest import make_stream_kernel

@@ -3,12 +3,11 @@ drop classification, eager wake-up plumbing and stall accounting."""
 
 import dataclasses
 
-import pytest
 
 from repro.config import SchedulerKind
 from repro.config import test_config as tiny_config
 from repro.prefetch.base import Prefetcher, PrefetchCandidate
-from repro.sim.gpu import GPU, simulate
+from repro.sim.gpu import simulate
 from repro.sim.isa import ComputeOp, LoadOp, LoadSite, WarpProgram, strided_pattern
 from repro.sim.kernel import KernelInfo
 

@@ -8,11 +8,10 @@ algebra, and the address generators' determinism.
 
 from collections import Counter
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.config import CacheConfig
-from repro.mem.cache import Cache, Mshr, MshrFullError
+from repro.mem.cache import Cache, Mshr
 from repro.mem.icnt import Pipe
 from repro.mem.request import Access, MemoryRequest
 from repro.sim.coalesce import coalesce

@@ -3,7 +3,6 @@ the CAPS tables."""
 
 from collections import Counter
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.config import DRAMConfig

@@ -2,7 +2,6 @@
 the paper attributes to the original application (simulated at TINY
 scale on the test machine)."""
 
-import pytest
 
 from repro.analysis.driver import run_benchmark
 from repro.config import small_config
