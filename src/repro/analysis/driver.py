@@ -12,22 +12,31 @@ an on-disk cache — see ``docs/execution.md``.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.config import GPUConfig, SchedulerKind, small_config
-from repro.exec import ExecutionEngine, RunKey
+from repro.errors import FailureKind, PermanentError
+from repro.exec import DEFAULT_CACHE_DIR, ExecutionEngine, RunKey
+from repro.exec.cache import key_fingerprint
+from repro.exec.journal import SweepJournal, sweep_id
+from repro.exec.runner import CellFailure
+from repro.guard.bundle import write_diagnostic_bundle
 from repro.prefetch.factory import default_scheduler_for
 from repro.sim.gpu import SimResult
 from repro.workloads import Scale
 
 __all__ = [
     "RunKey",
+    "SweepReport",
     "clear_cache",
     "get_engine",
     "set_engine",
     "make_key",
     "run_benchmark",
     "run_matrix",
+    "run_sweep",
     "speedups_over_baseline",
 ]
 
@@ -113,6 +122,126 @@ def run_matrix(
     }
     results = _ENGINE.run_many(list(keys.values()))
     return {bp: results[key] for bp, key in keys.items()}
+
+
+@dataclass
+class SweepReport:
+    """Outcome of a resilient :func:`run_sweep` over a matrix.
+
+    Every (benchmark, prefetcher) cell lands in exactly one of
+    ``results`` and ``failures``; a sweep never aborts mid-batch.
+    """
+
+    results: Dict[Tuple[str, str], SimResult]
+    failures: Dict[Tuple[str, str], CellFailure]
+    sweep_id: str
+    journal_path: pathlib.Path
+    #: Cells not re-attempted because the journal recorded a permanent
+    #: failure for them in a previous (resumed) invocation.
+    skipped_permanent: int = 0
+    #: Diagnostic bundle paths written for this invocation's failures.
+    bundles: List[pathlib.Path] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def run_sweep(
+    benchmarks: Sequence[str],
+    prefetchers: Sequence[str],
+    *,
+    config: Optional[GPUConfig] = None,
+    scale: Scale = Scale.SMALL,
+    scheduler: Optional[SchedulerKind] = None,
+    resume: bool = False,
+    cache_root=None,
+) -> SweepReport:
+    """Run a matrix crash-safely: journal, classify, never abort.
+
+    Unlike :func:`run_matrix` (fail-fast, raises on the first exhausted
+    cell), a sweep records every failure — after bounded retry for
+    transient ones — writes a diagnostic bundle per failed cell under
+    ``<cache-root>/diagnostics/``, and journals per-cell completion to
+    ``<cache-root>/sweeps/<sweep-id>.jsonl`` as it goes.  With
+    ``resume=True`` a previous journal for the same matrix is honored:
+    completed cells are served from the persistent cache and journaled
+    permanent failures are reported without re-execution.
+    """
+    keys = {
+        (b, p): make_key(b, p, config=config, scale=scale,
+                         scheduler=scheduler)
+        for b in benchmarks
+        for p in prefetchers
+    }
+    fps = {key: key_fingerprint(key) for key in keys.values()}
+    engine = _ENGINE
+    if cache_root is not None:
+        root = pathlib.Path(cache_root)
+    elif engine.cache is not None:
+        root = engine.cache.root
+    else:
+        root = pathlib.Path(DEFAULT_CACHE_DIR)
+    sid = sweep_id(fps.values())
+    journal = SweepJournal(root, sid)
+    prior = journal.permanent_failures() if resume else {}
+
+    failures: Dict[Tuple[str, str], CellFailure] = {}
+    skipped = 0
+    to_run: List[RunKey] = []
+    for bp, key in keys.items():
+        entry = prior.get(fps[key])
+        if entry is not None:
+            failures[bp] = CellFailure(
+                key,
+                PermanentError(entry.get("error",
+                                         "journaled permanent failure")),
+                FailureKind.PERMANENT,
+                entry.get("attempts", 1),
+            )
+            skipped += 1
+        else:
+            to_run.append(key)
+
+    bundles: List[pathlib.Path] = []
+
+    def on_complete(key, result, failure):
+        fp, cell = fps[key], key.describe()
+        if result is not None:
+            journal.record(fp, cell, "done")
+            return
+        err = failure.error
+        snapshot = getattr(err, "snapshot", None)
+        if not snapshot and getattr(err, "result", None) is not None:
+            snapshot = err.result.extra.get("hang_snapshot")
+        bundle = write_diagnostic_bundle(
+            root, cell=cell, config=key.config, error=err,
+            snapshot=snapshot, events=engine.events,
+            seed=engine.faults.seed if engine.faults is not None else None,
+        )
+        if bundle is not None:
+            bundles.append(bundle)
+        journal.record(fp, cell, "failed", kind=failure.kind,
+                       error=repr(err), attempts=failure.attempts,
+                       bundle=str(bundle) if bundle else None)
+
+    try:
+        run_results, run_failures = engine.run_recorded(
+            to_run, on_complete=on_complete)
+    finally:
+        journal.close()
+
+    results: Dict[Tuple[str, str], SimResult] = {}
+    for bp, key in keys.items():
+        if bp in failures:
+            continue
+        if key in run_results:
+            results[bp] = run_results[key]
+        else:
+            failures[bp] = run_failures[key]
+    return SweepReport(results=results, failures=failures, sweep_id=sid,
+                       journal_path=journal.path,
+                       skipped_permanent=skipped, bundles=bundles)
 
 
 def speedups_over_baseline(

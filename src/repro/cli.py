@@ -19,25 +19,40 @@ Commands
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import pathlib
 import sys
 from typing import List, Optional, Sequence
 
-from repro.analysis.driver import run_benchmark, run_matrix, set_engine
+from repro.analysis.driver import run_benchmark, run_sweep, set_engine
 from repro.analysis.metrics import geomean
 from repro.analysis.report import format_percent, format_table
 from repro.analysis.store import ResultStore
 from repro.config import SchedulerKind, fermi_config, small_config
+from repro.errors import (
+    ConfigError,
+    IncompleteRunError,
+    SimulationHangError,
+)
 from repro.exec import (
     DEFAULT_CACHE_DIR,
+    CellError,
     EventLog,
     ExecutionEngine,
     JSONLSink,
     ResultCache,
     TTYProgress,
 )
+from repro.guard.watchdog import format_snapshot
 from repro.prefetch import PREFETCHERS
 from repro.workloads import ALL_BENCHMARKS, WORKLOADS, Scale
+
+#: Process exit codes for scripted callers (CI, Makefiles).
+EXIT_OK = 0
+EXIT_FAIL = 1          # validation checks failed / generic cell error
+EXIT_CONFIG = 2        # invalid configuration (ConfigError)
+EXIT_HANG = 3          # a simulation hung or hit its cycle limit
+EXIT_SWEEP_FAILED = 4  # a resilient sweep finished with failed cells
 
 ENGINE_CHOICES = ("none",) + PREFETCHERS
 SCALES = {s.value: s for s in Scale}
@@ -83,6 +98,13 @@ def build_parser() -> argparse.ArgumentParser:
     ex.add_argument("--events-log", type=pathlib.Path, default=None,
                     metavar="FILE",
                     help="append telemetry events to this JSONL file")
+    ex.add_argument("--hang-cycles", type=int, default=None, metavar="N",
+                    help="watchdog: declare a hang after N cycles with "
+                         "no forward progress (0 disables; default from "
+                         "the config preset)")
+    ex.add_argument("--deep-checks", action="store_true",
+                    help="run the per-cycle invariant audit (slow; "
+                         "debugging aid)")
 
     sub.add_parser("list", help="show workloads and engines")
 
@@ -106,6 +128,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--scale", choices=sorted(SCALES), default="small")
     sweep.add_argument("--config", type=_config, default="small")
     sweep.add_argument("--store", type=pathlib.Path, default=None)
+    sweep.add_argument("--resume", action="store_true",
+                       help="resume a previous sweep of the same matrix: "
+                            "skip journaled-complete cells (implies "
+                            f"--cache {DEFAULT_CACHE_DIR})")
 
     figs = sub.add_parser("figures", help="regenerate paper figures",
                           parents=[ex])
@@ -138,6 +164,19 @@ def build_parser() -> argparse.ArgumentParser:
     return p
 
 
+def _guarded_config(args, base=None):
+    """Apply the shared --hang-cycles/--deep-checks flags to a config."""
+    cfg = base if base is not None else getattr(args, "config", None)
+    if cfg is None:
+        cfg = small_config()
+    overrides = {}
+    if getattr(args, "hang_cycles", None) is not None:
+        overrides["hang_cycles"] = args.hang_cycles
+    if getattr(args, "deep_checks", False):
+        overrides["deep_checks"] = True
+    return dataclasses.replace(cfg, **overrides) if overrides else cfg
+
+
 def cmd_list(_args) -> int:
     rows = [
         (s.abbr, s.full_name, s.suite,
@@ -152,9 +191,10 @@ def cmd_list(_args) -> int:
 
 
 def cmd_run(args) -> int:
-    base = run_benchmark(args.bench, "none", config=args.config,
+    cfg = _guarded_config(args)
+    base = run_benchmark(args.bench, "none", config=cfg,
                          scale=SCALES[args.scale])
-    r = run_benchmark(args.bench, args.engine, config=args.config,
+    r = run_benchmark(args.bench, args.engine, config=cfg,
                       scale=SCALES[args.scale], scheduler=args.scheduler)
     print(format_table(
         ["metric", "baseline", args.engine],
@@ -186,38 +226,61 @@ def cmd_sweep(args) -> int:
     engines = [e.strip() for e in args.engines.split(",")
                if e.strip() and e.strip() != "none"]
     scale = SCALES[args.scale]
-    # One batched matrix: the engine deduplicates cells, runs them in
-    # parallel under --jobs, and serves repeats (notably the "none"
-    # baseline, simulated once per benchmark x scale) from its cache.
-    matrix = run_matrix(benches, ("none",) + tuple(engines),
-                        config=args.config, scale=scale)
+    # One batched, crash-safe sweep: the engine deduplicates cells, runs
+    # them in parallel under --jobs, journals each completion, and
+    # records failures instead of aborting the batch.
+    report = run_sweep(benches, ("none",) + tuple(engines),
+                       config=_guarded_config(args), scale=scale,
+                       resume=args.resume)
+    matrix = report.results
     store = ResultStore()
     for result in matrix.values():
         store.add_result(result, scale=args.scale)
     rows: List = []
     speedups = {e: [] for e in engines}
     for b in benches:
-        base = matrix[(b, "none")]
+        base = matrix.get((b, "none"))
         row: List = [b]
         for e in engines:
-            sp = matrix[(b, e)].ipc / base.ipc
-            speedups[e].append(sp)
-            row.append(sp)
+            r = matrix.get((b, e))
+            if base is None or r is None or base.ipc <= 0:
+                row.append("-")
+            else:
+                sp = r.ipc / base.ipc
+                speedups[e].append(sp)
+                row.append(sp)
         rows.append(tuple(row))
-    rows.append(("geomean", *[geomean(speedups[e]) for e in engines]))
+    rows.append(("geomean",
+                 *[geomean(speedups[e]) if speedups[e] else "-"
+                   for e in engines]))
     print(format_table(["bench"] + engines, rows,
                        title="Normalized IPC over the no-prefetch baseline"))
     if args.store:
         store.save(args.store)
         print(f"\nsaved to {args.store} ({len(store)} records)")
-    return 0
+    if report.skipped_permanent:
+        print(f"\nskipped {report.skipped_permanent} cell(s) journaled as "
+              f"permanently failed (journal: {report.journal_path})")
+    if report.failures:
+        print(f"\n{len(report.failures)} cell(s) FAILED:", file=sys.stderr)
+        for (b, e), failure in sorted(report.failures.items()):
+            print(f"  {b}/{e}: {failure.error!r} "
+                  f"[{failure.kind.value}, {failure.attempts} attempt(s)]",
+                  file=sys.stderr)
+        for bundle in report.bundles:
+            print(f"  diagnostic bundle: {bundle}", file=sys.stderr)
+        print(f"  journal: {report.journal_path} "
+              f"(re-run with --resume to retry)", file=sys.stderr)
+        return EXIT_SWEEP_FAILED
+    return EXIT_OK
 
 
 def cmd_validate(args) -> int:
     from repro.analysis.validate import all_passed, validate_shape
 
     benches = [b.strip().upper() for b in args.benchmarks.split(",") if b.strip()]
-    checks = validate_shape(benchmarks=benches, scale=SCALES[args.scale])
+    checks = validate_shape(benchmarks=benches, scale=SCALES[args.scale],
+                            config=_guarded_config(args))
     for c in checks:
         print(c)
     ok = all_passed(checks)
@@ -277,6 +340,10 @@ def _install_engine(args) -> None:
     jobs = getattr(args, "jobs", 1)
     cache_dir = getattr(args, "cache", None)
     events_log = getattr(args, "events_log", None)
+    if getattr(args, "resume", False) and cache_dir is None:
+        # Resume needs the persistent cache to serve journaled-complete
+        # cells without re-simulation.
+        cache_dir = pathlib.Path(DEFAULT_CACHE_DIR)
     if jobs == 1 and cache_dir is None and events_log is None:
         return
     if jobs < 1:
@@ -290,17 +357,43 @@ def _install_engine(args) -> None:
     set_engine(ExecutionEngine(jobs=jobs, cache=cache, events=events))
 
 
+def _report_hang(exc: BaseException) -> None:
+    """Print a human-readable summary of a hang/incomplete-run error."""
+    print(f"\nerror: {exc}", file=sys.stderr)
+    snapshot = getattr(exc, "snapshot", None)
+    if not snapshot and getattr(exc, "result", None) is not None:
+        snapshot = exc.result.extra.get("hang_snapshot")
+    if snapshot:
+        print(format_snapshot(snapshot), file=sys.stderr)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    _install_engine(args)
-    return {
-        "list": cmd_list,
-        "run": cmd_run,
-        "sweep": cmd_sweep,
-        "figures": cmd_figures,
-        "validate": cmd_validate,
-        "timeline": cmd_timeline,
-    }[args.command](args)
+    try:
+        _install_engine(args)
+        return {
+            "list": cmd_list,
+            "run": cmd_run,
+            "sweep": cmd_sweep,
+            "figures": cmd_figures,
+            "validate": cmd_validate,
+            "timeline": cmd_timeline,
+        }[args.command](args)
+    except ConfigError as exc:
+        print(f"configuration error: {exc}", file=sys.stderr)
+        return EXIT_CONFIG
+    except (SimulationHangError, IncompleteRunError) as exc:
+        _report_hang(exc)
+        return EXIT_HANG
+    except CellError as exc:
+        # Fail-fast batch paths (run_matrix under validate/figures) wrap
+        # the worker's exception; unwrap so hangs still get a snapshot.
+        cause = exc.cause
+        if isinstance(cause, (SimulationHangError, IncompleteRunError)):
+            _report_hang(cause)
+            return EXIT_HANG
+        print(f"\nerror: {exc}", file=sys.stderr)
+        return EXIT_FAIL
 
 
 if __name__ == "__main__":  # pragma: no cover

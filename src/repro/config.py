@@ -17,6 +17,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field, replace
 
+from repro.errors import ConfigError
+
 
 class SchedulerKind(enum.Enum):
     """Warp scheduler selection.
@@ -63,15 +65,44 @@ class CacheConfig:
         return self.num_lines // self.assoc
 
     def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0:
+            raise ConfigError(
+                f"cache size ({self.size_bytes}) and line size "
+                f"({self.line_bytes}) must be positive"
+            )
         if self.size_bytes % self.line_bytes:
-            raise ValueError("cache size must be a multiple of line size")
+            raise ConfigError(
+                f"cache size {self.size_bytes} must be a multiple of the "
+                f"line size {self.line_bytes}"
+            )
         lines = self.size_bytes // self.line_bytes
         if lines % self.assoc:
-            raise ValueError("line count must be a multiple of associativity")
+            raise ConfigError(
+                f"line count {lines} must be a multiple of associativity "
+                f"{self.assoc}"
+            )
         if self.num_sets & (self.num_sets - 1):
-            raise ValueError("set count must be a power of two")
+            raise ConfigError(
+                f"set count must be a power of two (got {self.num_sets}); "
+                "adjust size_bytes or assoc"
+            )
         if self.line_bytes & (self.line_bytes - 1):
-            raise ValueError("line size must be a power of two")
+            raise ConfigError(
+                f"line size must be a power of two (got {self.line_bytes})"
+            )
+        if self.mshr_entries < 1:
+            raise ConfigError(
+                f"mshr_entries must be >= 1 (got {self.mshr_entries}); a "
+                "cache with zero MSHRs can never service a miss"
+            )
+        if self.hit_latency < 1:
+            raise ConfigError(
+                f"hit_latency must be >= 1 cycle (got {self.hit_latency})"
+            )
+        if self.miss_queue_depth < 1:
+            raise ConfigError(
+                f"miss_queue_depth must be >= 1 (got {self.miss_queue_depth})"
+            )
 
 
 @dataclass(frozen=True)
@@ -92,6 +123,25 @@ class DRAMConfig:
     # FR-FCFS serves row hits first; demand requests outrank prefetches.
     prefetch_low_priority: bool = True
 
+    def __post_init__(self) -> None:
+        if self.channels < 1:
+            raise ConfigError(f"dram.channels must be >= 1 (got {self.channels})")
+        if self.queue_entries < 1:
+            raise ConfigError(
+                f"dram.queue_entries must be >= 1 (got {self.queue_entries})"
+            )
+        if self.banks_per_channel < 1:
+            raise ConfigError(
+                f"dram.banks_per_channel must be >= 1 "
+                f"(got {self.banks_per_channel})"
+            )
+        if self.row_miss_cycles < self.row_hit_cycles:
+            raise ConfigError(
+                f"dram.row_miss_cycles ({self.row_miss_cycles}) must be >= "
+                f"row_hit_cycles ({self.row_hit_cycles}): a miss pays the "
+                "hit burst plus precharge+activate"
+            )
+
 
 @dataclass(frozen=True)
 class InterconnectConfig:
@@ -100,6 +150,19 @@ class InterconnectConfig:
     latency: int = 8
     requests_per_cycle: int = 16
     queue_depth: int = 32
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ConfigError(f"icnt.latency must be >= 0 (got {self.latency})")
+        if self.requests_per_cycle < 1:
+            raise ConfigError(
+                f"icnt.requests_per_cycle must be >= 1 "
+                f"(got {self.requests_per_cycle})"
+            )
+        if self.queue_depth < 1:
+            raise ConfigError(
+                f"icnt.queue_depth must be >= 1 (got {self.queue_depth})"
+            )
 
 
 @dataclass(frozen=True)
@@ -133,6 +196,15 @@ class PrefetcherConfig:
     #: freshly detected stride from flooding the (128-line) L1 with
     #: far-future lines that would be evicted before use.
     prefetch_window: int = 16
+
+    def __post_init__(self) -> None:
+        for name in ("percta_entries", "dist_entries", "mispredict_threshold",
+                     "max_coalesced_targets", "prefetch_miss_queue_depth",
+                     "prefetch_inflight_entries", "prefetch_window"):
+            if getattr(self, name) < 1:
+                raise ConfigError(
+                    f"prefetch.{name} must be >= 1 (got {getattr(self, name)})"
+                )
 
 
 @dataclass(frozen=True)
@@ -170,23 +242,59 @@ class GPUConfig:
     dram: DRAMConfig = field(default_factory=DRAMConfig)
     prefetch: PrefetcherConfig = field(default_factory=PrefetcherConfig)
     max_cycles: int = 2_000_000
+    #: Watchdog: declare a hang after this many cycles with no retired
+    #: instruction and no completed memory request (0 disables).
+    hang_cycles: int = 50_000
+    #: Audit structural invariants every cycle (expensive; the cheap
+    #: end-of-run conservation checks are always on).
+    deep_checks: bool = False
 
     def __post_init__(self) -> None:
         if self.num_sms < 1:
-            raise ValueError("need at least one SM")
+            raise ConfigError(f"need at least one SM (got {self.num_sms})")
+        if self.simt_width < 1:
+            raise ConfigError(f"simt_width must be >= 1 (got {self.simt_width})")
+        if self.max_warps_per_sm < 1 or self.max_ctas_per_sm < 1:
+            raise ConfigError(
+                f"max_warps_per_sm ({self.max_warps_per_sm}) and "
+                f"max_ctas_per_sm ({self.max_ctas_per_sm}) must be >= 1"
+            )
         if self.l2_partitions < 1:
-            raise ValueError("need at least one L2 partition")
+            raise ConfigError(
+                f"need at least one L2 partition (got {self.l2_partitions})"
+            )
         if self.l2_partitions % self.dram.channels:
             # An uneven partition->channel mapping creates a permanently
             # hot channel and skews every bandwidth experiment.
-            raise ValueError(
+            raise ConfigError(
                 "l2_partitions must be a multiple of dram.channels "
-                f"(got {self.l2_partitions} / {self.dram.channels})"
+                f"(got {self.l2_partitions} / {self.dram.channels}); use e.g. "
+                f"{self.dram.channels * max(1, self.l2_partitions // self.dram.channels)}"
+                " partitions or adjust the channel count"
             )
         if self.l1d.line_bytes != self.l2.line_bytes:
-            raise ValueError("L1 and L2 line sizes must match")
+            raise ConfigError(
+                f"L1 and L2 line sizes must match (got {self.l1d.line_bytes} "
+                f"vs {self.l2.line_bytes})"
+            )
         if self.ready_queue_size < 1:
-            raise ValueError("ready queue needs at least one entry")
+            raise ConfigError(
+                f"ready queue needs at least one entry "
+                f"(got {self.ready_queue_size})"
+            )
+        if self.ready_queue_size > self.max_warps_per_sm:
+            raise ConfigError(
+                f"ready_queue_size ({self.ready_queue_size}) cannot exceed "
+                f"max_warps_per_sm ({self.max_warps_per_sm}): the two-level "
+                "scheduler's ready queue holds resident warps"
+            )
+        if self.max_cycles < 1:
+            raise ConfigError(f"max_cycles must be >= 1 (got {self.max_cycles})")
+        if self.hang_cycles < 0:
+            raise ConfigError(
+                f"hang_cycles must be >= 0 (got {self.hang_cycles}); "
+                "0 disables the watchdog"
+            )
 
     @property
     def line_bytes(self) -> int:
@@ -197,7 +305,7 @@ class GPUConfig:
 
     def with_cta_limit(self, max_ctas: int) -> "GPUConfig":
         if max_ctas < 1:
-            raise ValueError("max_ctas must be >= 1")
+            raise ConfigError(f"max_ctas must be >= 1 (got {max_ctas})")
         return replace(self, max_ctas_per_sm=max_ctas)
 
 

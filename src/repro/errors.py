@@ -1,0 +1,145 @@
+"""Failure taxonomy shared by the simulator, the guard layer and the
+execution engine.
+
+Every failure a sweep can encounter is classified into exactly one of
+two kinds:
+
+``TRANSIENT``
+    environmental and worth retrying — a worker process died, a cell
+    exceeded its wall-clock budget, the process pool broke.  The
+    execution engine retries these with bounded exponential backoff.
+``PERMANENT``
+    deterministic — re-running the same cell would fail the same way
+    (a wedged simulation, a violated invariant, an invalid config).
+    Resilient sweeps record these and continue; retrying would only
+    burn time.
+
+The classifier is intentionally conservative: an exception it does not
+recognize defaults to ``TRANSIENT`` so that a crash of unknown origin
+still gets its retry budget before the cell is declared failed.
+
+Exception classes that carry structured payloads (:class:`SimulationHangError`
+snapshots, :class:`IncompleteRunError` results) implement ``__reduce__``
+so they survive pickling across the process-pool boundary.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, Optional
+
+
+class FailureKind(enum.Enum):
+    TRANSIENT = "transient"
+    PERMANENT = "permanent"
+
+
+class ReproError(RuntimeError):
+    """Base class of every structured error this package raises.
+
+    Subclasses :class:`RuntimeError` so pre-taxonomy call sites that
+    catch ``RuntimeError`` around a simulation keep working.
+    """
+
+
+class TransientError(ReproError):
+    """An environmental failure; retrying the operation may succeed."""
+
+
+class PermanentError(ReproError):
+    """A deterministic failure; retrying cannot succeed."""
+
+
+class ConfigError(PermanentError, ValueError):
+    """An invalid :class:`repro.config.GPUConfig` (or sub-config).
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    call sites keep working; the CLI catches it specifically to print
+    the actionable message without a traceback.
+    """
+
+
+class SimulationHangError(PermanentError):
+    """The watchdog detected no forward progress for too many cycles.
+
+    Carries a JSON-able diagnostic ``snapshot`` (see
+    :func:`repro.guard.watchdog.build_snapshot`), the ``cycle`` the hang
+    was declared at, and ``stalled_for`` — the cycles elapsed since the
+    last observed progress.
+    """
+
+    def __init__(self, message: str, snapshot: Optional[Dict[str, Any]] = None,
+                 cycle: int = -1, stalled_for: int = 0):
+        super().__init__(message)
+        self.snapshot = snapshot or {}
+        self.cycle = cycle
+        self.stalled_for = stalled_for
+
+    def __reduce__(self):
+        return (self.__class__,
+                (self.args[0], self.snapshot, self.cycle, self.stalled_for))
+
+
+class InvariantViolation(PermanentError):
+    """A runtime conservation/consistency check failed.
+
+    ``name`` identifies the invariant; ``details`` holds the offending
+    counters (JSON-able).
+    """
+
+    def __init__(self, message: str, name: str = "",
+                 details: Optional[Dict[str, Any]] = None):
+        super().__init__(message)
+        self.name = name
+        self.details = details or {}
+
+    def __reduce__(self):
+        return (self.__class__, (self.args[0], self.name, self.details))
+
+
+class IncompleteRunError(PermanentError):
+    """The simulation hit the cycle limit before completing.
+
+    ``result`` (when present) is the truncated
+    :class:`repro.sim.gpu.SimResult`, whose ``extra["hang_snapshot"]``
+    holds the end-of-run diagnostic snapshot.
+    """
+
+    def __init__(self, message: str, result: Any = None):
+        super().__init__(message)
+        self.result = result
+
+    def __reduce__(self):
+        return (self.__class__, (self.args[0], self.result))
+
+
+class InjectedFault(TransientError):
+    """Base class of failures raised by the deterministic fault injector."""
+
+
+class InjectedWorkerCrash(InjectedFault):
+    """A fault-plan-scheduled worker crash (transient by construction)."""
+
+
+def classify(exc: BaseException) -> FailureKind:
+    """Map an exception to its :class:`FailureKind`.
+
+    Explicit taxonomy classes win; ``BrokenProcessPool`` (a worker died
+    hard) is transient; everything unknown defaults to transient so it
+    still receives a bounded retry before being recorded as failed.
+    """
+    if isinstance(exc, PermanentError):
+        return FailureKind.PERMANENT
+    if isinstance(exc, TransientError):
+        return FailureKind.TRANSIENT
+    try:
+        from concurrent.futures.process import BrokenProcessPool
+        if isinstance(exc, BrokenProcessPool):
+            return FailureKind.TRANSIENT
+    except ImportError:  # pragma: no cover - stdlib always present
+        pass
+    return FailureKind.TRANSIENT
+
+
+def is_transient(exc: BaseException) -> bool:
+    return classify(exc) is FailureKind.TRANSIENT

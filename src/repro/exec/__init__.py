@@ -13,11 +13,15 @@ execution layer is factored out of the analysis code:
   JSONL sink and a TTY renderer;
 * :mod:`repro.exec.runner` — :class:`ExecutionEngine`, which executes
   cells serially or on a spawn-safe process pool with per-task timeout
-  and bounded retry.
+  and classification-aware bounded retry (fail-fast ``run_many`` or
+  record-and-continue ``run_recorded``);
+* :mod:`repro.exec.journal` — :class:`SweepJournal`, the crash-safe
+  per-cell completion record that ``repro sweep --resume`` replays.
 
-See ``docs/execution.md`` for the full design.
+See ``docs/execution.md`` and ``docs/robustness.md`` for the design.
 """
 
+from repro.errors import IncompleteRunError
 from repro.exec.cache import (
     CACHE_SCHEMA_VERSION,
     DEFAULT_CACHE_DIR,
@@ -29,11 +33,12 @@ from repro.exec.cache import (
     serialize_result,
 )
 from repro.exec.events import EventLog, ExecEvent, JSONLSink, TTYProgress
+from repro.exec.journal import SweepJournal, sweep_id
 from repro.exec.runner import (
     CellError,
+    CellFailure,
     CellTimeout,
     ExecutionEngine,
-    IncompleteRunError,
     execute_cell,
 )
 
@@ -51,8 +56,11 @@ __all__ = [
     "JSONLSink",
     "TTYProgress",
     "CellError",
+    "CellFailure",
     "CellTimeout",
     "ExecutionEngine",
     "IncompleteRunError",
+    "SweepJournal",
+    "sweep_id",
     "execute_cell",
 ]

@@ -11,15 +11,17 @@ cache entry instead of silently reusing a stale one.
 Layout::
 
     .repro-cache/
-      v1/                      # bumping CACHE_SCHEMA_VERSION retires
+      v2/                      # bumping CACHE_SCHEMA_VERSION retires
         <key-hash>.json        # every old entry wholesale
         ...
 
 Each entry embeds the key description and the config hash it was
 computed under; :meth:`ResultCache.get` re-derives the hash and treats
-any mismatch (or unreadable/corrupt file) as a miss, deleting the stale
-entry.  Writes are atomic (temp file + ``os.replace``) so a killed sweep
-can never leave a half-written entry behind.
+any mismatch (or unreadable/corrupt/truncated file) as a miss, logging
+and deleting the bad entry — a mangled cache can degrade a sweep to
+re-simulation but can never poison it or crash it.  Writes are atomic
+(temp file + ``os.replace``) so a killed sweep can never leave a
+half-written entry behind.
 """
 
 from __future__ import annotations
@@ -28,6 +30,7 @@ import dataclasses
 import enum
 import hashlib
 import json
+import logging
 import os
 import pathlib
 from dataclasses import dataclass
@@ -40,9 +43,13 @@ from repro.sim.gpu import SimResult
 from repro.sim.sm import SMStats
 from repro.workloads import Scale
 
+log = logging.getLogger(__name__)
+
 #: Bump whenever the serialized form of SimResult (or the key content
 #: that feeds the hash) changes incompatibly; old entries are ignored.
-CACHE_SCHEMA_VERSION = 1
+#: v2: GPUConfig grew the guard knobs (hang_cycles, deep_checks) and
+#: SimResult.extra may hold structured snapshots.
+CACHE_SCHEMA_VERSION = 2
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 
@@ -132,11 +139,17 @@ class ResultCache:
     (telemetry and tests read them).
     """
 
-    def __init__(self, root: Any = DEFAULT_CACHE_DIR):
+    def __init__(self, root: Any = DEFAULT_CACHE_DIR, faults: Any = None):
         self.root = pathlib.Path(root)
         self.hits = 0
         self.misses = 0
         self.invalidated = 0
+        # Chaos hook: a FaultPlan with corrupt_cache_rate > 0 truncates
+        # a seeded fraction of entries right after they are written,
+        # exercising the corrupt-entry-as-miss path end to end.
+        self._fault_plan = faults
+        self._fault_rng = (faults.stream("cache")
+                           if faults is not None else None)
 
     @property
     def version_dir(self) -> pathlib.Path:
@@ -158,25 +171,32 @@ class ResultCache:
             self.misses += 1
             return None
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            self._invalidate(path)
+            self._invalidate(path, "unreadable or truncated entry")
+            return None
+        if not isinstance(payload, dict):
+            self._invalidate(path, "entry is not a JSON object")
             return None
         entry_key = payload.get("key", {})
+        if not isinstance(entry_key, dict):
+            self._invalidate(path, "malformed key block")
+            return None
         if (payload.get("schema") != CACHE_SCHEMA_VERSION
                 or entry_key.get("config_hash")
                 != config_fingerprint(key.config)):
-            self._invalidate(path)
+            self._invalidate(path, "schema or config-hash mismatch")
             return None
         try:
             result = deserialize_result(payload["result"])
-        except (KeyError, TypeError):
-            self._invalidate(path)
+        except (KeyError, TypeError, ValueError, AttributeError):
+            self._invalidate(path, "undeserializable result payload")
             return None
         self.hits += 1
         return result
 
-    def _invalidate(self, path: pathlib.Path) -> None:
+    def _invalidate(self, path: pathlib.Path, reason: str) -> None:
         self.misses += 1
         self.invalidated += 1
+        log.warning("evicting corrupt cache entry %s: %s", path.name, reason)
         try:
             path.unlink()
         except OSError:
@@ -203,6 +223,12 @@ class ResultCache:
         finally:
             if tmp.exists():
                 tmp.unlink()
+        if (self._fault_rng is not None
+                and self._fault_plan.should_corrupt_cache(self._fault_rng)):
+            # Truncate mid-payload: a syntactically broken entry that the
+            # next get() must evict and treat as a miss.
+            data = path.read_text()
+            path.write_text(data[: max(1, len(data) // 3)])
         return path
 
     def clear(self) -> int:

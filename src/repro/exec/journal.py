@@ -1,0 +1,131 @@
+"""Crash-safe sweep journal: per-task completion records on disk.
+
+A sweep over N matrix cells appends one JSON line per resolved cell to
+``<cache-root>/sweeps/<sweep-id>.jsonl``, flushed at every append, so a
+killed process loses at most the line being written.  ``sweep-id`` is a
+content hash over the *sorted set* of cell fingerprints — the same
+matrix always journals to the same file, regardless of iteration order,
+which is what makes ``repro sweep --resume`` find its predecessor.
+
+On resume the journal is re-read (tolerating a torn trailing line from
+the crash) and:
+
+* cells journaled ``done`` are served from the persistent result cache
+  (their entries were written before the journal line), so they are
+  never re-simulated;
+* cells journaled ``failed`` with a *permanent* kind are re-reported
+  from the journal without burning cycles on a deterministic failure;
+* everything else — unjournaled cells, and transient failures that may
+  have been environmental — is (re-)executed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.errors import FailureKind
+
+SWEEPS_DIRNAME = "sweeps"
+
+
+def sweep_id(fingerprints: Iterable[str]) -> str:
+    """Stable identity of a sweep: hash of its sorted cell fingerprints."""
+    h = hashlib.sha256()
+    for fp in sorted(fingerprints):
+        h.update(fp.encode())
+        h.update(b"\n")
+    return h.hexdigest()[:16]
+
+
+class SweepJournal:
+    """Append-only JSONL record of one sweep's per-cell outcomes."""
+
+    def __init__(self, root: Any, sweep: str):
+        self.sweep = sweep
+        self.path = (pathlib.Path(root) / SWEEPS_DIRNAME
+                     / f"{sweep}.jsonl")
+        self._fh = None
+
+    # ----------------------------------------------------------- writing
+    def record(
+        self,
+        fingerprint: str,
+        cell: str,
+        status: str,
+        *,
+        kind: Optional[FailureKind] = None,
+        error: Optional[str] = None,
+        attempts: Optional[int] = None,
+        bundle: Optional[str] = None,
+    ) -> None:
+        """Append one outcome line (``status`` is ``done`` or ``failed``)
+        and flush it to disk immediately."""
+        entry: Dict[str, Any] = {
+            "fp": fingerprint, "cell": cell, "status": status,
+        }
+        if kind is not None:
+            entry["kind"] = kind.value
+        if error is not None:
+            entry["error"] = error
+        if attempts is not None:
+            entry["attempts"] = attempts
+        if bundle is not None:
+            entry["bundle"] = bundle
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a")
+        self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ----------------------------------------------------------- reading
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        """Parse the journal into ``fingerprint -> last entry``.
+
+        Corrupt or torn lines (a crash mid-append, manual edits) are
+        skipped: a damaged journal degrades to re-running more cells,
+        never to a crash or a wrong result.
+        """
+        entries: Dict[str, Dict[str, Any]] = {}
+        try:
+            lines = self.path.read_text().splitlines()
+        except (FileNotFoundError, OSError):
+            return entries
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(entry, dict) or "fp" not in entry:
+                continue
+            entries[entry["fp"]] = entry
+        return entries
+
+    def completed(self) -> List[str]:
+        """Fingerprints whose last journaled status is ``done``."""
+        return [fp for fp, e in self.load().items()
+                if e.get("status") == "done"]
+
+    def permanent_failures(self) -> Dict[str, Dict[str, Any]]:
+        """``fingerprint -> entry`` for journaled permanent failures."""
+        return {
+            fp: e for fp, e in self.load().items()
+            if (e.get("status") == "failed"
+                and e.get("kind") == FailureKind.PERMANENT.value)
+        }

@@ -14,6 +14,21 @@
   resubmits the in-flight cells).  With ``jobs=1`` everything runs
   inline in the calling process — no subprocess is ever spawned.
 
+Retry is **classification-aware** (see :mod:`repro.errors`): transient
+failures (worker death, timeout, broken pool, injected chaos faults)
+are retried up to the budget with optional exponential backoff;
+permanent failures (hangs, invariant violations, bad configs) are
+reported immediately — re-running a deterministic simulator cannot
+change the outcome.
+
+Two batch modes exist:
+
+* :meth:`ExecutionEngine.run_many` — fail-fast: the first cell that
+  exhausts its budget raises :class:`CellError` (historical contract).
+* :meth:`ExecutionEngine.run_recorded` — record-and-continue: failures
+  become :class:`CellFailure` records and the batch always finishes;
+  this is what crash-safe sweeps build on.
+
 The module-level :func:`execute_cell` is the single place that maps a
 :class:`RunKey` onto a simulation; it is importable by name so the
 ``spawn`` start method can pickle tasks to fresh interpreters.
@@ -26,25 +41,29 @@ import signal
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import (
+    FailureKind,
+    IncompleteRunError,
+    TransientError,
+    classify,
+)
 from repro.exec.cache import ResultCache, RunKey, config_fingerprint
 from repro.exec.events import EventLog
+from repro.guard.faults import FaultPlan
 from repro.prefetch.factory import make_prefetcher
 from repro.sim.gpu import SimResult, simulate
 from repro.workloads import build
 
 
-class IncompleteRunError(RuntimeError):
-    """The simulation hit the cycle limit before completing."""
-
-
-class CellTimeout(RuntimeError):
+class CellTimeout(TransientError):
     """A cell exceeded the engine's per-task timeout."""
 
 
 class CellError(RuntimeError):
-    """A cell failed after exhausting its retry budget."""
+    """A cell failed after exhausting its retry budget (fail-fast mode)."""
 
     def __init__(self, key: RunKey, cause: BaseException, attempts: int):
         super().__init__(
@@ -55,16 +74,36 @@ class CellError(RuntimeError):
         self.attempts = attempts
 
 
-def execute_cell(key: RunKey) -> SimResult:
-    """Simulate one matrix cell (no caching; raises on incomplete runs)."""
+@dataclass
+class CellFailure:
+    """Terminal failure record for one cell (record-and-continue mode)."""
+
+    key: RunKey
+    error: BaseException
+    kind: FailureKind
+    attempts: int
+
+    def describe(self) -> str:
+        return (f"{self.key.describe()}: {self.error!r} "
+                f"[{self.kind.value}, {self.attempts} attempt(s)]")
+
+
+def execute_cell(key: RunKey, faults: Optional[FaultPlan] = None) -> SimResult:
+    """Simulate one matrix cell (no caching; raises on incomplete runs).
+
+    The :class:`IncompleteRunError` raised for a cycle-limited run
+    carries the truncated result — its ``extra["hang_snapshot"]`` is the
+    end-of-run diagnostic.
+    """
     kernel = build(key.benchmark, key.scale)
     factory = (make_prefetcher(key.prefetcher)
                if key.prefetcher != "none" else None)
-    result = simulate(kernel, key.config, factory)
+    result = simulate(kernel, key.config, factory, faults=faults)
     if not result.completed:
         raise IncompleteRunError(
             f"{key.benchmark}/{key.prefetcher} hit the cycle limit "
-            f"({key.config.max_cycles}) before completing"
+            f"({key.config.max_cycles}) before completing",
+            result=result,
         )
     return result
 
@@ -87,9 +126,12 @@ def call_with_timeout(fn: Callable[[], SimResult],
         signal.signal(signal.SIGALRM, previous)
 
 
-def _worker(key: RunKey, timeout_s: Optional[float]) -> SimResult:
+def _worker(key: RunKey, timeout_s: Optional[float],
+            faults: Optional[FaultPlan] = None, attempt: int = 1) -> SimResult:
     """Pool entry point: one cell, with the per-task deadline armed."""
-    return call_with_timeout(lambda: execute_cell(key), timeout_s)
+    if faults is not None and faults.should_crash(attempt):
+        faults.crash(attempt, key.describe())
+    return call_with_timeout(lambda: execute_cell(key, faults), timeout_s)
 
 
 class ExecutionEngine:
@@ -98,7 +140,7 @@ class ExecutionEngine:
     Parameters
     ----------
     jobs:
-        Worker processes for :meth:`run_many`; ``1`` (the default) runs
+        Worker processes for batch execution; ``1`` (the default) runs
         every cell inline.
     cache:
         Optional persistent :class:`ResultCache` shared across
@@ -110,8 +152,18 @@ class ExecutionEngine:
         Per-cell wall-time budget, enforced inside workers (and inline
         when running serially).
     retries:
-        How many times a failing cell is resubmitted before
-        :class:`CellError` is raised.
+        How many times a *transiently* failing cell is resubmitted
+        before being declared failed.  Permanent failures are never
+        retried.
+    backoff_s:
+        Base of the exponential backoff slept before retry ``n``
+        (``backoff_s * 2**(n-1)`` seconds).  ``0`` (default) retries
+        immediately.
+    faults:
+        Optional :class:`repro.guard.faults.FaultPlan` threaded into
+        every cell for chaos testing.  Plans that perturb simulation
+        timing disable persistent-cache writes so perturbed results
+        never pollute the shared cache.
     """
 
     def __init__(
@@ -121,16 +173,22 @@ class ExecutionEngine:
         events: Optional[EventLog] = None,
         timeout_s: Optional[float] = None,
         retries: int = 1,
+        backoff_s: float = 0.0,
+        faults: Optional[FaultPlan] = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if backoff_s < 0:
+            raise ValueError("backoff_s must be >= 0")
         self.jobs = jobs
         self.cache = cache
         self.events = events if events is not None else EventLog()
         self.timeout_s = timeout_s
         self.retries = retries
+        self.backoff_s = backoff_s
+        self.faults = faults
         self._memo: Dict[RunKey, SimResult] = {}
 
     # ------------------------------------------------------------- memo
@@ -155,8 +213,14 @@ class ExecutionEngine:
 
     def _store(self, key: RunKey, result: SimResult) -> None:
         self._memo[key] = result
-        if self.cache is not None:
+        if self.cache is not None and not self._perturbed():
             self.cache.put(key, result)
+
+    def _perturbed(self) -> bool:
+        return self.faults is not None and self.faults.affects_simulation
+
+    def _retry_delay(self, attempt: int) -> float:
+        return self.backoff_s * (2 ** (attempt - 1)) if self.backoff_s else 0.0
 
     # -------------------------------------------------------- execution
     def run(self, key: RunKey, use_cache: bool = True) -> SimResult:
@@ -169,28 +233,67 @@ class ExecutionEngine:
         return self._run_inline(key, use_cache)
 
     def _run_inline(self, key: RunKey, use_cache: bool) -> SimResult:
-        self._emit("started", key)
-        t0 = time.perf_counter()
-        try:
-            result = call_with_timeout(lambda: execute_cell(key),
-                                       self.timeout_s)
-        except Exception as exc:
-            self._emit("failed", key, wall_s=time.perf_counter() - t0,
-                       error=repr(exc))
-            raise
-        if use_cache:
-            self._store(key, result)
-        self._emit("finished", key, wall_s=time.perf_counter() - t0)
-        return result
+        attempt = 0
+        while True:
+            attempt += 1
+            self._emit("started", key, attempt=attempt)
+            t0 = time.perf_counter()
+            try:
+                result = call_with_timeout(
+                    lambda: _worker(key, None, self.faults, attempt),
+                    self.timeout_s,
+                )
+            except Exception as exc:
+                wall = time.perf_counter() - t0
+                if (attempt <= self.retries
+                        and classify(exc) is FailureKind.TRANSIENT):
+                    self._emit("retry", key, attempt=attempt, wall_s=wall,
+                               error=repr(exc))
+                    delay = self._retry_delay(attempt)
+                    if delay:
+                        time.sleep(delay)
+                    continue
+                self._emit("failed", key, attempt=attempt, wall_s=wall,
+                           error=repr(exc))
+                raise
+            if use_cache:
+                self._store(key, result)
+            self._emit("finished", key, attempt=attempt,
+                       wall_s=time.perf_counter() - t0)
+            return result
 
     def run_many(self, keys: Sequence[RunKey],
                  use_cache: bool = True) -> Dict[RunKey, SimResult]:
-        """Execute a batch of cells, deduplicated, cache-first.
+        """Execute a batch of cells, deduplicated, cache-first (fail-fast).
 
         Returns a dict covering every distinct key.  Raises
         :class:`CellError` (after cancelling outstanding work) if any
         cell still fails once its retry budget is spent.
         """
+        results, failures = self._run_batch(keys, use_cache,
+                                            record=False, on_complete=None)
+        assert not failures  # fail-fast mode raises instead
+        return results
+
+    def run_recorded(
+        self,
+        keys: Sequence[RunKey],
+        use_cache: bool = True,
+        on_complete: Optional[
+            Callable[[RunKey, Optional[SimResult],
+                      Optional[CellFailure]], None]] = None,
+    ) -> Tuple[Dict[RunKey, SimResult], Dict[RunKey, CellFailure]]:
+        """Execute a batch, recording failures instead of raising.
+
+        Every distinct key ends up in exactly one of the two returned
+        dicts.  ``on_complete(key, result, failure)`` fires as each cell
+        resolves (including cache hits), which is what sweep journaling
+        hooks into; exactly one of ``result``/``failure`` is non-None.
+        """
+        return self._run_batch(keys, use_cache, record=True,
+                               on_complete=on_complete)
+
+    def _run_batch(self, keys, use_cache, record, on_complete):
         ordered: List[RunKey] = []
         seen = set()
         for key in keys:
@@ -198,28 +301,47 @@ class ExecutionEngine:
                 seen.add(key)
                 ordered.append(key)
         results: Dict[RunKey, SimResult] = {}
+        failures: Dict[RunKey, CellFailure] = {}
         pending: List[RunKey] = []
+
+        def resolve(key, result=None, failure=None):
+            if result is not None:
+                results[key] = result
+            else:
+                failures[key] = failure
+            if on_complete is not None:
+                on_complete(key, result, failure)
+
         for key in ordered:
             hit = self._lookup(key) if use_cache else None
             if hit is not None:
-                results[key] = hit
+                resolve(key, result=hit)
             else:
                 self._emit("queued", key)
                 pending.append(key)
         if not pending:
-            return results
+            return results, failures
         if self.jobs == 1 or len(pending) == 1:
             for key in pending:
-                results[key] = self._run_inline(key, use_cache)
+                try:
+                    result = self._run_inline(key, use_cache)
+                except Exception as exc:
+                    if not record:
+                        raise
+                    kind = classify(exc)
+                    tried = (1 if kind is FailureKind.PERMANENT
+                             else self.retries + 1)
+                    resolve(key, failure=CellFailure(key, exc, kind, tried))
+                else:
+                    resolve(key, result=result)
         else:
-            results.update(self._run_parallel(pending, use_cache))
-        return results
+            self._run_parallel(pending, use_cache, record, resolve)
+        return results, failures
 
-    def _run_parallel(self, keys: List[RunKey],
-                      use_cache: bool) -> Dict[RunKey, SimResult]:
+    def _run_parallel(self, keys: List[RunKey], use_cache: bool,
+                      record: bool, resolve) -> None:
         ctx = multiprocessing.get_context("spawn")
         workers = min(self.jobs, len(keys))
-        results: Dict[RunKey, SimResult] = {}
         attempts: Dict[RunKey, int] = {k: 0 for k in keys}
         started_at: Dict[RunKey, float] = {}
         future_key: Dict[object, RunKey] = {}
@@ -229,7 +351,8 @@ class ExecutionEngine:
             attempts[key] += 1
             self._emit("started", key, attempt=attempts[key])
             started_at[key] = time.perf_counter()
-            future_key[pool.submit(_worker, key, self.timeout_s)] = key
+            future_key[pool.submit(_worker, key, self.timeout_s,
+                                   self.faults, attempts[key])] = key
 
         try:
             for key in keys:
@@ -245,19 +368,26 @@ class ExecutionEngine:
                         result = fut.result()
                     except Exception as exc:
                         broken = broken or isinstance(exc, BrokenProcessPool)
-                        if attempts[key] > self.retries:
-                            self._emit("failed", key, attempt=attempts[key],
+                        retryable = (classify(exc) is FailureKind.TRANSIENT
+                                     and attempts[key] <= self.retries)
+                        if retryable:
+                            self._emit("retry", key, attempt=attempts[key],
                                        wall_s=wall, error=repr(exc))
-                            raise CellError(key, exc, attempts[key]) from exc
-                        self._emit("retry", key, attempt=attempts[key],
+                            resubmit.append(key)
+                            continue
+                        self._emit("failed", key, attempt=attempts[key],
                                    wall_s=wall, error=repr(exc))
-                        resubmit.append(key)
+                        if not record:
+                            raise CellError(key, exc,
+                                            attempts[key]) from exc
+                        resolve(key, failure=CellFailure(
+                            key, exc, classify(exc), attempts[key]))
                     else:
-                        results[key] = result
                         if use_cache:
                             self._store(key, result)
                         self._emit("finished", key, attempt=attempts[key],
                                    wall_s=wall)
+                        resolve(key, result=result)
                 if broken:
                     # A worker died hard: the executor is unusable and
                     # every in-flight future is doomed.  Rebuild the pool
@@ -267,8 +397,12 @@ class ExecutionEngine:
                     future_key.clear()
                     pool = ProcessPoolExecutor(max_workers=workers,
                                                mp_context=ctx)
-                for key in resubmit:
-                    submit(key)
+                if resubmit:
+                    delay = self._retry_delay(
+                        max(attempts[k] for k in resubmit))
+                    if delay:
+                        time.sleep(delay)
+                    for key in resubmit:
+                        submit(key)
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
-        return results

@@ -1,0 +1,65 @@
+"""Simulation integrity layer: watchdog, invariants, fault injection.
+
+A cycle-level model fails in two characteristic ways: it *wedges* (a
+scheduler that never issues, a lost memory response) and it *lies*
+(counters silently drift apart while every run still "completes").  This
+package guards against both, and gives the execution engine the chaos
+tooling to prove its own recovery paths work:
+
+* :mod:`repro.guard.watchdog` — no-forward-progress detector hooked into
+  the :func:`repro.sim.gpu.simulate` main loop; raises
+  :class:`repro.errors.SimulationHangError` with a diagnostic snapshot
+  (per-warp scoreboard, ready queues, MSHR occupancy, in-flight request
+  ages, DRAM queue depths) instead of spinning;
+* :mod:`repro.guard.invariants` — always-on end-of-run conservation
+  checks (request/MSHR/prefetch/CTA balance) plus opt-in per-cycle
+  structural audits (``deep_checks``);
+* :mod:`repro.guard.faults` — seeded deterministic :class:`FaultPlan`
+  consulted by the memory subsystem (dropped/delayed responses), the
+  execution runner (transient worker crashes) and the result cache
+  (corrupted entries);
+* :mod:`repro.guard.bundle` — on-disk diagnostic bundles (config, seed,
+  snapshot, event tail) written whenever a sweep cell fails.
+
+See ``docs/robustness.md`` for the full design.
+"""
+
+from repro.errors import (
+    ConfigError,
+    FailureKind,
+    InjectedFault,
+    InjectedWorkerCrash,
+    InvariantViolation,
+    SimulationHangError,
+    classify,
+    is_transient,
+)
+from repro.guard.bundle import DIAGNOSTICS_DIRNAME, write_diagnostic_bundle
+from repro.guard.faults import FaultPlan, MemoryFaultInjector
+from repro.guard.invariants import InvariantChecker
+from repro.guard.watchdog import (
+    DEFAULT_HANG_CYCLES,
+    Watchdog,
+    build_snapshot,
+    format_snapshot,
+)
+
+__all__ = [
+    "ConfigError",
+    "FailureKind",
+    "InjectedFault",
+    "InjectedWorkerCrash",
+    "InvariantViolation",
+    "SimulationHangError",
+    "classify",
+    "is_transient",
+    "DIAGNOSTICS_DIRNAME",
+    "write_diagnostic_bundle",
+    "FaultPlan",
+    "MemoryFaultInjector",
+    "InvariantChecker",
+    "DEFAULT_HANG_CYCLES",
+    "Watchdog",
+    "build_snapshot",
+    "format_snapshot",
+]

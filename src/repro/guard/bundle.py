@@ -1,0 +1,91 @@
+"""Diagnostic bundles: everything needed to reproduce/triage a failure.
+
+When a sweep cell fails (hang, invariant violation, exhausted retries)
+a single JSON bundle is written under
+``<cache-root>/diagnostics/``, holding the cell identity, the full
+config, the error with traceback, the fault-plan seed (if any), the
+hang snapshot (if any) and the tail of the telemetry event stream.  The
+writer never raises — diagnostics must not mask the original failure —
+and returns ``None`` if the bundle cannot be written.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import time
+import traceback
+from typing import Any, Dict, Optional
+
+DIAGNOSTICS_DIRNAME = "diagnostics"
+
+#: Telemetry events retained in a bundle.
+EVENT_TAIL = 50
+
+
+def _jsonify(obj: Any) -> Any:
+    import enum
+
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: _jsonify(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)}
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, dict):
+        return {str(k): _jsonify(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonify(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+def write_diagnostic_bundle(
+    root,
+    *,
+    cell: str = "",
+    config: Any = None,
+    error: Optional[BaseException] = None,
+    snapshot: Optional[Dict[str, Any]] = None,
+    events=None,
+    seed: Optional[int] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Optional[pathlib.Path]:
+    """Write one failure bundle; returns its path (or ``None`` on error)."""
+    try:
+        directory = pathlib.Path(root) / DIAGNOSTICS_DIRNAME
+        directory.mkdir(parents=True, exist_ok=True)
+        slug = "".join(c if c.isalnum() else "-" for c in cell) or "failure"
+        stamp = time.strftime("%Y%m%dT%H%M%S")
+        path = directory / f"{stamp}-{slug}.json"
+        # Avoid clobbering when several cells fail within one second.
+        n = 1
+        while path.exists():
+            path = directory / f"{stamp}-{slug}-{n}.json"
+            n += 1
+        bundle: Dict[str, Any] = {
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "cell": cell,
+            "config": _jsonify(config) if config is not None else None,
+            "seed": seed,
+            "snapshot": snapshot or getattr(error, "snapshot", None) or None,
+        }
+        if error is not None:
+            bundle["error"] = {
+                "type": type(error).__name__,
+                "message": str(error),
+                "repr": repr(error),
+                "traceback": "".join(traceback.format_exception(
+                    type(error), error, error.__traceback__)),
+                "details": _jsonify(getattr(error, "details", None)),
+            }
+        if events is not None:
+            tail = list(getattr(events, "events", events))[-EVENT_TAIL:]
+            bundle["events_tail"] = [_jsonify(e) for e in tail]
+        if extra:
+            bundle["extra"] = _jsonify(extra)
+        path.write_text(json.dumps(bundle, indent=1, default=repr))
+        return path
+    except Exception:  # pragma: no cover - diagnostics must never mask
+        return None

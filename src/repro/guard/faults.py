@@ -1,0 +1,136 @@
+"""Deterministic, seeded fault injection for chaos testing.
+
+A :class:`FaultPlan` is a frozen, picklable description of the faults a
+run should experience.  Consumers derive independent deterministic
+random streams from it (seeded by SHA-256 of ``seed:label``, never by
+Python's salted ``hash``), so the same plan produces the same fault
+sequence in every process, on every platform — which is what lets the
+chaos suite assert exact recovery behaviour:
+
+* the **memory subsystem** consults a :class:`MemoryFaultInjector` to
+  drop or delay read responses (a dropped demand response wedges its
+  warp forever, which is precisely what the watchdog must catch);
+* the **execution runner** consults :meth:`FaultPlan.should_crash` to
+  kill worker attempts (raising :class:`repro.errors.InjectedWorkerCrash`,
+  or hard-exiting the process to break the pool), proving the
+  retry/backoff/pool-rebuild paths fire;
+* the **result cache** consults :meth:`FaultPlan.should_corrupt_cache`
+  to truncate freshly written entries, proving corrupted entries load
+  as misses instead of crashing a sweep.
+
+Plans with memory faults perturb simulation timing, so the execution
+engine refuses to persist their results into the shared on-disk cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+from repro.errors import InjectedWorkerCrash
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded description of the faults to inject into a run."""
+
+    seed: int = 0
+    #: Probability that a read response is silently dropped.
+    drop_response_rate: float = 0.0
+    #: Cap on dropped responses (0 = unlimited), so a plan can wedge
+    #: exactly one warp instead of the whole machine.
+    max_drops: int = 0
+    #: Probability that a read response is delayed by ``delay_cycles``.
+    delay_response_rate: float = 0.0
+    delay_cycles: int = 500
+    #: Worker attempts 1..crash_attempts raise/exit before simulating.
+    crash_attempts: int = 0
+    #: ``True``: the worker hard-exits (``os._exit``), breaking the
+    #: process pool; ``False``: it raises :class:`InjectedWorkerCrash`.
+    crash_hard: bool = False
+    #: Probability that a just-written result-cache entry is truncated.
+    corrupt_cache_rate: float = 0.0
+
+    def __post_init__(self):
+        for name in ("drop_response_rate", "delay_response_rate",
+                     "corrupt_cache_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1] (got {rate})")
+        if self.crash_attempts < 0 or self.max_drops < 0:
+            raise ValueError("crash_attempts and max_drops must be >= 0")
+        if self.delay_cycles < 1:
+            raise ValueError("delay_cycles must be >= 1")
+
+    # ------------------------------------------------------------ streams
+    def stream(self, label: str) -> random.Random:
+        """Independent deterministic RNG for one consumer.
+
+        Stable across processes and platforms: seeded from SHA-256 of
+        ``seed:label`` (never from Python's per-process salted hash).
+        """
+        digest = hashlib.sha256(f"{self.seed}:{label}".encode()).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
+
+    # ------------------------------------------------------------ queries
+    @property
+    def affects_simulation(self) -> bool:
+        """True when the plan perturbs simulation timing/results."""
+        return self.drop_response_rate > 0 or self.delay_response_rate > 0
+
+    def should_crash(self, attempt: int) -> bool:
+        """Whether worker ``attempt`` (1-based) should be killed."""
+        return attempt <= self.crash_attempts
+
+    def crash(self, attempt: int, cell: str = "") -> None:
+        """Kill the current worker attempt per the plan."""
+        if self.crash_hard:
+            import os
+            os._exit(43)
+        raise InjectedWorkerCrash(
+            f"fault plan (seed {self.seed}) crashed attempt {attempt}"
+            + (f" of {cell}" if cell else "")
+        )
+
+    def should_corrupt_cache(self, rng: random.Random) -> bool:
+        return (self.corrupt_cache_rate > 0
+                and rng.random() < self.corrupt_cache_rate)
+
+
+class MemoryFaultInjector:
+    """Per-simulation adapter applying a plan to the response path.
+
+    One injector per :class:`repro.mem.subsystem.MemorySubsystem`; it
+    owns the plan's RNG streams and the drop/delay counters the
+    invariant checker uses to keep conservation exact under injection.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._drop_rng = plan.stream("mem.drop")
+        self._delay_rng = plan.stream("mem.delay")
+        self.dropped = 0
+        self.delayed = 0
+
+    def on_response(self, req) -> str:
+        """Fate of a read response: ``deliver``, ``drop`` or ``delay``.
+
+        Each response is delayed at most once (the retry would otherwise
+        starve under high delay rates), and drops respect ``max_drops``.
+        """
+        plan = self.plan
+        if plan.drop_response_rate > 0 and (
+            plan.max_drops == 0 or self.dropped < plan.max_drops
+        ):
+            if self._drop_rng.random() < plan.drop_response_rate:
+                self.dropped += 1
+                return "drop"
+        if plan.delay_response_rate > 0 and not getattr(
+            req, "fault_delayed", False
+        ):
+            if self._delay_rng.random() < plan.delay_response_rate:
+                self.delayed += 1
+                req.fault_delayed = True
+                return "delay"
+        return "deliver"

@@ -61,6 +61,10 @@ class Mshr:
         self.merge_limit = merge_limit
         self._entries: Dict[int, _MshrEntry] = {}
         self.peak_occupancy = 0
+        # Lifetime allocate/release balance, audited by the invariant
+        # checker: allocated == released + len(self) at all times.
+        self.allocated = 0
+        self.released = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -83,6 +87,7 @@ class Mshr:
         if self.full:
             raise MshrFullError(f"MSHR full ({self.capacity} entries)")
         self._entries[req.line_addr] = _MshrEntry(req.line_addr, [req])
+        self.allocated += 1
         self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
 
     def merge(self, req: MemoryRequest) -> None:
@@ -100,11 +105,16 @@ class Mshr:
             raise KeyError(f"line {line_addr:#x} not pending")
         return e.prefetch_only
 
+    def outstanding_requests(self) -> int:
+        """Total requests (allocations + merges) currently held."""
+        return sum(len(e.requests) for e in self._entries.values())
+
     def release(self, line_addr: int) -> List[MemoryRequest]:
         """Remove the entry on fill; returns all merged requests."""
         e = self._entries.pop(line_addr, None)
         if e is None:
             raise KeyError(f"line {line_addr:#x} not pending")
+        self.released += 1
         return e.requests
 
 

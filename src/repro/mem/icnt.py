@@ -36,6 +36,10 @@ class Pipe:
     def __len__(self) -> int:
         return len(self._q)
 
+    def entries(self) -> Tuple[Tuple[int, MemoryRequest], ...]:
+        """Snapshot of ``(ready_at, request)`` pairs (diagnostics)."""
+        return tuple(self._q)
+
     @property
     def full(self) -> bool:
         return len(self._q) >= self.capacity

@@ -39,6 +39,8 @@ class MemoryRequest:
     uid: int = field(default_factory=lambda: next(_uid))
     # set on the return path
     l2_hit: bool = False
+    # set by the fault injector so a response is delayed at most once
+    fault_delayed: bool = False
 
     @property
     def is_prefetch(self) -> bool:

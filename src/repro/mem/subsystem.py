@@ -58,10 +58,14 @@ class MemorySubsystem:
         config: GPUConfig,
         num_sms: int,
         on_response: Callable[[MemoryRequest], None],
+        faults=None,
     ):
         self.config = config
         self.num_sms = num_sms
         self.on_response = on_response
+        #: Optional :class:`repro.guard.faults.MemoryFaultInjector`
+        #: consulted on the response path (chaos testing).
+        self.faults = faults
         self._line_shift = config.line_bytes.bit_length() - 1
         self.channels = [
             DramChannel(config.dram, c) for c in range(config.dram.channels)
@@ -122,8 +126,22 @@ class MemorySubsystem:
         for ch in self.channels:
             ch.cycle(now, lambda req, _now=now: self._dram_complete(req, _now))
         # 2. L2 hit completions that have waited out the L2 latency.
+        # Every read response funnels through _l2_wait (both the hit
+        # path and the DRAM-fill path), so this is the single choke
+        # point where the fault injector can drop or delay responses.
         while self._l2_wait and self._l2_wait[0][0] <= now:
             _, _, req = heapq.heappop(self._l2_wait)
+            if self.faults is not None:
+                fate = self.faults.on_response(req)
+                if fate == "drop":
+                    continue
+                if fate == "delay":
+                    self._seq += 1
+                    heapq.heappush(
+                        self._l2_wait,
+                        (now + self.faults.plan.delay_cycles, self._seq, req),
+                    )
+                    continue
             self.response_pipe.push(req, now)
         # 3. L2 partitions process their input queues.
         for part in self.partitions:

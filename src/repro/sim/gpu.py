@@ -9,9 +9,11 @@ paper's figures report.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.config import GPUConfig
+from repro.guard.invariants import InvariantChecker
+from repro.guard.watchdog import Watchdog, build_snapshot
 from repro.mem.subsystem import MemorySubsystem
 from repro.prefetch.base import NoPrefetcher
 from repro.prefetch.stats import PrefetchStats
@@ -44,7 +46,9 @@ class SimResult:
     core_store_requests: int
     completed: bool
     ctas_total: int
-    extra: Dict[str, float] = field(default_factory=dict)
+    #: Free-form extras; incomplete runs carry their diagnostic
+    #: ``hang_snapshot`` here (see :mod:`repro.guard.watchdog`).
+    extra: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def ipc(self) -> float:
@@ -94,13 +98,21 @@ class GPU:
         kernel: KernelInfo,
         config: GPUConfig,
         prefetcher_factory=None,
+        faults=None,
     ):
         self.kernel = kernel
         self.config = config
         factory = prefetcher_factory or (lambda cfg, sm_id: NoPrefetcher(cfg, sm_id))
+        injector = None
+        if faults is not None and faults.affects_simulation:
+            from repro.guard.faults import MemoryFaultInjector
+            injector = MemoryFaultInjector(faults)
         self.subsystem = MemorySubsystem(
-            config, config.num_sms, self._on_response
+            config, config.num_sms, self._on_response, faults=injector
         )
+        self.watchdog = (Watchdog(config.hang_cycles)
+                         if config.hang_cycles else None)
+        self.invariants = InvariantChecker(config)
         self.sms: List[SM] = []
         for sm_id in range(config.num_sms):
             pf = factory(config, sm_id)
@@ -143,6 +155,8 @@ class GPU:
         """
         limit = max_cycles if max_cycles is not None else self.config.max_cycles
         interval = getattr(monitor, "interval", 0)
+        wd = self.watchdog
+        deep = self.config.deep_checks
         while not self.done and self.now < limit:
             for sm in self.sms:
                 sm.cycle(self.now)
@@ -150,13 +164,21 @@ class GPU:
             self.now += 1
             if interval and self.now % interval == 0:
                 monitor.sample(self, self.now)
+            if deep:
+                self.invariants.check_cycle(self, self.now)
+            if wd is not None and self.now % wd.check_interval == 0:
+                wd.check(self, self.now)
         completed = self.done
         cycles = self.now
         if completed:
             self._flush_memory(limit)
         for sm in self.sms:
             sm.finalize()
-        return self._collect(completed, cycles)
+        self.invariants.verify_end(self, completed)
+        result = self._collect(completed, cycles)
+        if not completed:
+            result.extra["hang_snapshot"] = build_snapshot(self, cycles)
+        return result
 
     def _flush_memory(self, limit: int) -> None:
         """Drain in-flight stores/prefetches after the last warp retires
@@ -216,7 +238,14 @@ def simulate(
     prefetcher_factory=None,
     max_cycles: Optional[int] = None,
     monitor=None,
+    faults=None,
 ) -> SimResult:
-    """Run ``kernel`` on a fresh GPU and return its :class:`SimResult`."""
-    gpu = GPU(kernel, config, prefetcher_factory)
+    """Run ``kernel`` on a fresh GPU and return its :class:`SimResult`.
+
+    ``faults`` is an optional :class:`repro.guard.faults.FaultPlan`; when
+    it perturbs simulation timing the memory subsystem routes responses
+    through a seeded injector (chaos testing only — such results are
+    never persisted to the shared result cache).
+    """
+    gpu = GPU(kernel, config, prefetcher_factory, faults=faults)
     return gpu.run(max_cycles=max_cycles, monitor=monitor)

@@ -1,0 +1,208 @@
+"""Crash-safe sweep tests: journaling, resume after a kill, diagnostic
+bundles, and corrupted-cache degradation."""
+
+import json
+
+import pytest
+
+from repro.analysis import driver
+from repro.config import test_config as tiny_config
+from repro.errors import ConfigError, FailureKind
+from repro.exec import (
+    EventLog,
+    ExecutionEngine,
+    ResultCache,
+    SweepJournal,
+    sweep_id,
+)
+from repro.exec.cache import key_fingerprint
+from repro.guard.faults import FaultPlan
+from repro.workloads import Scale
+
+
+@pytest.fixture
+def engine_guard():
+    """Restore the process-wide engine after each test."""
+    saved = driver.get_engine()
+    yield
+    driver.set_engine(saved)
+
+
+def _install(tmp_path, **kw):
+    events = EventLog()
+    engine = ExecutionEngine(cache=ResultCache(tmp_path), events=events,
+                             **kw)
+    driver.set_engine(engine)
+    return events
+
+
+def _sweep(tmp_path, benches=("SCN", "BFS"), engines=("none", "caps"),
+           resume=False, **cfg_overrides):
+    return driver.run_sweep(
+        list(benches), list(engines), config=tiny_config(**cfg_overrides),
+        scale=Scale.TINY, resume=resume, cache_root=tmp_path)
+
+
+def test_sweep_journals_every_cell(tmp_path, engine_guard):
+    _install(tmp_path)
+    report = _sweep(tmp_path)
+    assert report.ok and len(report.results) == 4
+    entries = SweepJournal(tmp_path, report.sweep_id).load()
+    assert len(entries) == 4
+    assert all(e["status"] == "done" for e in entries.values())
+
+
+def test_resume_runs_only_unfinished_cells(tmp_path, engine_guard):
+    """Emulate a sweep killed half-way: two cells journaled done (and in
+    the persistent cache), two never started.  Resume must simulate only
+    the two unfinished cells."""
+    cfg = tiny_config()
+    keys = {
+        (b, e): driver.make_key(b, e, config=cfg, scale=Scale.TINY)
+        for b in ("SCN", "BFS") for e in ("none", "caps")
+    }
+    fps = {bp: key_fingerprint(k) for bp, k in keys.items()}
+    sid = sweep_id(fps.values())
+
+    # The "killed" first invocation: two cells done, journaled, cached.
+    prep = ExecutionEngine(cache=ResultCache(tmp_path))
+    with SweepJournal(tmp_path, sid) as journal:
+        for bp in [("SCN", "none"), ("SCN", "caps")]:
+            prep.run(keys[bp])
+            journal.record(fps[bp], keys[bp].describe(), "done")
+
+    events = _install(tmp_path)
+    report = _sweep(tmp_path, resume=True)
+    assert report.ok and len(report.results) == 4
+    assert events.simulations() == 2  # only the BFS cells ran
+    done = [c for c in events.cells("started")]
+    assert all(c.startswith("BFS/") for c in done)
+
+
+def test_failed_cell_recorded_with_bundle_not_aborting(tmp_path,
+                                                       engine_guard):
+    """A permanently failing cell (cycle-limited) is recorded — with a
+    diagnostic bundle — while the rest of the sweep completes."""
+    _install(tmp_path)
+    report = _sweep(tmp_path, max_cycles=40, hang_cycles=0,
+                    engines=("none",))
+    assert not report.ok
+    assert set(report.failures) == {("SCN", "none"), ("BFS", "none")}
+    for failure in report.failures.values():
+        assert failure.kind is FailureKind.PERMANENT
+    assert len(report.bundles) == 2
+    bundle = json.loads(report.bundles[0].read_text())
+    assert bundle["error"]["type"] == "IncompleteRunError"
+    assert bundle["snapshot"]["cycle"] == 40
+    assert bundle["config"]["max_cycles"] == 40
+    assert bundle["events_tail"]
+
+
+def test_resume_skips_journaled_permanent_failures(tmp_path, engine_guard):
+    _install(tmp_path)
+    first = _sweep(tmp_path, max_cycles=40, hang_cycles=0,
+                   engines=("none",))
+    assert len(first.failures) == 2
+
+    events = _install(tmp_path)
+    second = _sweep(tmp_path, max_cycles=40, hang_cycles=0,
+                    engines=("none",), resume=True)
+    assert second.skipped_permanent == 2
+    assert len(second.failures) == 2
+    assert events.simulations() == 0  # nothing re-ran
+
+
+def test_transient_failures_are_retried_on_resume(tmp_path, engine_guard):
+    """Only *permanent* journal entries are skipped: a journaled
+    transient failure gets another chance."""
+    cfg = tiny_config()
+    key = driver.make_key("SCN", "none", config=cfg, scale=Scale.TINY)
+    sid = sweep_id([key_fingerprint(key)])
+    with SweepJournal(tmp_path, sid) as journal:
+        journal.record(key_fingerprint(key), key.describe(), "failed",
+                       kind=FailureKind.TRANSIENT, error="worker died")
+    events = _install(tmp_path)
+    report = _sweep(tmp_path, benches=("SCN",), engines=("none",),
+                    resume=True)
+    assert report.ok
+    assert events.simulations() == 1
+
+
+def test_journal_tolerates_torn_lines(tmp_path):
+    journal = SweepJournal(tmp_path, "abc123")
+    journal.record("fp1", "SCN/none", "done")
+    journal.record("fp2", "BFS/none", "done")
+    journal.close()
+    with open(journal.path, "a") as fh:
+        fh.write('{"fp": "fp3", "status": "do')  # the kill mid-append
+    entries = journal.load()
+    assert set(entries) == {"fp1", "fp2"}
+    assert journal.completed() == ["fp1", "fp2"]
+
+
+def test_sweep_id_is_order_independent():
+    fps = ["b" * 8, "a" * 8, "c" * 8]
+    assert sweep_id(fps) == sweep_id(reversed(fps))
+    assert sweep_id(fps) != sweep_id(fps[:2])
+
+
+# ----------------------------------------------------- cache degradation
+def test_truncated_cache_entry_is_miss_and_evicted(tmp_path):
+    cache = ResultCache(tmp_path)
+    engine = ExecutionEngine(cache=cache)
+    key = driver.make_key("SCN", "none", config=tiny_config(),
+                          scale=Scale.TINY)
+    engine.run(key)
+    path = cache.path_for(key)
+    path.write_text(path.read_text()[:40])
+
+    fresh = ResultCache(tmp_path)
+    assert fresh.get(key) is None
+    assert fresh.invalidated == 1
+    assert not path.exists()
+    # The engine degrades to re-simulation, then repopulates the entry.
+    events = EventLog()
+    engine2 = ExecutionEngine(cache=ResultCache(tmp_path), events=events)
+    engine2.run(key)
+    assert events.simulations() == 1
+    assert ResultCache(tmp_path).get(key) is not None
+
+
+@pytest.mark.parametrize("payload", ["42", '"oops"', '{"schema": 2}',
+                                     '{"schema": 2, "key": [1]}'])
+def test_malformed_cache_payloads_are_misses(tmp_path, payload):
+    cache = ResultCache(tmp_path)
+    engine = ExecutionEngine(cache=cache)
+    key = driver.make_key("SCN", "none", config=tiny_config(),
+                          scale=Scale.TINY)
+    engine.run(key)
+    cache.path_for(key).write_text(payload)
+    fresh = ResultCache(tmp_path)
+    assert fresh.get(key) is None
+    assert fresh.invalidated == 1
+
+
+def test_corrupt_cache_fault_plan_degrades_gracefully(tmp_path):
+    """A plan that truncates every written entry: every lookup misses,
+    every run still succeeds (chaos-as-a-miss)."""
+    plan = FaultPlan(seed=2, corrupt_cache_rate=1.0)
+    cache = ResultCache(tmp_path, faults=plan)
+    engine = ExecutionEngine(cache=cache)
+    key = driver.make_key("SCN", "none", config=tiny_config(),
+                          scale=Scale.TINY)
+    engine.run(key)
+    assert ResultCache(tmp_path).get(key) is None  # entry was mangled
+    engine2 = ExecutionEngine(cache=ResultCache(tmp_path))
+    assert engine2.run(key).completed
+
+
+# ----------------------------------------------------------- config errors
+def test_config_cross_field_validation():
+    with pytest.raises(ConfigError, match="ready_queue_size"):
+        tiny_config(ready_queue_size=64)
+    with pytest.raises(ConfigError, match="hang_cycles"):
+        tiny_config(hang_cycles=-1)
+    with pytest.raises(ConfigError, match="mshr"):
+        from repro.config import CacheConfig
+        CacheConfig(size_bytes=4096, line_bytes=128, assoc=4,
+                    hit_latency=10, mshr_entries=0)
