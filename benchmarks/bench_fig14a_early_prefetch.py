@@ -4,6 +4,13 @@ Paper: CAPS evicts only 0.91% of prefetched data before use, rising to
 1.16% without the eager warp wake-up; the stride engines (INTRA/INTER/
 MTA) are far worse because their prefetches are not timed to a target
 warp's schedule.
+
+The ratio is derived from the :mod:`repro.obs` windowed time series
+(``extra["timeseries"]`` totals) rather than end-of-run counters — the
+same event stream ``repro run --metrics-out`` exports, so the figure is
+reproducible from an exported series alone.  Series totals reconcile
+exactly with the legacy ``PrefetchStats`` counters
+(tests/obs/test_fig14_series.py).
 """
 
 from conftest import run_once

@@ -4,6 +4,13 @@ Paper: CAPS issues prefetches on average 64.3 cycles before the demand
 under plain LRR, 145.0 under the two-level scheduler, and 172.7 when
 paired with the prefetch-aware scheduler — PAS exists precisely to
 stretch this distance by hoisting the leading warps.
+
+The distances are derived from the :mod:`repro.obs` windowed time
+series (``extra["timeseries"]`` totals and its per-window distance
+sums) rather than end-of-run counters; the distance *histogram* in the
+same payload shows the full lead distribution, not just the mean.
+Series totals reconcile exactly with the legacy ``PrefetchStats``
+counters (tests/obs/test_fig14_series.py).
 """
 
 from conftest import run_once

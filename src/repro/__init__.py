@@ -27,6 +27,7 @@ from repro.config import (
     DRAMConfig,
     GPUConfig,
     InterconnectConfig,
+    ObsConfig,
     PrefetcherConfig,
     SchedulerKind,
     fermi_config,
@@ -54,6 +55,7 @@ __all__ = [
     "DRAMConfig",
     "GPUConfig",
     "InterconnectConfig",
+    "ObsConfig",
     "PrefetcherConfig",
     "SchedulerKind",
     "fermi_config",

@@ -227,7 +227,13 @@ def generate_experiments_md(
             ["scheduler", "paper (cycles)", "measured (cycles)"],
             [[k, PAPER["fig14b"][k], _f(v, 1)] for k, v in f14b.items()],
         )
-        + "\n\nMeasured ordering matches: LRR < two-level < PAS.\n"
+        + "\n\nMeasured ordering matches: LRR < two-level < PAS.  Both "
+        "metrics are derived from the `repro.obs` windowed time series "
+        "(`extra[\"timeseries\"]` totals; see "
+        "[docs/observability.md](docs/observability.md) and "
+        "[docs/metrics-glossary.md](docs/metrics-glossary.md)) — the "
+        "same series `repro run --metrics-out` exports, so the figure "
+        "is recomputable from an exported file alone.\n"
     )
 
     # ----------------------------------------------------------- Figure 15

@@ -258,6 +258,13 @@ def fig13_bandwidth_overhead(
 
 
 # --------------------------------------------------------------- Figure 14
+#
+# Both Figure 14 metrics are event-stream properties (prefetch issue,
+# fill, consume, evict), so they are computed from the repro.obs windowed
+# time series rather than end-of-run counters: the runs carry
+# ``extra["timeseries"]`` and the ratios/means come from its totals.
+# Hooks fire at the exact PrefetchStats call sites, so the values agree
+# with the legacy counters to the last integer (tests/obs golden test).
 
 def fig14a_early_prefetch_ratio(
     *,
@@ -266,8 +273,10 @@ def fig14a_early_prefetch_ratio(
     benchmarks: Sequence[str] = ALL_BENCHMARKS,
 ) -> Dict[str, float]:
     """Figure 14a: mean early-prefetch (evicted-before-use) ratio for
-    INTRA / INTER / MTA / CAPS / CAPS without eager wake-up."""
+    INTRA / INTER / MTA / CAPS / CAPS without eager wake-up, derived
+    from the :mod:`repro.obs` time-series totals."""
     cfg = config if config is not None else small_config()
+    cfg = cfg.with_obs(metrics=True)
     nowake = dataclasses.replace(
         cfg, prefetch=dataclasses.replace(cfg.prefetch, eager_wakeup=False)
     )
@@ -282,8 +291,9 @@ def fig14a_early_prefetch_ratio(
         issued = evicted = 0
         for b in benchmarks:
             r = run_benchmark(b, engine, config=c, scale=scale)
-            issued += r.prefetch_stats.issued
-            evicted += r.prefetch_stats.early_evicted
+            totals = r.extra["timeseries"]["totals"]
+            issued += totals["pf_issued"]
+            evicted += totals["pf_early_evicted"]
         # Aggregate over all prefetches (issued-weighted), matching the
         # paper's single MEAN bar.
         out[label] = evicted / issued if issued else 0.0
@@ -298,7 +308,12 @@ def fig14b_prefetch_distance(
 ) -> Dict[str, float]:
     """Figure 14b: mean prefetch->demand distance of timely CAPS
     prefetches under LRR, the plain two-level scheduler (TLV), and the
-    prefetch-aware two-level scheduler (PA-TLV)."""
+    prefetch-aware two-level scheduler (PA-TLV), derived from the
+    :mod:`repro.obs` time-series totals."""
+    from repro.obs import consumed_prefetches, mean_prefetch_lead
+
+    cfg = config if config is not None else small_config()
+    cfg = cfg.with_obs(metrics=True)
     out: Dict[str, float] = {}
     for label, kind in (
         ("LRR", SchedulerKind.LRR),
@@ -307,10 +322,11 @@ def fig14b_prefetch_distance(
     ):
         dists = []
         for b in benchmarks:
-            r = run_benchmark(b, "caps", config=config, scale=scale,
+            r = run_benchmark(b, "caps", config=cfg, scale=scale,
                               scheduler=kind)
-            if r.prefetch_stats.consumed:
-                dists.append(r.prefetch_stats.mean_lead())
+            ts = r.extra["timeseries"]
+            if consumed_prefetches(ts):
+                dists.append(mean_prefetch_lead(ts))
         out[label] = mean(dists)
     return out
 

@@ -7,13 +7,19 @@ Commands
     Show the workload suite and available prefetch engines.
 ``run BENCH``
     Simulate one benchmark under one engine; print the headline metrics
-    (optionally append to a JSON result store).
+    (optionally append to a JSON result store, export windowed metric
+    series with ``--metrics-out``, or print a host-side phase profile
+    with ``--profile``).
 ``sweep``
     Run a (benchmark × engine) matrix and print the Figure 10-style
     normalized-IPC table; optionally persist every run.
 ``figures``
     Regenerate the paper's figures/tables into text files (the same
     content the pytest benchmark harness produces).
+``trace BENCH``
+    Export a Chrome trace-event / Perfetto timeline of one run
+    (warp spans, stall intervals, prefetch lifetimes — see
+    docs/observability.md).
 """
 
 from __future__ import annotations
@@ -117,6 +123,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scheduler", type=_scheduler, default=None)
     run.add_argument("--store", type=pathlib.Path, default=None,
                      help="append the run to this JSON result store")
+    run.add_argument("--metrics-out", type=pathlib.Path, default=None,
+                     metavar="FILE",
+                     help="export windowed metric series (per-SM IPC, "
+                          "stall breakdown, queue depths, prefetch "
+                          "events) to FILE; format by suffix: "
+                          ".json/.jsonl/.csv")
+    run.add_argument("--metrics-window", type=int, default=None, metavar="N",
+                     help="sampling window in cycles for --metrics-out "
+                          "(default: 512)")
+    run.add_argument("--profile", action="store_true",
+                     help="time simulator phases (host wall clock) and "
+                          "print the breakdown")
 
     sweep = sub.add_parser("sweep", help="run a benchmark x engine matrix",
                            parents=[ex])
@@ -161,6 +179,19 @@ def build_parser() -> argparse.ArgumentParser:
     tl.add_argument("--scale", choices=sorted(SCALES), default="small")
     tl.add_argument("--interval", type=int, default=150)
     tl.add_argument("--width", type=int, default=72)
+
+    tr = sub.add_parser(
+        "trace",
+        help="export a Chrome trace-event / Perfetto timeline of one run",
+    )
+    tr.add_argument("bench", type=str.upper, choices=sorted(ALL_BENCHMARKS))
+    tr.add_argument("--engine", choices=ENGINE_CHOICES, default="caps")
+    tr.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+    tr.add_argument("--out", type=pathlib.Path, default=None, metavar="FILE",
+                    help="output path (default: <bench>-<engine>.trace.json)")
+    tr.add_argument("--limit", type=int, default=100_000, metavar="N",
+                    help="cap on recorded events (default: 100000); "
+                         "overflow is counted, not silently dropped")
     return p
 
 
@@ -192,6 +223,13 @@ def cmd_list(_args) -> int:
 
 def cmd_run(args) -> int:
     cfg = _guarded_config(args)
+    want_metrics = (args.metrics_out is not None
+                    or args.metrics_window is not None)
+    if want_metrics or args.profile:
+        obs_overrides = {"metrics": want_metrics, "profile": args.profile}
+        if args.metrics_window is not None:
+            obs_overrides["window"] = args.metrics_window
+        cfg = cfg.with_obs(**obs_overrides)
     base = run_benchmark(args.bench, "none", config=cfg,
                          scale=SCALES[args.scale])
     r = run_benchmark(args.bench, args.engine, config=cfg,
@@ -211,6 +249,19 @@ def cmd_run(args) -> int:
         ],
         title=f"{args.bench} @ {args.scale}",
     ))
+    if args.metrics_out is not None:
+        from repro.obs import write_metrics
+
+        ts = r.extra["timeseries"]
+        fmt = write_metrics(ts, args.metrics_out)
+        print(f"\nwrote {len(ts['samples'])} windows of "
+              f"{ts['window']}-cycle metrics ({fmt}) to {args.metrics_out}")
+    if args.profile:
+        from repro.obs import format_profile
+
+        print(f"\nphase profile ({args.engine} run):")
+        for line in format_profile(r.extra["profile"]):
+            print(line)
     if args.store:
         store = (ResultStore.load(args.store) if args.store.exists()
                  else ResultStore())
@@ -309,6 +360,44 @@ def cmd_timeline(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """Run one benchmark with the trace recorder on and export the
+    Chrome trace-event JSON (simulated directly, bypassing the result
+    cache — trace payloads are bulky and single-use)."""
+    import json
+
+    from repro.obs import validate_chrome_trace
+    from repro.prefetch.factory import default_scheduler_for
+    from repro.sim.gpu import simulate
+    from repro.workloads import build
+    from repro.prefetch import make_prefetcher as _mk
+
+    cfg = small_config().with_obs(trace=True, trace_limit=args.limit)
+    factory = None
+    if args.engine != "none":
+        cfg = cfg.with_scheduler(default_scheduler_for(args.engine))
+        factory = _mk(args.engine)
+    result = simulate(build(args.bench, SCALES[args.scale]), cfg, factory)
+    trace = result.extra["trace"]
+    problems = validate_chrome_trace(trace)
+    if problems:  # pragma: no cover - schema guard
+        print(f"internal error: malformed trace ({problems[0]})",
+              file=sys.stderr)
+        return EXIT_FAIL
+    out = args.out or pathlib.Path(
+        f"{args.bench.lower()}-{args.engine}.trace.json"
+    )
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh)
+    dropped = trace["metadata"]["dropped_events"]
+    print(f"{args.bench} / {args.engine}: {result.cycles} cycles, "
+          f"IPC {result.ipc:.3f}")
+    print(f"wrote {len(trace['traceEvents'])} events to {out}"
+          + (f" ({dropped} dropped over --limit)" if dropped else ""))
+    print("open in https://ui.perfetto.dev or about://tracing")
+    return EXIT_OK
+
+
 def cmd_figures(args) -> int:
     from repro.analysis.experiments_md import generate_experiments_md
 
@@ -378,6 +467,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "figures": cmd_figures,
             "validate": cmd_validate,
             "timeline": cmd_timeline,
+            "trace": cmd_trace,
         }[args.command](args)
     except ConfigError as exc:
         print(f"configuration error: {exc}", file=sys.stderr)

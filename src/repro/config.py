@@ -41,6 +41,7 @@ class SchedulerKind(enum.Enum):
 
     @property
     def prefetch_aware(self) -> bool:
+        """True for the PAS family (leading-warp aware) schedulers."""
         return self in (SchedulerKind.PAS, SchedulerKind.PAS_LRR,
                         SchedulerKind.PAS_GTO)
 
@@ -58,10 +59,12 @@ class CacheConfig:
 
     @property
     def num_lines(self) -> int:
+        """Total cache lines (size / line size)."""
         return self.size_bytes // self.line_bytes
 
     @property
     def num_sets(self) -> int:
+        """Number of sets (lines / associativity)."""
         return self.num_lines // self.assoc
 
     def __post_init__(self) -> None:
@@ -208,6 +211,52 @@ class PrefetcherConfig:
 
 
 @dataclass(frozen=True)
+class ObsConfig:
+    """Observability knobs (see :mod:`repro.obs` and docs/observability.md).
+
+    Everything here defaults to *off*: a config with the default
+    ``ObsConfig`` runs the exact hot loop the simulator has always run
+    (the <2% overhead budget of ``bench_simulator_speed.py`` is asserted
+    against the disabled state).  Because :class:`ObsConfig` is part of
+    :class:`GPUConfig`, enabling a collector changes the run's cache
+    fingerprint — observed and unobserved runs never share a cache cell,
+    even though the simulated outcome is identical.
+    """
+
+    #: Enable the windowed time-series collectors (per-SM IPC, stall
+    #: breakdown, queue/MSHR occupancy, prefetch outcome series).
+    metrics: bool = False
+    #: Sampling window in cycles: one time-series sample is emitted per
+    #: ``window`` cycles (plus one final partial window).
+    window: int = 512
+    #: Record a Chrome trace-event timeline (warp exec/stall spans,
+    #: leading-warp spans, prefetch lifetimes, PerCTA writes).
+    trace: bool = False
+    #: Hard cap on recorded trace events; the recorder counts (and
+    #: reports) events dropped beyond the cap instead of growing
+    #: without bound.
+    trace_limit: int = 100_000
+    #: Time the host-side cost of each simulator phase (SM issue, memory
+    #: system, collectors) with :class:`repro.obs.profiler.PhaseProfiler`.
+    profile: bool = False
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ConfigError(
+                f"obs.window must be >= 1 cycle (got {self.window})"
+            )
+        if self.trace_limit < 1:
+            raise ConfigError(
+                f"obs.trace_limit must be >= 1 (got {self.trace_limit})"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when any collector (metrics/trace/profile) is on."""
+        return self.metrics or self.trace or self.profile
+
+
+@dataclass(frozen=True)
 class GPUConfig:
     """Top-level configuration (paper Table III)."""
 
@@ -248,6 +297,10 @@ class GPUConfig:
     #: Audit structural invariants every cycle (expensive; the cheap
     #: end-of-run conservation checks are always on).
     deep_checks: bool = False
+    #: Observability layer (time-series collectors, timeline tracing,
+    #: phase profiling); everything defaults to off — see
+    #: docs/observability.md.
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     def __post_init__(self) -> None:
         if self.num_sms < 1:
@@ -298,15 +351,26 @@ class GPUConfig:
 
     @property
     def line_bytes(self) -> int:
+        """Cache-line size in bytes (L1 and L2 lines always match)."""
         return self.l1d.line_bytes
 
     def with_scheduler(self, kind: SchedulerKind) -> "GPUConfig":
+        """Copy of this config with the warp scheduler replaced."""
         return replace(self, scheduler=kind)
 
     def with_cta_limit(self, max_ctas: int) -> "GPUConfig":
+        """Copy of this config with ``max_ctas_per_sm`` replaced."""
         if max_ctas < 1:
             raise ConfigError(f"max_ctas must be >= 1 (got {max_ctas})")
         return replace(self, max_ctas_per_sm=max_ctas)
+
+    def with_obs(self, **overrides) -> "GPUConfig":
+        """Copy of this config with :class:`ObsConfig` fields replaced.
+
+        ``cfg.with_obs(metrics=True, window=256)`` is the usual way to
+        turn a collector on for one run; see docs/observability.md.
+        """
+        return replace(self, obs=replace(self.obs, **overrides))
 
 
 @dataclass(frozen=True)

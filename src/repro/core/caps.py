@@ -120,6 +120,8 @@ class CtaAwarePrefetcher(Prefetcher):
             # This warp becomes the CTA's leading warp for the PC.
             entry = table.register(pc, warp.warp_in_cta, tuple(addresses), now)
             entry.iteration = iteration
+            if self.obs is not None:
+                self.obs.percta_write(self.sm_id, ctx.cta_id, pc, "register", now)
             if dentry is not None and not dentry.disabled:
                 # Case 2 (Fig. 9b): stride known before this CTA's base.
                 cands.extend(
@@ -135,6 +137,8 @@ class CtaAwarePrefetcher(Prefetcher):
             # that CAPS covers loads "regardless of the number of
             # iterations" as long as the inter-warp stride is regular).
             entry.advance_iteration(tuple(addresses), iteration, now)
+            if self.obs is not None:
+                self.obs.percta_write(self.sm_id, ctx.cta_id, pc, "advance", now)
             if dentry is not None and not dentry.disabled:
                 cands.extend(self._generate_for_cta(ctx, entry, dentry.stride))
         elif dentry is None and iteration == entry.iteration:

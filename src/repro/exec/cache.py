@@ -11,7 +11,7 @@ cache entry instead of silently reusing a stale one.
 Layout::
 
     .repro-cache/
-      v2/                      # bumping CACHE_SCHEMA_VERSION retires
+      v3/                      # bumping CACHE_SCHEMA_VERSION retires
         <key-hash>.json        # every old entry wholesale
         ...
 
@@ -49,7 +49,9 @@ log = logging.getLogger(__name__)
 #: that feeds the hash) changes incompatibly; old entries are ignored.
 #: v2: GPUConfig grew the guard knobs (hang_cycles, deep_checks) and
 #: SimResult.extra may hold structured snapshots.
-CACHE_SCHEMA_VERSION = 2
+#: v3: GPUConfig grew the observability knobs (obs.*) and SimResult.extra
+#: may hold timeseries/trace/profile payloads (see repro.obs).
+CACHE_SCHEMA_VERSION = 3
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 
@@ -64,6 +66,7 @@ class RunKey:
     config: GPUConfig
 
     def describe(self) -> str:
+        """Short human-readable cell label for logs and errors."""
         return (f"{self.benchmark}/{self.prefetcher}"
                 f"@{self.scale.value}/{self.config.scheduler.value}")
 
@@ -153,9 +156,11 @@ class ResultCache:
 
     @property
     def version_dir(self) -> pathlib.Path:
+        """Schema-versioned subdirectory holding the cached cells."""
         return self.root / f"v{CACHE_SCHEMA_VERSION}"
 
     def path_for(self, key: RunKey) -> pathlib.Path:
+        """On-disk path of the cache entry for ``key``."""
         return self.version_dir / f"{key_fingerprint(key)}.json"
 
     def __len__(self) -> int:
@@ -164,6 +169,7 @@ class ResultCache:
         return sum(1 for _ in self.version_dir.glob("*.json"))
 
     def get(self, key: RunKey) -> Optional[SimResult]:
+        """Load a cached result, or ``None`` on miss/corruption."""
         path = self.path_for(key)
         try:
             payload = json.loads(path.read_text())
@@ -203,6 +209,7 @@ class ResultCache:
             pass
 
     def put(self, key: RunKey, result: SimResult) -> pathlib.Path:
+        """Atomically persist ``result``; returns the entry path."""
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {

@@ -60,11 +60,13 @@ class EventLog:
         self._seq = 0
 
     def subscribe(self, fn: Callable[[ExecEvent], None]) -> None:
+        """Register a callback invoked for every emitted event."""
         self._subscribers.append(fn)
 
     def emit(self, kind: str, cell: str, config_hash: str = "", *,
              attempt: int = 1, wall_s: float = 0.0, error: str = "",
              detail: str = "") -> ExecEvent:
+        """Record an event and fan it out to subscribers."""
         if kind not in EVENT_KINDS:
             raise ValueError(f"unknown event kind {kind!r}")
         event = ExecEvent(
@@ -80,9 +82,11 @@ class EventLog:
 
     # ---------------------------------------------------------- queries
     def count(self, kind: str) -> int:
+        """Number of recorded events of ``kind``."""
         return sum(1 for e in self.events if e.kind == kind)
 
     def cells(self, kind: str) -> List[str]:
+        """Cell labels of every recorded event of ``kind``."""
         return [e.cell for e in self.events if e.kind == kind]
 
     def simulations(self) -> int:
@@ -106,6 +110,7 @@ class JSONLSink:
         self._fh.flush()
 
     def close(self) -> None:
+        """Flush and close the underlying JSONL file."""
         self._fh.close()
 
 

@@ -81,6 +81,7 @@ class SweepJournal:
         self._fh.flush()
 
     def close(self) -> None:
+        """Close the journal file handle (idempotent)."""
         if self._fh is not None:
             self._fh.close()
             self._fh = None

@@ -84,6 +84,7 @@ class CellFailure:
     attempts: int
 
     def describe(self) -> str:
+        """One-line summary of the failed cell and its error."""
         return (f"{self.key.describe()}: {self.error!r} "
                 f"[{self.kind.value}, {self.attempts} attempt(s)]")
 
@@ -193,6 +194,7 @@ class ExecutionEngine:
 
     # ------------------------------------------------------------- memo
     def clear_memo(self) -> None:
+        """Drop the in-process memo (disk cache is unaffected)."""
         self._memo.clear()
 
     def _emit(self, kind: str, key: RunKey, **kw) -> None:

@@ -94,6 +94,7 @@ class FaultPlan:
         )
 
     def should_corrupt_cache(self, rng: random.Random) -> bool:
+        """Roll the dice: corrupt this cache write under the plan?"""
         return (self.corrupt_cache_rate > 0
                 and rng.random() < self.corrupt_cache_rate)
 

@@ -223,6 +223,16 @@ class MemorySubsystem:
         hits = sum(p.cache.hits for p in self.partitions)
         return hits / acc if acc else 0.0
 
+    def l2_queue_depth(self) -> int:
+        """Requests currently waiting in L2 partition input queues
+        (instantaneous occupancy; sampled by :mod:`repro.obs`)."""
+        return sum(len(p.in_queue) for p in self.partitions)
+
+    def dram_queue_depth(self) -> int:
+        """Read requests queued or in flight across all DRAM channels
+        (instantaneous occupancy; sampled by :mod:`repro.obs`)."""
+        return sum(len(ch) + ch.inflight for ch in self.channels)
+
     def drained(self) -> bool:
         """True when no request is in flight anywhere behind the SMs."""
         if self.request_pipe or self.response_pipe or self._l2_wait:

@@ -1,0 +1,75 @@
+"""Serialize timeseries payloads to files (``repro run --metrics-out``).
+
+The output format is chosen by the target suffix:
+
+* ``.json`` — the full :meth:`MetricsCollector.to_payload` object
+  (samples, per-SM instruction matrix, totals, distance histogram);
+* ``.jsonl`` — one JSON object per line: a ``header`` record (schema,
+  window, num_sms, totals, distance histogram) followed by one record
+  per window with named fields plus the per-SM instruction deltas —
+  the format of choice for streaming into pandas/jq;
+* ``.csv`` — one row per window with the :data:`SAMPLE_FIELDS` columns
+  followed by one ``sm<N>_instructions`` column per SM (totals and the
+  histogram are omitted; use JSON/JSONL when you need them).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+
+def write_metrics(payload: Dict[str, Any], path) -> str:
+    """Write a timeseries payload to ``path``; returns the format used."""
+    p = Path(path)
+    suffix = p.suffix.lower()
+    if suffix == ".jsonl":
+        write_jsonl(payload, p)
+        return "jsonl"
+    if suffix == ".csv":
+        write_csv(payload, p)
+        return "csv"
+    write_json(payload, p)
+    return "json"
+
+
+def write_json(payload: Dict[str, Any], path) -> None:
+    """Write the full payload as one JSON document."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+
+def write_jsonl(payload: Dict[str, Any], path) -> None:
+    """Write a header record then one record per sampling window."""
+    fields = payload["fields"]
+    with open(path, "w", encoding="utf-8") as fh:
+        header = {
+            "record": "header",
+            "schema": payload["schema"],
+            "window": payload["window"],
+            "num_sms": payload["num_sms"],
+            "totals": payload["totals"],
+            "distance_hist": payload["distance_hist"],
+        }
+        fh.write(json.dumps(header) + "\n")
+        for row, sm_instr in zip(payload["samples"],
+                                 payload["sm_instructions"]):
+            rec = {"record": "window"}
+            rec.update(zip(fields, row))
+            rec["sm_instructions"] = sm_instr
+            fh.write(json.dumps(rec) + "\n")
+
+
+def write_csv(payload: Dict[str, Any], path) -> None:
+    """Write one CSV row per window; per-SM instructions as columns."""
+    fields = list(payload["fields"])
+    sm_cols = [f"sm{i}_instructions" for i in range(payload["num_sms"])]
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(fields + sm_cols)
+        for row, sm_instr in zip(payload["samples"],
+                                 payload["sm_instructions"]):
+            writer.writerow(list(row) + list(sm_instr))

@@ -47,7 +47,13 @@ class PrefetchCandidate:
 
 
 class Prefetcher:
-    """Base class: observes loads, proposes prefetches."""
+    """Base class: observes loads, proposes prefetches.
+
+    Subclasses override the observation hooks (:meth:`on_load_issue`,
+    :meth:`on_l1_miss`) and advertise scheduler interactions through the
+    ``wants_*`` class flags; the SM and scheduler consult those flags,
+    never the concrete type.
+    """
 
     name = "none"
     #: Does this engine want PAS-style leading-warp priority?  Only CAPS
@@ -58,6 +64,10 @@ class Prefetcher:
     wants_eager_wakeup = False
     #: Should the SM enqueue warps in interleaved group order (ORCH)?
     wants_group_interleave = False
+    #: Observability hub (:class:`repro.obs.Observability`); installed by
+    #: the owning SM when enabled, ``None`` otherwise.  Engines with
+    #: internal tables (CAP) report table writes through it.
+    obs = None
 
     def __init__(self, config: GPUConfig, sm_id: int):
         self.config = config
@@ -81,6 +91,7 @@ class Prefetcher:
         iteration: int,
         now: int,
     ) -> List[PrefetchCandidate]:
+        """A warp issued a load; return prefetch candidates to launch."""
         return []
 
     def on_l1_miss(
@@ -90,6 +101,7 @@ class Prefetcher:
         line_addr: int,
         now: int,
     ) -> List[PrefetchCandidate]:
+        """A demand load missed L1; return prefetch candidates."""
         return []
 
     def _emit(self, cands: List[PrefetchCandidate]) -> List[PrefetchCandidate]:

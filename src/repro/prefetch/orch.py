@@ -18,5 +18,13 @@ from repro.prefetch.lap import LocalityAware
 
 
 class Orchestrated(LocalityAware):
+    """LAP prefetching plus interleaved warp-group scheduling.
+
+    Identical to :class:`repro.prefetch.lap.LocalityAware` except for the
+    grouping flag; when observability is on, CTA-launch trace events
+    carry ``interleaved: true`` so the regrouping is visible on the
+    timeline (``repro trace BENCH --engine orch``).
+    """
+
     name = "orch"
     wants_group_interleave = True

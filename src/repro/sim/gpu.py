@@ -8,6 +8,7 @@ paper's figures report.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -15,6 +16,7 @@ from repro.config import GPUConfig
 from repro.guard.invariants import InvariantChecker
 from repro.guard.watchdog import Watchdog, build_snapshot
 from repro.mem.subsystem import MemorySubsystem
+from repro.obs import build as build_obs
 from repro.prefetch.base import NoPrefetcher
 from repro.prefetch.stats import PrefetchStats
 from repro.sim.cta import CTADistributor
@@ -52,16 +54,20 @@ class SimResult:
 
     @property
     def ipc(self) -> float:
+        """Instructions per cycle over the whole run."""
         return self.instructions / self.cycles if self.cycles else 0.0
 
     @property
     def l1_hit_rate(self) -> float:
+        """Fraction of L1D accesses that hit (demand only)."""
         return self.l1_hits / self.l1_accesses if self.l1_accesses else 0.0
 
     def coverage(self) -> float:
+        """Prefetch coverage: useful prefetches / demand fetches."""
         return self.prefetch_stats.coverage(self.sm_stats.demand_mem_fetches)
 
     def accuracy(self) -> float:
+        """Prefetch accuracy: useful prefetches / issued prefetches."""
         return self.prefetch_stats.accuracy()
 
     def stall_fraction(self) -> float:
@@ -70,6 +76,7 @@ class SimResult:
         return self.sm_stats.stall_mem_all / active if active else 0.0
 
     def as_dict(self) -> Dict[str, float]:
+        """Flatten the headline metrics into a JSON-able dict."""
         return {
             "kernel": self.kernel,
             "prefetcher": self.prefetcher,
@@ -91,7 +98,19 @@ class SimResult:
 
 
 class GPU:
-    """Whole-GPU simulation driver."""
+    """Whole-GPU simulation driver.
+
+    Owns the SMs, the shared memory subsystem, the CTA distributor and
+    the optional cross-cutting services: the hang watchdog and runtime
+    invariants (:mod:`repro.guard`, enabled via ``config.hang_cycles`` /
+    ``config.deep_checks``) and the observability hub
+    (:mod:`repro.obs`, enabled via ``config.obs``).  Construction
+    launches the initial CTA wave; :meth:`run` advances the machine
+    cycle by cycle until every CTA retires.
+
+    Most callers should use :func:`simulate` rather than instantiating
+    this class directly.
+    """
 
     def __init__(
         self,
@@ -113,11 +132,15 @@ class GPU:
         self.watchdog = (Watchdog(config.hang_cycles)
                          if config.hang_cycles else None)
         self.invariants = InvariantChecker(config)
+        # Created before the SMs: _launch_initial() below already emits
+        # CTA/warp launch events through the hub.
+        self.obs = build_obs(config, config.num_sms)
         self.sms: List[SM] = []
         for sm_id in range(config.num_sms):
             pf = factory(config, sm_id)
             self.sms.append(
-                SM(sm_id, config, kernel, pf, self.subsystem, self._on_cta_done)
+                SM(sm_id, config, kernel, pf, self.subsystem,
+                   self._on_cta_done, obs=self.obs)
             )
         max_ctas = min(config.max_ctas_per_sm, kernel.max_ctas_per_sm(config))
         self.distributor = CTADistributor(
@@ -142,6 +165,7 @@ class GPU:
 
     @property
     def done(self) -> bool:
+        """True once every SM has retired all of its CTAs."""
         return all(sm.done for sm in self.sms)
 
     def run(self, max_cycles: Optional[int] = None,
@@ -157,28 +181,77 @@ class GPU:
         interval = getattr(monitor, "interval", 0)
         wd = self.watchdog
         deep = self.config.deep_checks
-        while not self.done and self.now < limit:
-            for sm in self.sms:
-                sm.cycle(self.now)
-            self.subsystem.cycle(self.now)
-            self.now += 1
-            if interval and self.now % interval == 0:
-                monitor.sample(self, self.now)
-            if deep:
-                self.invariants.check_cycle(self, self.now)
-            if wd is not None and self.now % wd.check_interval == 0:
-                wd.check(self, self.now)
+        obs = self.obs
+        obs_interval = obs.window_interval if obs is not None else 0
+        if obs is not None and obs.profiler is not None:
+            self._run_loop_profiled(limit, monitor, interval, obs_interval)
+        else:
+            while not self.done and self.now < limit:
+                for sm in self.sms:
+                    sm.cycle(self.now)
+                self.subsystem.cycle(self.now)
+                self.now += 1
+                if interval and self.now % interval == 0:
+                    monitor.sample(self, self.now)
+                if obs_interval and self.now % obs_interval == 0:
+                    obs.flush(self, self.now)
+                if deep:
+                    self.invariants.check_cycle(self, self.now)
+                if wd is not None and self.now % wd.check_interval == 0:
+                    wd.check(self, self.now)
         completed = self.done
         cycles = self.now
         if completed:
             self._flush_memory(limit)
         for sm in self.sms:
             sm.finalize()
+        if obs is not None:
+            obs.finalize(self, cycles)
         self.invariants.verify_end(self, completed)
         result = self._collect(completed, cycles)
+        if obs is not None:
+            obs.attach_results(result.extra, self.config.num_sms)
         if not completed:
             result.extra["hang_snapshot"] = build_snapshot(self, cycles)
         return result
+
+    def _run_loop_profiled(self, limit: int, monitor, interval: int,
+                           obs_interval: int) -> None:
+        """Main loop variant with per-phase wall timing (``obs.profile``).
+
+        Kept separate from the default loop so the common un-profiled
+        path carries no timing calls at all."""
+        obs = self.obs
+        prof = obs.profiler
+        wd = self.watchdog
+        deep = self.config.deep_checks
+        perf = time.perf_counter
+        cycles0 = self.now
+        while not self.done and self.now < limit:
+            t0 = perf()
+            for sm in self.sms:
+                sm.cycle(self.now)
+            t1 = perf()
+            self.subsystem.cycle(self.now)
+            t2 = perf()
+            prof.add("sm_cycle", t1 - t0)
+            prof.add("mem_cycle", t2 - t1)
+            self.now += 1
+            if interval and self.now % interval == 0:
+                monitor.sample(self, self.now)
+            if obs_interval and self.now % obs_interval == 0:
+                t3 = perf()
+                obs.flush(self, self.now)
+                prof.add("obs_flush", perf() - t3)
+            if deep:
+                t4 = perf()
+                self.invariants.check_cycle(self, self.now)
+                prof.add("deep_checks", perf() - t4)
+            if wd is not None and self.now % wd.check_interval == 0:
+                wd.check(self, self.now)
+        # Record the simulated-cycle count so profile consumers can
+        # derive host-seconds-per-cycle without the SimResult in hand.
+        prof.add("cycles", 0.0, calls=self.now - cycles0)
 
     def _flush_memory(self, limit: int) -> None:
         """Drain in-flight stores/prefetches after the last warp retires

@@ -36,9 +36,11 @@ class Scheduler:
         self.warps: List[Warp] = []
 
     def add_warp(self, warp: Warp) -> None:
+        """Register a newly launched warp with the scheduler."""
         self.warps.append(warp)
 
     def remove_warp(self, warp: Warp) -> None:
+        """Drop a retired warp from every scheduling structure."""
         self.warps.remove(warp)
 
     def on_block(self, warp: Warp) -> None:
@@ -50,7 +52,19 @@ class Scheduler:
     def on_prefetch_fill(self, warp: Warp) -> None:
         """Prefetched data bound to ``warp`` arrived (eager wake-up)."""
 
+    def ready_depth(self) -> int:
+        """Number of warps the scheduler considers issuable *candidates*
+        right now — the ready-queue occupancy for two-level policies, the
+        count of READY warps for flat ones.  Sampled by :mod:`repro.obs`;
+        not used by the simulator itself."""
+        return sum(1 for w in self.warps if w.state is WarpState.READY)
+
     def pick(self, now: int, lsu_free: bool) -> Optional[Warp]:
+        """Select the warp to issue this cycle (``None`` = stall cycle).
+
+        ``lsu_free`` is false while a replayed load/store occupies the
+        LSU; warps whose next instruction needs the L1 port are then
+        skipped."""
         raise NotImplementedError
 
     def _can_issue(self, warp: Warp, now: int, lsu_free: bool) -> bool:
@@ -67,6 +81,7 @@ class LooseRoundRobin(Scheduler):
         self._ptr = 0
 
     def pick(self, now: int, lsu_free: bool) -> Optional[Warp]:
+        """Rotate from the last issuer to the next issuable warp."""
         n = len(self.warps)
         for i in range(n):
             warp = self.warps[(self._ptr + i) % n]
@@ -86,15 +101,18 @@ class GreedyThenOldest(Scheduler):
         self._current: Optional[Warp] = None
 
     def remove_warp(self, warp: Warp) -> None:
+        """Retire a warp; forget it if it was the greedy target."""
         super().remove_warp(warp)
         if self._current is warp:
             self._current = None
 
     def on_block(self, warp: Warp) -> None:
+        """The greedy warp stalled on memory: release the stickiness."""
         if self._current is warp:
             self._current = None
 
     def pick(self, now: int, lsu_free: bool) -> Optional[Warp]:
+        """Stay greedy on the current warp, else pick the oldest."""
         cur = self._current
         if cur is not None and self._can_issue(cur, now, lsu_free):
             return cur
@@ -118,9 +136,11 @@ class TwoLevel(Scheduler):
 
     @property
     def ready_size(self) -> int:
+        """Capacity of the inner ready queue (Table III: 8 entries)."""
         return self.config.ready_queue_size
 
     def add_warp(self, warp: Warp) -> None:
+        """Launch: place the warp in the ready queue or eligible pool."""
         super().add_warp(warp)
         self._enqueue(warp)
 
@@ -131,6 +151,7 @@ class TwoLevel(Scheduler):
             self.eligible.append(warp)
 
     def remove_warp(self, warp: Warp) -> None:
+        """Retire a warp from whichever queue currently holds it."""
         super().remove_warp(warp)
         if warp in self.ready:
             self.ready.remove(warp)
@@ -138,6 +159,7 @@ class TwoLevel(Scheduler):
             self.eligible.remove(warp)
 
     def on_block(self, warp: Warp) -> None:
+        """Blocked warps leave both levels (moved to the pending pool)."""
         # A blocked warp holds no queue slot at all (pushed to pending);
         # removing from *both* structures keeps the invariant even for
         # callers that block a warp straight out of the eligible pool.
@@ -147,13 +169,19 @@ class TwoLevel(Scheduler):
             self.eligible.remove(warp)
 
     def on_unblock(self, warp: Warp) -> None:
+        """Returning data re-enqueues the warp at the eligible tail."""
         self.eligible.append(warp)
 
     def _refill(self) -> None:
         while self.eligible and len(self.ready) < self.ready_size:
             self.ready.append(self.eligible.popleft())
 
+    def ready_depth(self) -> int:
+        """Ready-queue occupancy (the paper's 8-entry inner level)."""
+        return len(self.ready)
+
     def pick(self, now: int, lsu_free: bool) -> Optional[Warp]:
+        """Refill the ready queue from the pool, then round-robin it."""
         self._refill()
         n = len(self.ready)
         for i in range(n):
@@ -190,6 +218,8 @@ class PrefetchAwareTwoLevel(TwoLevel):
             super()._enqueue(warp)
 
     def on_unblock(self, warp: Warp) -> None:
+        """Leading warps re-enter at the head of the eligible pool so
+        base-address discovery resumes before trailing progress."""
         if warp.leading:
             self.eligible.appendleft(warp)
         else:
@@ -228,6 +258,7 @@ class PrefetchAwareLRR(LooseRoundRobin):
     name = "pas_lrr"
 
     def pick(self, now: int, lsu_free: bool) -> Optional[Warp]:
+        """Issue any armed leading warp first, else plain LRR."""
         for warp in self.warps:
             if warp.leading and self._can_issue(warp, now, lsu_free):
                 return warp
@@ -242,6 +273,7 @@ class PrefetchAwareGTO(GreedyThenOldest):
     name = "pas_gto"
 
     def pick(self, now: int, lsu_free: bool) -> Optional[Warp]:
+        """Greedily run leading warps to base discovery, else plain GTO."""
         cur = self._current
         if cur is not None and cur.leading and self._can_issue(cur, now, lsu_free):
             return cur
@@ -254,6 +286,7 @@ class PrefetchAwareGTO(GreedyThenOldest):
 
 
 def make_scheduler(config: GPUConfig) -> Scheduler:
+    """Instantiate the scheduler selected by ``config.scheduler``."""
     kind = config.scheduler
     if kind is SchedulerKind.LRR:
         return LooseRoundRobin(config)

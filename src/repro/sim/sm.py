@@ -113,6 +113,7 @@ class SM:
         prefetcher: Prefetcher,
         subsystem: MemorySubsystem,
         on_cta_done: Callable[[int], None],
+        obs=None,
     ):
         self.sm_id = sm_id
         self.config = config
@@ -120,6 +121,10 @@ class SM:
         self.prefetcher = prefetcher
         self.subsystem = subsystem
         self.on_cta_done = on_cta_done
+        #: Observability hub (:class:`repro.obs.Observability`) or None.
+        #: None is the fast path: every hook site is a bare attribute test.
+        self.obs = obs
+        prefetcher.obs = obs
 
         self.l1 = Cache(config.l1d, name=f"l1d.{sm_id}")
         self.scheduler = make_scheduler(config)
@@ -200,6 +205,13 @@ class SM:
         for warp in order:
             self.scheduler.add_warp(warp)
         self.prefetcher.on_cta_launch(slot, cta_id, warps)
+        if self.obs is not None:
+            self.obs.cta_launch(
+                self.sm_id, cta_id, now,
+                interleaved=self.prefetcher.wants_group_interleave,
+            )
+            for warp in warps:
+                self.obs.warp_launch(warp, now)
 
     @property
     def done(self) -> bool:
@@ -256,8 +268,11 @@ class SM:
             self._piece_arrived(warp, now)
 
     def _piece_arrived(self, warp: Warp, now: int) -> None:
+        since = warp.blocked_since
         if warp.piece_arrived(now):
             self.waiting_mem_warps -= 1
+            if self.obs is not None and since >= 0:
+                self.obs.warp_unblock(warp, since, now)
             if warp.exit_pending:
                 self._finish_warp(warp, now)
             else:
@@ -267,6 +282,8 @@ class SM:
         if warp.charge_defer_budget(now):
             self.waiting_mem_warps += 1
             self.scheduler.on_block(warp)
+            if self.obs is not None:
+                self.obs.warp_block(warp, now)
 
     def _drain_miss_queue(self, now: int) -> None:
         for _ in range(MISS_QUEUE_DRAIN):
@@ -302,6 +319,8 @@ class SM:
                 warp.blocked_since = now
                 self.waiting_mem_warps += 1
                 self.scheduler.on_block(warp)
+                if self.obs is not None:
+                    self.obs.warp_block(warp, now)
             else:
                 self._finish_warp(warp, now)
             return "alu"
@@ -351,6 +370,8 @@ class SM:
             )
             if warp.lead_loads_issued >= targeted:
                 warp.leading = False
+                if self.obs is not None:
+                    self.obs.lead_disarm(warp, now)
         if instr.use_distance > 0 and warp.pending_pieces == 0:
             # Independent instructions follow: the warp keeps issuing
             # (compiler-scheduled ILP below the load).
@@ -363,6 +384,8 @@ class SM:
             if not already_blocked:
                 self.waiting_mem_warps += 1
                 self.scheduler.on_block(warp)
+                if self.obs is not None:
+                    self.obs.warp_block(warp, now)
         remaining = list(line_addrs)
         self._process_demand_lines(warp, instr.site.pc, remaining, instr.iteration, now)
         if remaining:
@@ -421,6 +444,10 @@ class SM:
                     line.used = True
                     self.unused_prefetched_resident -= 1
                     self.pstats.record_useful(now - line.prefetch_issue_cycle)
+                    if self.obs is not None:
+                        self.obs.pf_useful(
+                            self.sm_id, now - line.prefetch_issue_cycle, now
+                        )
                     if (
                         self.prefetcher.wants_eager_wakeup
                         and self.config.prefetch.eager_wakeup
@@ -444,6 +471,10 @@ class SM:
                     # demand warps merging are ordinary MSHR-style
                     # merges, not additional prefetch successes).
                     self.pstats.record_late_merge(now - meta.issue_cycle)
+                    if self.obs is not None:
+                        self.obs.pf_late_merge(
+                            self.sm_id, now - meta.issue_cycle, now
+                        )
                 meta.waiters.append(warp.uid)
                 meta.req.access = Access.DEMAND
                 remaining.pop(0)
@@ -547,6 +578,8 @@ class SM:
             req=req,
         )
         self.pstats.issued += 1
+        if self.obs is not None:
+            self.obs.pf_issue(req, now)
 
     # -------------------------------------------------------------- responses
     def on_mem_response(self, req: MemoryRequest, now: int) -> None:
@@ -560,6 +593,8 @@ class SM:
         if victim is not None and victim.prefetched and not victim.used:
             self.pstats.early_evicted += 1
             self.unused_prefetched_resident -= 1
+            if self.obs is not None:
+                self.obs.pf_early_evict(self.sm_id, now)
         for m in merged:
             if m.access is Access.DEMAND:
                 warp = self.warps_by_uid.get(m.warp_uid)
@@ -580,11 +615,15 @@ class SM:
             prefetch_pc=meta.pc,
             prefetch_issue_cycle=meta.issue_cycle,
         )
+        if self.obs is not None:
+            self.obs.pf_fill(meta.req, now)
         if untouched:
             self.unused_prefetched_resident += 1
         if victim is not None and victim.prefetched and not victim.used:
             self.pstats.early_evicted += 1
             self.unused_prefetched_resident -= 1
+            if self.obs is not None:
+                self.obs.pf_early_evict(self.sm_id, now)
         for uid in meta.waiters:
             warp = self.warps_by_uid.get(uid)
             if warp is not None and warp.pending_pieces > 0:
@@ -598,10 +637,14 @@ class SM:
             target = self.warps_by_uid.get(meta.target_warp_uid)
             if target is not None and not target.finished:
                 self.scheduler.on_prefetch_fill(target)
+                if self.obs is not None:
+                    self.obs.eager_wakeup(target, now)
 
     # ------------------------------------------------------------ warp finish
     def _finish_warp(self, warp: Warp, now: int) -> None:
         warp.finish(now)
+        if self.obs is not None:
+            self.obs.warp_finish(warp, now)
         self.scheduler.remove_warp(warp)
         self.unfinished_warps -= 1
         cta = self.cta_slots[warp.cta_slot]

@@ -1,0 +1,82 @@
+"""Metrics export formats and the ``repro run --metrics-out`` CLI path."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.config import test_config as tiny_config
+from repro.obs import SAMPLE_FIELDS, write_metrics
+from repro.prefetch import make_prefetcher
+from repro.sim.gpu import simulate
+from repro.workloads import Scale, build
+
+
+@pytest.fixture(scope="module")
+def payload():
+    cfg = tiny_config().with_obs(metrics=True, window=256)
+    res = simulate(build("MM", Scale.TINY), cfg, make_prefetcher("caps"))
+    return res.extra["timeseries"]
+
+
+class TestWriters:
+    def test_json_round_trip(self, payload, tmp_path):
+        out = tmp_path / "m.json"
+        assert write_metrics(payload, out) == "json"
+        assert json.loads(out.read_text()) == payload
+
+    def test_jsonl_header_and_windows(self, payload, tmp_path):
+        out = tmp_path / "m.jsonl"
+        assert write_metrics(payload, out) == "jsonl"
+        lines = [json.loads(ln) for ln in out.read_text().splitlines()]
+        header, windows = lines[0], lines[1:]
+        assert header["record"] == "header"
+        assert header["totals"] == payload["totals"]
+        assert len(windows) == len(payload["samples"])
+        for rec, row in zip(windows, payload["samples"]):
+            assert rec["record"] == "window"
+            assert [rec[f] for f in SAMPLE_FIELDS] == list(row)
+
+    def test_csv_columns(self, payload, tmp_path):
+        out = tmp_path / "m.csv"
+        assert write_metrics(payload, out) == "csv"
+        with open(out, newline="") as fh:
+            rows = list(csv.reader(fh))
+        sm_cols = [f"sm{i}_instructions" for i in range(payload["num_sms"])]
+        assert rows[0] == list(SAMPLE_FIELDS) + sm_cols
+        assert len(rows) - 1 == len(payload["samples"])
+        # numeric content survives the round trip
+        got = [int(float(v)) for v in rows[1][: len(SAMPLE_FIELDS)]]
+        assert got == [int(v) for v in payload["samples"][0]]
+
+    def test_unknown_suffix_falls_back_to_json(self, payload, tmp_path):
+        out = tmp_path / "m.metrics"
+        assert write_metrics(payload, out) == "json"
+        json.loads(out.read_text())
+
+
+class TestRunCLI:
+    def test_metrics_out_end_to_end(self, tmp_path, capsys):
+        out = tmp_path / "mm.jsonl"
+        rc = cli_main([
+            "run", "MM", "--scale", "tiny", "--engine", "caps",
+            "--metrics-out", str(out), "--metrics-window", "256",
+        ])
+        assert rc == 0
+        lines = [json.loads(ln) for ln in out.read_text().splitlines()]
+        assert lines[0]["record"] == "header"
+        assert lines[0]["window"] == 256
+        assert any(rec["instructions"] > 0 for rec in lines[1:])
+        assert "windows" in capsys.readouterr().out
+
+    def test_profile_flag_prints_phase_table(self, capsys):
+        rc = cli_main([
+            "run", "MM", "--scale", "tiny", "--engine", "caps",
+            "--profile",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sm_cycle" in out and "mem_cycle" in out

@@ -1,0 +1,80 @@
+"""Golden tests: Figure 14 metrics from the obs series vs legacy counters.
+
+The Figure 14 functions in :mod:`repro.analysis.figures` derive their
+values from ``extra["timeseries"]`` totals.  These tests pin the
+contract that made that refactor safe: the series totals equal the
+end-of-run :class:`~repro.prefetch.stats.PrefetchStats` counters to the
+integer (the hooks fire at the same call sites), and the series are
+deterministic across serial and parallel execution.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import (
+    fig14a_early_prefetch_ratio,
+    fig14b_prefetch_distance,
+)
+from repro.config import test_config as tiny_config
+from repro.exec import ExecutionEngine, RunKey
+from repro.obs import early_prefetch_ratio, mean_prefetch_lead
+from repro.prefetch import make_prefetcher
+from repro.prefetch.factory import default_scheduler_for
+from repro.sim.gpu import simulate
+from repro.workloads import Scale, build
+
+BENCHES = ("MM", "CNV")
+
+
+def obs_config(engine="caps"):
+    return (tiny_config()
+            .with_scheduler(default_scheduler_for(engine))
+            .with_obs(metrics=True))
+
+
+class TestGoldenAgainstCounters:
+    def test_fig14a_series_matches_counter_math(self):
+        """Early-evict ratio from the series == ratio from PrefetchStats
+        (the pre-refactor computation), benchmark by benchmark."""
+        for bench in BENCHES:
+            r = simulate(build(bench, Scale.TINY), obs_config(),
+                         make_prefetcher("caps"))
+            ps = r.prefetch_stats
+            legacy = ps.early_evicted / ps.issued if ps.issued else 0.0
+            assert early_prefetch_ratio(r.extra["timeseries"]) == legacy
+
+    def test_fig14b_series_matches_counter_math(self):
+        for bench in BENCHES:
+            r = simulate(build(bench, Scale.TINY), obs_config(),
+                         make_prefetcher("caps"))
+            ps = r.prefetch_stats
+            consumed = ps.useful + ps.late_merge
+            legacy = ((ps.distance_sum + ps.late_wait_sum) / consumed
+                      if consumed else 0.0)
+            series_val = mean_prefetch_lead(r.extra["timeseries"])
+            assert series_val == legacy
+            # The acceptance bound from the issue: within 1% — exact here.
+            if legacy:
+                assert abs(series_val - legacy) / legacy < 0.01
+
+    def test_fig14_figure_functions_run_on_series(self):
+        """The figure entry points themselves produce sane values from
+        the series (tiny scale, two benchmarks to stay fast)."""
+        a = fig14a_early_prefetch_ratio(
+            scale=Scale.TINY, config=tiny_config(), benchmarks=BENCHES)
+        assert set(a) == {"intra", "inter", "mta", "caps", "caps_no_wakeup"}
+        assert all(0.0 <= v <= 1.0 for v in a.values())
+        b = fig14b_prefetch_distance(
+            scale=Scale.TINY, config=tiny_config(), benchmarks=BENCHES)
+        assert set(b) == {"LRR", "TLV", "PA-TLV"}
+        assert all(v >= 0.0 for v in b.values())
+
+
+class TestDeterminism:
+    def test_serial_vs_parallel_series_identical(self):
+        """The exact same timeseries payload comes back whether a cell is
+        simulated inline or in a worker process (pickled both ways)."""
+        keys = [RunKey(b, "caps", Scale.TINY, obs_config()) for b in BENCHES]
+        a = ExecutionEngine(jobs=1).run_many(keys, use_cache=False)
+        b = ExecutionEngine(jobs=2).run_many(keys, use_cache=False)
+        for key in keys:
+            assert a[key].extra["timeseries"] == b[key].extra["timeseries"]

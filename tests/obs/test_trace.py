@@ -1,0 +1,75 @@
+"""Trace recorder: Chrome trace-event schema and CLI end-to-end."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main as cli_main
+from repro.config import test_config as tiny_config
+from repro.obs import CONTROL_LANE, PREFETCH_LANE, validate_chrome_trace
+from repro.prefetch import make_prefetcher
+from repro.sim.gpu import simulate
+from repro.workloads import Scale, build
+
+
+def traced_run(engine="caps", **obs):
+    cfg = tiny_config().with_obs(trace=True, **obs)
+    return simulate(build("MM", Scale.TINY), cfg, make_prefetcher(engine))
+
+
+class TestTraceSchema:
+    def test_trace_validates(self):
+        payload = traced_run().extra["trace"]
+        assert validate_chrome_trace(payload) == []
+
+    def test_expected_event_kinds_present(self):
+        payload = traced_run().extra["trace"]
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert any(n.startswith("warp ") for n in names)
+        assert any(n.startswith("prefetch ") for n in names)
+        assert "stall:mem" in names
+        assert "cta_launch" in names
+        assert "pf_consume" in names
+
+    def test_spans_are_well_formed(self):
+        payload = traced_run().extra["trace"]
+        for e in payload["traceEvents"]:
+            if e["ph"] == "X":
+                assert e["dur"] >= 0
+                assert e["ts"] >= 0
+
+    def test_lanes(self):
+        payload = traced_run().extra["trace"]
+        tids = {e["tid"] for e in payload["traceEvents"]
+                if e["ph"] != "M" and e["name"].startswith("prefetch ")}
+        assert tids == {PREFETCH_LANE}
+        ctl = {e["tid"] for e in payload["traceEvents"]
+               if e["ph"] != "M" and e["name"] == "cta_launch"}
+        assert ctl == {CONTROL_LANE}
+
+    def test_trace_limit_caps_events_and_reports_drops(self):
+        payload = traced_run(trace_limit=10).extra["trace"]
+        events = [e for e in payload["traceEvents"] if e["ph"] != "M"]
+        assert len(events) <= 10
+        assert payload["metadata"]["dropped_events"] > 0
+
+    def test_validator_flags_garbage(self):
+        bad = {"traceEvents": [
+            {"name": 7, "ph": "X", "pid": 0, "tid": 0, "ts": 0, "dur": 1},
+            {"name": "ok", "ph": "?", "pid": 0, "tid": 0, "ts": 0},
+            {"name": "ok", "ph": "i", "pid": 0, "tid": 0, "ts": -4},
+        ]}
+        problems = validate_chrome_trace(bad)
+        assert len(problems) == 3
+
+
+class TestTraceCLI:
+    def test_repro_trace_writes_loadable_json(self, tmp_path, capsys):
+        out = tmp_path / "mm.trace.json"
+        rc = cli_main(["trace", "MM", "--engine", "caps", "--scale", "tiny",
+                       "--out", str(out)])
+        assert rc == 0
+        payload = json.loads(out.read_text())
+        assert validate_chrome_trace(payload) == []
+        assert "cycle" in payload["metadata"]["cycle_unit"]
+        assert "events" in capsys.readouterr().out
