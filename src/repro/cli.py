@@ -20,12 +20,25 @@ Commands
     Export a Chrome trace-event / Perfetto timeline of one run
     (warp spans, stall intervals, prefetch lifetimes — see
     docs/observability.md).
+``serve``
+    Run the long-lived simulation service: accepts ``simulate`` /
+    ``stats`` / ``ping`` requests over a Unix or TCP socket, answers
+    from the tiered cache or batches into the execution engine, sheds
+    load explicitly when full and drains gracefully on SIGTERM (see
+    docs/serving.md).
+``request [BENCH]``
+    Issue one request to a running server (``--stats`` / ``--ping``
+    for introspection and liveness).
+``cache {stats,gc}``
+    Maintain the on-disk result cache: usage summary, and garbage
+    collection by age (``--older-than``) and/or size (``--max-bytes``).
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import pathlib
 import sys
 from typing import List, Optional, Sequence
@@ -59,6 +72,7 @@ EXIT_FAIL = 1          # validation checks failed / generic cell error
 EXIT_CONFIG = 2        # invalid configuration (ConfigError)
 EXIT_HANG = 3          # a simulation hung or hit its cycle limit
 EXIT_SWEEP_FAILED = 4  # a resilient sweep finished with failed cells
+EXIT_UNAVAILABLE = 5   # server unreachable / overloaded / draining
 
 ENGINE_CHOICES = ("none",) + PREFETCHERS
 SCALES = {s.value: s for s in Scale}
@@ -70,6 +84,79 @@ def _config(name: str):
     if name == "small":
         return small_config()
     raise argparse.ArgumentTypeError(f"unknown config preset {name!r}")
+
+
+_SIZE_SUFFIXES = {"K": 1024, "M": 1024 ** 2, "G": 1024 ** 3}
+_DURATION_SUFFIXES = {"s": 1, "m": 60, "h": 3600, "d": 86400}
+
+
+def _size(text: str) -> int:
+    """Parse a byte size: plain int or K/M/G-suffixed (``500M``)."""
+    raw = text.strip()
+    factor = 1
+    if raw and raw[-1].upper() in _SIZE_SUFFIXES:
+        factor = _SIZE_SUFFIXES[raw[-1].upper()]
+        raw = raw[:-1]
+    try:
+        value = int(float(raw) * factor)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid size {text!r} (use e.g. 1048576, 500M, 2G)"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"size must be >= 0 (got {text!r})")
+    return value
+
+
+def _duration(text: str) -> float:
+    """Parse a duration: plain seconds or s/m/h/d-suffixed (``7d``)."""
+    raw = text.strip()
+    factor = 1
+    if raw and raw[-1].lower() in _DURATION_SUFFIXES:
+        factor = _DURATION_SUFFIXES[raw[-1].lower()]
+        raw = raw[:-1]
+    try:
+        value = float(raw) * factor
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid duration {text!r} (use e.g. 90, 30s, 12h, 7d)"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"duration must be >= 0 (got {text!r})")
+    return value
+
+
+def _override(text: str):
+    """Parse one ``--override dotted.field=value`` into (path, value)."""
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(
+            f"override {text!r} must look like field=value or "
+            "section.field=value")
+    path, _, raw = text.partition("=")
+    parts = [p for p in path.strip().split(".") if p]
+    if not parts:
+        raise argparse.ArgumentTypeError(f"override {text!r} names no field")
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw  # bare strings (e.g. scheduler names) pass through
+    return parts, value
+
+
+def _overrides_dict(pairs) -> dict:
+    """Fold parsed ``--override`` pairs into the nested wire dict."""
+    out: dict = {}
+    for parts, value in pairs or ():
+        node = out
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})
+            if not isinstance(node, dict):
+                raise SystemExit(
+                    f"--override path {'.'.join(parts)} conflicts with an "
+                    "earlier scalar override")
+        node[parts[-1]] = value
+    return out
 
 
 def _scheduler(name: Optional[str]) -> Optional[SchedulerKind]:
@@ -192,6 +279,111 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--limit", type=int, default=100_000, metavar="N",
                     help="cap on recorded events (default: 100000); "
                          "overflow is counted, not silently dropped")
+
+    # Shared endpoint flags for the serving pair.
+    ep = argparse.ArgumentParser(add_help=False)
+    ep.add_argument("--socket", type=pathlib.Path, default=None,
+                    metavar="PATH",
+                    help="Unix domain socket path (preferred over TCP "
+                         "when given)")
+    ep.add_argument("--host", type=str, default=None,
+                    help="TCP bind/connect address (default: 127.0.0.1)")
+    ep.add_argument("--port", type=int, default=None,
+                    help="TCP port (default: 8642; 0 binds an ephemeral "
+                         "port on serve)")
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the long-lived simulation service (see docs/serving.md)",
+        parents=[ep],
+    )
+    srv.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes for dispatched batches "
+                          "(default: 1, in-thread)")
+    srv.add_argument("--cache", type=pathlib.Path,
+                     default=pathlib.Path(DEFAULT_CACHE_DIR), metavar="DIR",
+                     help="persistent result-cache directory "
+                          f"(default: {DEFAULT_CACHE_DIR})")
+    srv.add_argument("--no-disk-cache", action="store_true",
+                     help="serve from the in-memory tiers only")
+    srv.add_argument("--events-log", type=pathlib.Path, default=None,
+                     metavar="FILE",
+                     help="append engine telemetry events to this JSONL "
+                          "file (flushed per event; survives SIGKILL)")
+    srv.add_argument("--queue-limit", type=int, default=64, metavar="N",
+                     help="admitted-but-unresolved cell bound; past it "
+                          "requests are shed with 'overloaded' "
+                          "(default: 64)")
+    srv.add_argument("--batch-window", type=float, default=0.02,
+                     metavar="SECONDS",
+                     help="how long the dispatcher coalesces arriving "
+                          "requests into one batch (default: 0.02)")
+    srv.add_argument("--batch-max", type=int, default=32, metavar="N",
+                     help="max cells per dispatched batch (default: 32)")
+    srv.add_argument("--default-deadline", type=float, default=None,
+                     metavar="SECONDS",
+                     help="deadline applied to requests that carry none "
+                          "(default: wait indefinitely)")
+    srv.add_argument("--memcache-entries", type=int, default=256, metavar="N",
+                     help="in-memory result-cache entry cap (default: 256)")
+    srv.add_argument("--memcache-bytes", type=_size, default=64 * 1024 * 1024,
+                     metavar="SIZE",
+                     help="in-memory result-cache byte cap "
+                          "(default: 64M; accepts K/M/G suffixes)")
+    srv.add_argument("--evict-policy", choices=("lru", "lfu", "fifo"),
+                     default="lru",
+                     help="memcache eviction policy (default: lru)")
+
+    rq = sub.add_parser(
+        "request",
+        help="issue one request to a running simulation server",
+        parents=[ep],
+    )
+    rq.add_argument("bench", type=str.upper, nargs="?", default=None,
+                    help="benchmark to simulate (omit with --stats/--ping); "
+                         "validated server-side against the workload suite")
+    rq.add_argument("--engine", choices=ENGINE_CHOICES, default="caps")
+    rq.add_argument("--scale", choices=sorted(SCALES), default="small")
+    rq.add_argument("--preset", choices=("small", "fermi", "test"),
+                    default="small",
+                    help="server-side GPUConfig preset (default: small)")
+    rq.add_argument("--override", type=_override, action="append",
+                    default=None, metavar="FIELD=VALUE",
+                    help="GPUConfig override, dotted for nested fields "
+                         "(e.g. --override prefetch.nlp_degree=2); "
+                         "repeatable")
+    rq.add_argument("--scheduler", type=_scheduler, default=None,
+                    help="warp scheduler (default: the engine's pairing)")
+    rq.add_argument("--priority", choices=("interactive", "sweep"),
+                    default="interactive")
+    rq.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                    help="per-request deadline enforced by the server")
+    rq.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                    help="client-side socket timeout")
+    rq.add_argument("--json", action="store_true",
+                    help="print the raw response payload as JSON")
+    rq.add_argument("--stats", action="store_true",
+                    help="fetch the server's introspection snapshot")
+    rq.add_argument("--ping", action="store_true",
+                    help="liveness probe")
+
+    ca = sub.add_parser(
+        "cache",
+        help="inspect or garbage-collect the on-disk result cache",
+    )
+    ca.add_argument("action", choices=("stats", "gc"))
+    ca.add_argument("--cache", type=pathlib.Path,
+                    default=pathlib.Path(DEFAULT_CACHE_DIR), metavar="DIR",
+                    help=f"cache directory (default: {DEFAULT_CACHE_DIR})")
+    ca.add_argument("--max-bytes", type=_size, default=None, metavar="SIZE",
+                    help="gc: evict oldest entries until the cache fits "
+                         "this budget (accepts K/M/G suffixes)")
+    ca.add_argument("--older-than", type=_duration, default=None,
+                    metavar="DURATION",
+                    help="gc: evict entries older than this (accepts "
+                         "s/m/h/d suffixes, e.g. 7d)")
+    ca.add_argument("--json", action="store_true",
+                    help="print machine-readable JSON")
     return p
 
 
@@ -364,8 +556,6 @@ def cmd_trace(args) -> int:
     """Run one benchmark with the trace recorder on and export the
     Chrome trace-event JSON (simulated directly, bypassing the result
     cache — trace payloads are bulky and single-use)."""
-    import json
-
     from repro.obs import validate_chrome_trace
     from repro.prefetch.factory import default_scheduler_for
     from repro.sim.gpu import simulate
@@ -419,6 +609,173 @@ def cmd_figures(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the simulation service until SIGTERM/SIGINT, then drain."""
+    import asyncio
+
+    from repro.serve.server import (
+        DEFAULT_HOST,
+        DEFAULT_PORT,
+        ServeConfig,
+        run_server,
+    )
+
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    events = EventLog()
+    sink = None
+    if args.events_log is not None:
+        sink = JSONLSink(args.events_log)
+        events.subscribe(sink)
+    cache = None if args.no_disk_cache else ResultCache(args.cache)
+    engine = ExecutionEngine(jobs=args.jobs, cache=cache, events=events)
+    serve_config = ServeConfig(
+        socket_path=str(args.socket) if args.socket else None,
+        host=args.host or DEFAULT_HOST,
+        port=DEFAULT_PORT if args.port is None else args.port,
+        queue_limit=args.queue_limit,
+        batch_window_s=args.batch_window,
+        batch_max=args.batch_max,
+        default_deadline_s=args.default_deadline,
+        memcache_entries=args.memcache_entries,
+        memcache_bytes=args.memcache_bytes,
+        evict_policy=args.evict_policy,
+    )
+
+    async def _serve():
+        ready = asyncio.Event()
+        task = asyncio.get_running_loop().create_task(
+            run_server(engine, serve_config, ready=ready))
+        await ready.wait()
+        print(f"repro serve: listening on "
+              f"{serve_config.socket_path or serve_config.host}"
+              f"{'' if serve_config.socket_path else ':%d' % serve_config.port}"
+              f" (jobs={engine.jobs}, queue-limit="
+              f"{serve_config.queue_limit}); SIGTERM drains",
+              file=sys.stderr, flush=True)
+        return await task
+
+    try:
+        server = asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - ^C without handler
+        return EXIT_OK
+    finally:
+        if sink is not None:
+            sink.close()
+    stats = server.stats()
+    print(f"repro serve: drained cleanly — "
+          f"{stats['server']['requests']} request(s), "
+          f"{stats['simulations']} simulation(s), "
+          f"dedup ratio {stats['dedup_ratio']:.2f}, "
+          f"memcache hit ratio {stats['memcache']['hit_ratio']:.2f}",
+          file=sys.stderr)
+    return EXIT_OK
+
+
+def cmd_request(args) -> int:
+    """Issue one request (simulate / stats / ping) to a running server."""
+    from repro.errors import (
+        BadRequestError,
+        RequestError,
+    )
+    from repro.serve.client import ServeClient
+    from repro.serve.server import DEFAULT_HOST, DEFAULT_PORT
+
+    if not (args.stats or args.ping) and args.bench is None:
+        raise SystemExit(
+            "repro request: name a benchmark, or pass --stats / --ping")
+    client = ServeClient(
+        socket_path=str(args.socket) if args.socket else None,
+        host=args.host or DEFAULT_HOST,
+        port=DEFAULT_PORT if args.port is None else args.port,
+        timeout=args.timeout,
+    )
+    try:
+        with client:
+            if args.ping:
+                client.ping()
+                print("pong")
+                return EXIT_OK
+            if args.stats:
+                print(json.dumps(client.stats(), indent=2, sort_keys=True))
+                return EXIT_OK
+            result, meta = client.simulate(
+                args.bench,
+                engine=args.engine,
+                scale=args.scale,
+                preset=args.preset,
+                overrides=_overrides_dict(args.override),
+                scheduler=args.scheduler.value if args.scheduler else None,
+                priority=args.priority,
+                deadline_s=args.deadline,
+            )
+    except BadRequestError as exc:
+        print(f"request error: {exc}", file=sys.stderr)
+        return EXIT_CONFIG
+    except RequestError as exc:
+        print(f"request error [{exc.code}]: {exc}", file=sys.stderr)
+        return (EXIT_UNAVAILABLE
+                if exc.code in ("overloaded", "deadline_exceeded",
+                                "shutting_down") else EXIT_FAIL)
+    except (ConnectionError, OSError) as exc:
+        print(f"cannot reach server: {exc}", file=sys.stderr)
+        return EXIT_UNAVAILABLE
+    if args.json:
+        from repro.exec import serialize_result
+
+        print(json.dumps({"result": serialize_result(result), "meta": meta},
+                         indent=2, sort_keys=True))
+        return EXIT_OK
+    print(format_table(
+        ["metric", "value"],
+        [
+            ("cell", meta.get("cell", "-")),
+            ("source", meta.get("source", "-")),
+            ("round trip", f"{meta.get('wall_s', 0.0):.3f}s"),
+            ("IPC", f"{result.ipc:.3f}"),
+            ("cycles", result.cycles),
+            ("L1 hit rate", format_percent(result.l1_hit_rate)),
+            ("prefetches issued", result.prefetch_stats.issued),
+            ("DRAM reads", result.dram_reads),
+        ],
+        title=f"{args.bench} @ {args.scale} via {args.engine}",
+    ))
+    return EXIT_OK
+
+
+def cmd_cache(args) -> int:
+    """Inspect (``stats``) or garbage-collect (``gc``) the disk cache."""
+    cache = ResultCache(args.cache)
+    if args.action == "stats":
+        stats = cache.disk_stats()
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+        else:
+            print(format_table(
+                ["metric", "value"],
+                [
+                    ("root", stats["root"]),
+                    ("schema", f"v{stats['schema']}"),
+                    ("entries", stats["entries"]),
+                    ("total bytes", stats["total_bytes"]),
+                ],
+                title="Result cache",
+            ))
+        return EXIT_OK
+    if args.max_bytes is None and args.older_than is None:
+        raise SystemExit(
+            "repro cache gc: pass --max-bytes and/or --older-than")
+    report = cache.gc(max_bytes=args.max_bytes, older_than_s=args.older_than)
+    if args.json:
+        print(json.dumps(dataclasses.asdict(report), indent=2,
+                         sort_keys=True))
+    else:
+        print(f"evicted {report.removed} entr{'y' if report.removed == 1 else 'ies'} "
+              f"({report.removed_bytes} bytes); "
+              f"{report.kept} kept ({report.kept_bytes} bytes)")
+    return EXIT_OK
+
+
 def _install_engine(args) -> None:
     """Configure the process-wide execution engine from CLI flags.
 
@@ -459,7 +816,10 @@ def _report_hang(exc: BaseException) -> None:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        _install_engine(args)
+        if args.command not in ("serve", "request", "cache"):
+            # The serving/maintenance commands manage their own engine
+            # (or none); the shared flags mean different things there.
+            _install_engine(args)
         return {
             "list": cmd_list,
             "run": cmd_run,
@@ -468,6 +828,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "validate": cmd_validate,
             "timeline": cmd_timeline,
             "trace": cmd_trace,
+            "serve": cmd_serve,
+            "request": cmd_request,
+            "cache": cmd_cache,
         }[args.command](args)
     except ConfigError as exc:
         print(f"configuration error: {exc}", file=sys.stderr)

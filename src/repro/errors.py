@@ -113,6 +113,64 @@ class IncompleteRunError(PermanentError):
         return (self.__class__, (self.args[0], self.result))
 
 
+class RequestError(ReproError):
+    """Base class of request-level failures in the serving layer.
+
+    Every subclass carries a stable wire ``code`` — the ``error.code``
+    field of a :mod:`repro.serve.protocol` error response — so clients
+    can react programmatically (back off on ``overloaded``, fix the
+    payload on ``bad_request``) without parsing messages.
+    """
+
+    #: Stable protocol error code (overridden by every subclass).
+    code = "internal"
+
+
+class BadRequestError(RequestError, PermanentError):
+    """The request payload is malformed or names unknown entities.
+
+    Deterministic: resubmitting the same payload fails the same way.
+    """
+
+    code = "bad_request"
+
+
+class OverloadedError(RequestError, TransientError):
+    """The server's admission queue is full; the request was shed.
+
+    Transient by definition — the same request may succeed once load
+    drains.  Clients should back off and retry.
+    """
+
+    code = "overloaded"
+
+
+class DeadlineExceededError(RequestError, TransientError):
+    """The request's deadline expired before a result was available.
+
+    The underlying simulation (if one was dispatched) keeps running and
+    lands in the cache, so a retry typically completes quickly.
+    """
+
+    code = "deadline_exceeded"
+
+
+class ShuttingDownError(RequestError, TransientError):
+    """The server is draining (SIGTERM) and no longer admits requests."""
+
+    code = "shutting_down"
+
+
+class RequestFailedError(RequestError, PermanentError):
+    """The dispatched simulation failed; the failure detail is attached.
+
+    Wraps a :class:`CellFailure`-shaped server-side outcome (a hang, an
+    invariant violation, an exhausted retry budget) for the client.
+    """
+
+    code = "simulation_failed"
+
+
 class InjectedFault(TransientError):
     """Base class of failures raised by the deterministic fault injector."""
 

@@ -25,14 +25,23 @@ from repro.errors import IncompleteRunError
 from repro.exec.cache import (
     CACHE_SCHEMA_VERSION,
     DEFAULT_CACHE_DIR,
+    CacheEntryInfo,
+    GCReport,
     ResultCache,
     RunKey,
     config_fingerprint,
     deserialize_result,
     key_fingerprint,
+    result_bytes,
     serialize_result,
 )
-from repro.exec.events import EventLog, ExecEvent, JSONLSink, TTYProgress
+from repro.exec.events import (
+    EventLog,
+    ExecEvent,
+    JSONLSink,
+    TTYProgress,
+    read_events,
+)
 from repro.exec.journal import SweepJournal, sweep_id
 from repro.exec.runner import (
     CellError,
@@ -51,10 +60,14 @@ __all__ = [
     "deserialize_result",
     "key_fingerprint",
     "serialize_result",
+    "CacheEntryInfo",
+    "GCReport",
+    "result_bytes",
     "EventLog",
     "ExecEvent",
     "JSONLSink",
     "TTYProgress",
+    "read_events",
     "CellError",
     "CellFailure",
     "CellTimeout",

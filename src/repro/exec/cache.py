@@ -33,9 +33,10 @@ import json
 import logging
 import os
 import pathlib
+import time
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.config import GPUConfig
 from repro.prefetch.stats import PrefetchStats
@@ -249,3 +250,118 @@ class ResultCache:
                 except OSError:
                     pass
         return removed
+
+    # -------------------------------------------------------- maintenance
+    def entries(self) -> List["CacheEntryInfo"]:
+        """Stat every entry of the current schema (oldest first).
+
+        Entries that vanish mid-scan (a concurrent gc or clear) are
+        skipped rather than raised.
+        """
+        out: List[CacheEntryInfo] = []
+        if not self.version_dir.is_dir():
+            return out
+        for path in self.version_dir.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            out.append(CacheEntryInfo(path=path, size_bytes=stat.st_size,
+                                      mtime=stat.st_mtime))
+        out.sort(key=lambda e: (e.mtime, e.path.name))
+        return out
+
+    def disk_stats(self) -> Dict[str, Any]:
+        """On-disk usage summary (the ``repro cache stats`` payload)."""
+        entries = self.entries()
+        total = sum(e.size_bytes for e in entries)
+        return {
+            "root": str(self.root),
+            "schema": CACHE_SCHEMA_VERSION,
+            "entries": len(entries),
+            "total_bytes": total,
+            "oldest_mtime": entries[0].mtime if entries else None,
+            "newest_mtime": entries[-1].mtime if entries else None,
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidated": self.invalidated,
+        }
+
+    def gc(self, max_bytes: Optional[int] = None,
+           older_than_s: Optional[float] = None,
+           now: Optional[float] = None) -> "GCReport":
+        """Evict entries by age and/or total size; returns a report.
+
+        Two independent policies, applied in order:
+
+        1. ``older_than_s`` — delete every entry whose mtime is older
+           than ``now - older_than_s``.  Entries at or newer than the
+           cutoff are **never** deleted by this pass, regardless of
+           size pressure from the second pass being disabled.
+        2. ``max_bytes`` — delete oldest-first until the surviving
+           total is at or under the budget.
+
+        Each eviction is a single atomic ``unlink``; a reader racing a
+        gc sees either the complete entry or a miss, never a torn file.
+        Entries that disappear mid-gc (concurrent maintenance) are
+        counted as already gone.
+        """
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0 (got {max_bytes})")
+        if older_than_s is not None and older_than_s < 0:
+            raise ValueError(
+                f"older_than_s must be >= 0 (got {older_than_s})")
+        moment = time.time() if now is None else now
+        entries = self.entries()
+        removed: List[CacheEntryInfo] = []
+        kept: List[CacheEntryInfo] = []
+        if older_than_s is not None:
+            cutoff = moment - older_than_s
+            for entry in entries:
+                if entry.mtime < cutoff:
+                    removed.append(entry)
+                else:
+                    kept.append(entry)
+        else:
+            kept = list(entries)
+        if max_bytes is not None:
+            total = sum(e.size_bytes for e in kept)
+            survivors: List[CacheEntryInfo] = []
+            for i, entry in enumerate(kept):  # oldest first
+                if total > max_bytes:
+                    removed.append(entry)
+                    total -= entry.size_bytes
+                else:
+                    survivors.extend(kept[i:])
+                    break
+            kept = survivors
+        for entry in removed:
+            try:
+                entry.path.unlink()
+            except OSError:
+                pass
+        return GCReport(
+            removed=len(removed),
+            removed_bytes=sum(e.size_bytes for e in removed),
+            kept=len(kept),
+            kept_bytes=sum(e.size_bytes for e in kept),
+        )
+
+
+@dataclass(frozen=True)
+class CacheEntryInfo:
+    """Stat record of one on-disk cache entry."""
+
+    path: pathlib.Path
+    size_bytes: int
+    mtime: float
+
+
+@dataclass(frozen=True)
+class GCReport:
+    """Outcome of one :meth:`ResultCache.gc` pass."""
+
+    removed: int
+    removed_bytes: int
+    kept: int
+    kept_bytes: int

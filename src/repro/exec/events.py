@@ -27,6 +27,7 @@ subscribers; :class:`JSONLSink` appends them to a JSON-lines file and
 from __future__ import annotations
 
 import json
+import os
 import sys
 import time
 from dataclasses import asdict, dataclass
@@ -99,7 +100,14 @@ class EventLog:
 
 
 class JSONLSink:
-    """Append events to a JSON-lines telemetry file."""
+    """Append events to a JSON-lines telemetry file.
+
+    Crash-durability contract: every event is written as one line and
+    flushed immediately, and :meth:`close` fsyncs before closing — a
+    killed server or worker leaves a log whose every complete line
+    parses, losing at most the line being written at the instant of
+    death.  :func:`read_events` is the matching tolerant reader.
+    """
 
     def __init__(self, path):
         self.path = path
@@ -110,8 +118,41 @@ class JSONLSink:
         self._fh.flush()
 
     def close(self) -> None:
-        """Flush and close the underlying JSONL file."""
+        """Flush, fsync and close the underlying JSONL file."""
+        if self._fh.closed:
+            return
+        self._fh.flush()
+        try:
+            os.fsync(self._fh.fileno())
+        except OSError:  # pragma: no cover - e.g. a pipe target
+            pass
         self._fh.close()
+
+
+def read_events(path) -> List[ExecEvent]:
+    """Parse a JSONL event log, tolerating a torn trailing line.
+
+    The sink flushes per event, so a crash can only tear the *final*
+    line; a truncated tail is silently dropped.  A malformed line
+    anywhere else means the file is not a sink-written log (or was
+    corrupted in place) and raises :class:`ValueError`.
+    """
+    events: List[ExecEvent] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    for lineno, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+            events.append(ExecEvent(**payload))
+        except (json.JSONDecodeError, TypeError) as exc:
+            if lineno == len(lines) - 1:
+                break  # torn tail from a kill mid-write
+            raise ValueError(
+                f"{path}: malformed event on line {lineno + 1}: {exc}"
+            ) from exc
+    return events
 
 
 class TTYProgress:

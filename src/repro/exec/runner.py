@@ -407,4 +407,8 @@ class ExecutionEngine:
                     for key in resubmit:
                         submit(key)
         finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+            # Join the workers: when a batch returns, no worker process
+            # is left behind (the serve layer's graceful-drain contract
+            # asserts this).  At this point every future has resolved,
+            # so the workers are idle and exit immediately.
+            pool.shutdown(wait=True, cancel_futures=True)

@@ -25,11 +25,17 @@ See ``docs/robustness.md`` for the full design.
 """
 
 from repro.errors import (
+    BadRequestError,
     ConfigError,
+    DeadlineExceededError,
     FailureKind,
     InjectedFault,
     InjectedWorkerCrash,
     InvariantViolation,
+    OverloadedError,
+    RequestError,
+    RequestFailedError,
+    ShuttingDownError,
     SimulationHangError,
     classify,
     is_transient,
@@ -45,7 +51,13 @@ from repro.guard.watchdog import (
 )
 
 __all__ = [
+    "BadRequestError",
     "ConfigError",
+    "DeadlineExceededError",
+    "OverloadedError",
+    "RequestError",
+    "RequestFailedError",
+    "ShuttingDownError",
     "FailureKind",
     "InjectedFault",
     "InjectedWorkerCrash",

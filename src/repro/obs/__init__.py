@@ -50,6 +50,7 @@ from repro.obs.collector import (
     window_totals,
 )
 from repro.obs.export import write_csv, write_json, write_jsonl, write_metrics
+from repro.obs.latency import SUMMARY_QUANTILES, LatencyRecorder, percentile
 from repro.obs.profiler import PhaseProfiler, format_profile, merge_profiles
 from repro.obs.trace import (
     CONTROL_LANE,
@@ -83,6 +84,9 @@ __all__ = [
     "write_csv",
     "merge_profiles",
     "format_profile",
+    "LatencyRecorder",
+    "SUMMARY_QUANTILES",
+    "percentile",
 ]
 
 

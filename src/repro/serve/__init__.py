@@ -1,0 +1,76 @@
+"""repro.serve — simulation-as-a-service over the execution engine.
+
+A long-running asyncio service that answers simulation requests from a
+tiered cache or by batching them into the existing
+:class:`~repro.exec.runner.ExecutionEngine`:
+
+* :mod:`repro.serve.protocol` — versioned line-delimited JSON schema
+  (request ids, ops, the stable error-code taxonomy);
+* :mod:`repro.serve.memcache` — in-memory LRU/LFU/FIFO result tier with
+  entry/byte caps and eviction counters, layered over the persistent
+  :class:`~repro.exec.cache.ResultCache`;
+* :mod:`repro.serve.scheduler` — bounded admission with explicit
+  ``overloaded`` shedding, request batching into one engine dispatch,
+  single-flight dedup of identical in-flight cells, and
+  interactive-over-sweep priority classes;
+* :mod:`repro.serve.server` — the asyncio front-end (Unix/TCP socket,
+  per-request deadlines, graceful SIGTERM drain, ``stats``
+  introspection wired into :mod:`repro.obs` latency recording);
+* :mod:`repro.serve.client` — sync and async client libraries backing
+  the ``repro serve`` / ``repro request`` CLI pair.
+
+Pure stdlib (asyncio) — no new runtime dependencies.  See
+``docs/serving.md`` for the protocol spec, capacity-planning knobs and
+failure semantics.
+"""
+
+from repro.serve.client import AsyncServeClient, ServeClient
+from repro.serve.memcache import (
+    EVICTION_POLICIES,
+    FIFOStrategy,
+    LFUStrategy,
+    LRUStrategy,
+    ServeMemCache,
+)
+from repro.serve.protocol import (
+    ERROR_CODES,
+    OPS,
+    PRIORITIES,
+    PROTOCOL_VERSION,
+    Request,
+    apply_overrides,
+    parse_request,
+    request_to_key,
+)
+from repro.serve.scheduler import RequestScheduler
+from repro.serve.server import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    ServeConfig,
+    SimulationServer,
+    run_server,
+)
+
+__all__ = [
+    "AsyncServeClient",
+    "ServeClient",
+    "EVICTION_POLICIES",
+    "FIFOStrategy",
+    "LFUStrategy",
+    "LRUStrategy",
+    "ServeMemCache",
+    "ERROR_CODES",
+    "OPS",
+    "PRIORITIES",
+    "PROTOCOL_VERSION",
+    "Request",
+    "apply_overrides",
+    "parse_request",
+    "request_to_key",
+    "RequestScheduler",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "ServeConfig",
+    "SimulationServer",
+    "run_server",
+]

@@ -1,0 +1,277 @@
+"""Client library for the simulation service (sync and async).
+
+:class:`ServeClient` is the blocking client the ``repro request`` CLI
+uses — one socket, one request at a time, typed exceptions mapped back
+from the wire error codes.  :class:`AsyncServeClient` is the asyncio
+equivalent used by the end-to-end tests and the throughput benchmark;
+it supports pipelining many concurrent requests over one connection
+(responses are correlated by request id).
+
+Both clients deserialize ``simulate`` payloads back into
+:class:`~repro.sim.gpu.SimResult` objects via
+:func:`repro.exec.cache.deserialize_result`, so a served result is
+byte-identical (under :func:`~repro.exec.cache.result_bytes`) to the
+same cell executed in-process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import os
+import socket
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import RequestError
+from repro.exec.cache import deserialize_result
+from repro.serve import protocol
+from repro.serve.server import DEFAULT_HOST, DEFAULT_PORT, STREAM_LIMIT
+from repro.sim.gpu import SimResult
+
+_REQUEST_IDS = itertools.count(1)
+
+
+def _next_id() -> str:
+    """Process-unique request id (pid + monotonic counter)."""
+    return f"{os.getpid()}-{next(_REQUEST_IDS)}"
+
+
+def _simulate_payload(benchmark: str, engine: str, scale: str, preset: str,
+                      overrides: Optional[Dict[str, Any]],
+                      scheduler: Optional[str], priority: str,
+                      deadline_s: Optional[float]) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {
+        "v": protocol.PROTOCOL_VERSION,
+        "id": _next_id(),
+        "op": "simulate",
+        "benchmark": benchmark,
+        "engine": engine,
+        "scale": scale,
+        "preset": preset,
+        "priority": priority,
+    }
+    if overrides:
+        payload["overrides"] = overrides
+    if scheduler is not None:
+        payload["scheduler"] = scheduler
+    if deadline_s is not None:
+        payload["deadline_s"] = deadline_s
+    return payload
+
+
+class ServeClient:
+    """Blocking line-protocol client (one request in flight at a time)."""
+
+    def __init__(self, socket_path: Optional[str] = None,
+                 host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
+                 timeout: Optional[float] = None):
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+
+    # --------------------------------------------------------- connection
+    def connect(self) -> "ServeClient":
+        """Open the connection (idempotent); returns self for chaining."""
+        if self._sock is not None:
+            return self
+        if self.socket_path:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.socket_path)
+        else:
+            sock = socket.create_connection((self.host, self.port),
+                                            timeout=self.timeout)
+        self._sock = sock
+        self._file = sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        """Close the connection (safe to call repeatedly)."""
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ----------------------------------------------------------- requests
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one raw message dict; return the ok-checked response.
+
+        Raises the typed :class:`~repro.errors.RequestError` subclass
+        matching the response's error code on failure, and
+        :class:`ConnectionError` if the server closed mid-request.
+        """
+        self.connect()
+        assert self._sock is not None and self._file is not None
+        self._sock.sendall(protocol.encode(payload))
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError(
+                "server closed the connection before responding")
+        return protocol.raise_for_response(protocol.decode_line(line))
+
+    def simulate(self, benchmark: str, engine: str = "none",
+                 scale: str = "small", preset: str = "small",
+                 overrides: Optional[Dict[str, Any]] = None,
+                 scheduler: Optional[str] = None,
+                 priority: str = "interactive",
+                 deadline_s: Optional[float] = None,
+                 ) -> Tuple[SimResult, Dict[str, Any]]:
+        """Request one cell; returns ``(SimResult, response meta)``."""
+        response = self.request(_simulate_payload(
+            benchmark, engine, scale, preset, overrides, scheduler,
+            priority, deadline_s))
+        return deserialize_result(response["result"]), response.get("meta", {})
+
+    def stats(self) -> Dict[str, Any]:
+        """Fetch the server's introspection snapshot."""
+        response = self.request({
+            "v": protocol.PROTOCOL_VERSION, "id": _next_id(), "op": "stats",
+        })
+        return response["result"]
+
+    def ping(self) -> bool:
+        """Liveness probe; True when the server answered."""
+        response = self.request({
+            "v": protocol.PROTOCOL_VERSION, "id": _next_id(), "op": "ping",
+        })
+        return bool(response["result"].get("pong"))
+
+
+class AsyncServeClient:
+    """Asyncio client supporting pipelined concurrent requests."""
+
+    def __init__(self, socket_path: Optional[str] = None,
+                 host: str = DEFAULT_HOST, port: int = DEFAULT_PORT):
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._pending: Dict[str, asyncio.Future] = {}
+        self._reader_task: Optional[asyncio.Task] = None
+        self._write_lock: Optional[asyncio.Lock] = None
+
+    # --------------------------------------------------------- connection
+    async def connect(self) -> "AsyncServeClient":
+        """Open the connection and start the response demultiplexer."""
+        if self._writer is not None:
+            return self
+        if self.socket_path:
+            self._reader, self._writer = await asyncio.open_unix_connection(
+                self.socket_path, limit=STREAM_LIMIT)
+        else:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port, limit=STREAM_LIMIT)
+        self._write_lock = asyncio.Lock()
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_responses())
+        return self
+
+    async def close(self) -> None:
+        """Close the connection and fail any still-pending requests."""
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+            self._writer = None
+            self._reader = None
+        self._fail_pending(ConnectionError("client closed"))
+
+    async def __aenter__(self) -> "AsyncServeClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    def _fail_pending(self, exc: BaseException) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._pending.clear()
+
+    async def _read_responses(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    payload = protocol.decode_line(line)
+                except RequestError:
+                    continue  # unparseable line; ignore
+                future = self._pending.pop(str(payload.get("id")), None)
+                if future is not None and not future.done():
+                    future.set_result(payload)
+        except asyncio.CancelledError:
+            raise
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            self._fail_pending(
+                ConnectionError("server closed the connection"))
+
+    # ----------------------------------------------------------- requests
+    async def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one raw message dict; await its ok-checked response."""
+        await self.connect()
+        assert self._writer is not None and self._write_lock is not None
+        future = asyncio.get_running_loop().create_future()
+        self._pending[payload["id"]] = future
+        async with self._write_lock:
+            self._writer.write(protocol.encode(payload))
+            await self._writer.drain()
+        return protocol.raise_for_response(await future)
+
+    async def simulate(self, benchmark: str, engine: str = "none",
+                       scale: str = "small", preset: str = "small",
+                       overrides: Optional[Dict[str, Any]] = None,
+                       scheduler: Optional[str] = None,
+                       priority: str = "interactive",
+                       deadline_s: Optional[float] = None,
+                       ) -> Tuple[SimResult, Dict[str, Any]]:
+        """Request one cell; returns ``(SimResult, response meta)``."""
+        response = await self.request(_simulate_payload(
+            benchmark, engine, scale, preset, overrides, scheduler,
+            priority, deadline_s))
+        return deserialize_result(response["result"]), response.get("meta", {})
+
+    async def stats(self) -> Dict[str, Any]:
+        """Fetch the server's introspection snapshot."""
+        response = await self.request({
+            "v": protocol.PROTOCOL_VERSION, "id": _next_id(), "op": "stats",
+        })
+        return response["result"]
+
+    async def ping(self) -> bool:
+        """Liveness probe; True when the server answered."""
+        response = await self.request({
+            "v": protocol.PROTOCOL_VERSION, "id": _next_id(), "op": "ping",
+        })
+        return bool(response["result"].get("pong"))

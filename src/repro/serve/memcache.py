@@ -1,0 +1,195 @@
+"""In-memory result cache: the hot tier above the on-disk ResultCache.
+
+The serving stack caches at three levels:
+
+1. this **memcache** — deserialized :class:`~repro.sim.gpu.SimResult`
+   objects keyed by cell fingerprint, answered without touching the
+   executor thread at all (sub-microsecond hit path);
+2. the engine's **in-process memo** (exact-object reuse inside one
+   dispatch batch);
+3. the persistent **disk cache** (:class:`repro.exec.cache.ResultCache`)
+   shared with the serial CLI and across server restarts.
+
+Eviction follows the sglang ``mem_cache/evict_policy.py`` shape: a
+pluggable :class:`EvictionStrategy` maps each entry to a priority and
+the minimum-priority entry is evicted first.  ``lru`` (the default)
+evicts the least-recently-used entry, ``lfu`` the least-hit (ties by
+recency), ``fifo`` the oldest insertion.  Recency is a monotonic access
+counter, not wall-clock time, so eviction order is deterministic.
+
+Both an entry-count cap and an approximate byte cap (sum of each
+entry's canonical serialized size) bound the tier; ``hits`` /
+``misses`` / ``evictions`` feed the ``stats`` introspection request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+#: Default entry cap of the in-memory tier.
+DEFAULT_MAX_ENTRIES = 256
+
+#: Default byte cap of the in-memory tier (64 MiB of canonical JSON).
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+
+@dataclass
+class CacheEntry:
+    """One memcache slot: the value plus its eviction bookkeeping."""
+
+    value: Any
+    size_bytes: int
+    insert_seq: int
+    last_access: int
+    hit_count: int = 0
+
+
+class EvictionStrategy:
+    """Maps an entry to an eviction priority (lowest evicts first)."""
+
+    name = "base"
+
+    def get_priority(self, entry: CacheEntry):
+        """Priority of ``entry``; the minimum across entries is evicted."""
+        raise NotImplementedError
+
+
+class LRUStrategy(EvictionStrategy):
+    """Evict the least-recently-accessed entry first."""
+
+    name = "lru"
+
+    def get_priority(self, entry: CacheEntry) -> int:
+        return entry.last_access
+
+
+class LFUStrategy(EvictionStrategy):
+    """Evict the least-hit entry first (ties broken by recency)."""
+
+    name = "lfu"
+
+    def get_priority(self, entry: CacheEntry):
+        return (entry.hit_count, entry.last_access)
+
+
+class FIFOStrategy(EvictionStrategy):
+    """Evict the oldest-inserted entry first, regardless of use."""
+
+    name = "fifo"
+
+    def get_priority(self, entry: CacheEntry) -> int:
+        return entry.insert_seq
+
+
+#: Policy name -> strategy class (the ``--evict-policy`` CLI choices).
+EVICTION_POLICIES = {
+    cls.name: cls for cls in (LRUStrategy, LFUStrategy, FIFOStrategy)
+}
+
+
+class ServeMemCache:
+    """Bounded in-memory fingerprint -> result cache with eviction stats."""
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES,
+                 max_bytes: int = DEFAULT_MAX_BYTES,
+                 policy: str = "lru"):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1 (got {max_entries})")
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1 (got {max_bytes})")
+        try:
+            self.strategy = EVICTION_POLICIES[policy]()
+        except KeyError:
+            raise ValueError(
+                f"unknown eviction policy {policy!r}; choose from "
+                f"{sorted(EVICTION_POLICIES)}"
+            ) from None
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._entries: Dict[str, CacheEntry] = {}
+        self._clock = 0
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.puts = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def get(self, fingerprint: str) -> Optional[Any]:
+        """Return the cached value for ``fingerprint`` or ``None``."""
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            self.misses += 1
+            return None
+        entry.last_access = self._tick()
+        entry.hit_count += 1
+        self.hits += 1
+        return entry.value
+
+    def put(self, fingerprint: str, value: Any, size_bytes: int) -> None:
+        """Insert (or refresh) an entry, evicting until under both caps.
+
+        ``size_bytes`` is the entry's accounting weight — the serving
+        layer passes the canonical serialized size of the result, so the
+        byte cap tracks what the payloads would occupy on the wire.  A
+        value larger than ``max_bytes`` is cached alone (the cache never
+        rejects; it just cannot hold anything else beside it).
+        """
+        old = self._entries.pop(fingerprint, None)
+        if old is not None:
+            self.current_bytes -= old.size_bytes
+        seq = self._tick()
+        self._entries[fingerprint] = CacheEntry(
+            value=value, size_bytes=max(0, size_bytes),
+            insert_seq=seq, last_access=seq,
+        )
+        self.current_bytes += max(0, size_bytes)
+        self.puts += 1
+        self._evict_to_caps()
+
+    def _evict_to_caps(self) -> None:
+        while (len(self._entries) > self.max_entries
+               or (self.current_bytes > self.max_bytes
+                   and len(self._entries) > 1)):
+            victim = min(
+                self._entries,
+                key=lambda fp: self.strategy.get_priority(self._entries[fp]),
+            )
+            self.current_bytes -= self._entries.pop(victim).size_bytes
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters keep their lifetime values)."""
+        self._entries.clear()
+        self.current_bytes = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over lookups since construction (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        """Snapshot for the ``stats`` introspection request."""
+        return {
+            "policy": self.strategy.name,
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "bytes": self.current_bytes,
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_ratio": round(self.hit_ratio, 4),
+            "evictions": self.evictions,
+            "puts": self.puts,
+        }

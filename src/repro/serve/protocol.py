@@ -1,0 +1,318 @@
+"""Wire protocol of the simulation service: versioned line-delimited JSON.
+
+Every message is one JSON object on one ``\\n``-terminated UTF-8 line.
+Requests carry a protocol version ``v``, a caller-chosen ``id`` (echoed
+verbatim in the response, so clients may pipeline) and an ``op``:
+
+``simulate``
+    run (or serve from cache) one cell of the experiment matrix —
+    benchmark, prefetch engine, scale, config preset plus nested
+    :class:`~repro.config.GPUConfig` overrides, optional scheduler,
+    priority class (``interactive``/``sweep``) and per-request deadline;
+``stats``
+    introspection snapshot (queue depth, cache hit ratios, dedup ratio,
+    per-stage latency summaries — see ``docs/serving.md``);
+``ping``
+    liveness probe.
+
+Responses are ``{"v", "id", "ok": true, "result", "meta"}`` on success
+or ``{"v", "id", "ok": false, "error": {"code", "kind", "message"}}``
+on failure, where ``code`` is a stable member of :data:`ERROR_CODES`
+(the request-level failure taxonomy of :mod:`repro.errors`) and
+``kind`` its transient/permanent classification — clients back off and
+retry on transient codes (``overloaded``, ``deadline_exceeded``,
+``shutting_down``) and fix the payload on permanent ones.
+
+A ``simulate`` result is the lossless
+:func:`repro.exec.cache.serialize_result` payload, so a served result
+deserializes byte-identical to the same cell run through the serial
+CLI — the round-trip-fidelity acceptance check of the serve layer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.config import (
+    GPUConfig,
+    SchedulerKind,
+    fermi_config,
+    small_config,
+    test_config,
+)
+from repro.errors import (
+    BadRequestError,
+    ConfigError,
+    DeadlineExceededError,
+    OverloadedError,
+    RequestError,
+    RequestFailedError,
+    ShuttingDownError,
+    classify,
+)
+from repro.exec.cache import RunKey
+from repro.prefetch import PREFETCHERS
+from repro.prefetch.factory import default_scheduler_for
+from repro.workloads import ALL_BENCHMARKS, Scale
+
+#: Bump on incompatible request/response schema changes; the server
+#: rejects mismatched requests with ``bad_request`` instead of guessing.
+PROTOCOL_VERSION = 1
+
+#: Valid ``op`` values of a request.
+OPS = ("simulate", "stats", "ping")
+
+#: Priority classes accepted by ``simulate`` (admission order: every
+#: queued interactive cell dispatches before any sweep cell).
+PRIORITIES = ("interactive", "sweep")
+
+#: Config presets a request may name (resolved server-side).
+PRESETS = {
+    "small": small_config,
+    "fermi": fermi_config,
+    "test": test_config,
+}
+
+#: Stable error codes a response may carry.
+ERROR_CODES = (
+    "bad_request",
+    "overloaded",
+    "deadline_exceeded",
+    "shutting_down",
+    "simulation_failed",
+    "internal",
+)
+
+#: Error code -> exception class, used by clients to re-raise typed
+#: errors; the inverse mapping is implicit in ``RequestError.code``.
+CODE_TO_ERROR = {
+    "bad_request": BadRequestError,
+    "overloaded": OverloadedError,
+    "deadline_exceeded": DeadlineExceededError,
+    "shutting_down": ShuttingDownError,
+    "simulation_failed": RequestFailedError,
+    "internal": RequestError,
+}
+
+ENGINE_CHOICES = ("none",) + tuple(PREFETCHERS)
+
+
+@dataclass(frozen=True)
+class Request:
+    """One decoded client request (any op)."""
+
+    id: str
+    op: str
+    benchmark: str = ""
+    engine: str = "none"
+    scale: Scale = Scale.SMALL
+    preset: str = "small"
+    overrides: Dict[str, Any] = field(default_factory=dict)
+    scheduler: Optional[SchedulerKind] = None
+    priority: str = "interactive"
+    deadline_s: Optional[float] = None
+
+
+def encode(message: Dict[str, Any]) -> bytes:
+    """Serialize one protocol message to its wire form (one JSON line)."""
+    return (json.dumps(message, sort_keys=True, separators=(",", ":"))
+            + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one wire line into a message dict.
+
+    Raises :class:`~repro.errors.BadRequestError` on anything that is
+    not a single JSON object.
+    """
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise BadRequestError(f"undecodable request line: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise BadRequestError(
+            f"request must be a JSON object (got {type(payload).__name__})"
+        )
+    return payload
+
+
+def parse_request(payload: Dict[str, Any]) -> Request:
+    """Validate a decoded message dict into a :class:`Request`.
+
+    Every validation failure raises
+    :class:`~repro.errors.BadRequestError` with an actionable message;
+    the ``id`` (when present and well-formed) still makes it into the
+    error response so pipelined clients can correlate.
+    """
+    version = payload.get("v")
+    if version != PROTOCOL_VERSION:
+        raise BadRequestError(
+            f"unsupported protocol version {version!r} "
+            f"(server speaks v{PROTOCOL_VERSION})"
+        )
+    req_id = payload.get("id")
+    if not isinstance(req_id, str) or not req_id:
+        raise BadRequestError("request needs a non-empty string 'id'")
+    op = payload.get("op")
+    if op not in OPS:
+        raise BadRequestError(f"unknown op {op!r}; choose from {OPS}")
+    if op != "simulate":
+        return Request(id=req_id, op=op)
+
+    benchmark = str(payload.get("benchmark", "")).upper()
+    if benchmark not in ALL_BENCHMARKS:
+        raise BadRequestError(
+            f"unknown benchmark {payload.get('benchmark')!r}; choose from "
+            f"{sorted(ALL_BENCHMARKS)}"
+        )
+    engine = payload.get("engine", "none")
+    if engine not in ENGINE_CHOICES:
+        raise BadRequestError(
+            f"unknown engine {engine!r}; choose from {ENGINE_CHOICES}"
+        )
+    try:
+        scale = Scale(payload.get("scale", "small"))
+    except ValueError:
+        raise BadRequestError(
+            f"unknown scale {payload.get('scale')!r}; choose from "
+            f"{[s.value for s in Scale]}"
+        ) from None
+    preset = payload.get("preset", "small")
+    if preset not in PRESETS:
+        raise BadRequestError(
+            f"unknown config preset {preset!r}; choose from "
+            f"{sorted(PRESETS)}"
+        )
+    overrides = payload.get("overrides", {})
+    if not isinstance(overrides, dict):
+        raise BadRequestError("'overrides' must be an object of "
+                              "GPUConfig field overrides")
+    scheduler = None
+    if payload.get("scheduler") is not None:
+        try:
+            scheduler = SchedulerKind(payload["scheduler"])
+        except ValueError:
+            raise BadRequestError(
+                f"unknown scheduler {payload['scheduler']!r}; choose from "
+                f"{[k.value for k in SchedulerKind]}"
+            ) from None
+    priority = payload.get("priority", "interactive")
+    if priority not in PRIORITIES:
+        raise BadRequestError(
+            f"unknown priority {priority!r}; choose from {PRIORITIES}"
+        )
+    deadline_s = payload.get("deadline_s")
+    if deadline_s is not None:
+        if not isinstance(deadline_s, (int, float)) or deadline_s <= 0:
+            raise BadRequestError(
+                f"'deadline_s' must be a positive number (got {deadline_s!r})"
+            )
+        deadline_s = float(deadline_s)
+    return Request(
+        id=req_id, op="simulate", benchmark=benchmark, engine=engine,
+        scale=scale, preset=preset, overrides=overrides,
+        scheduler=scheduler, priority=priority, deadline_s=deadline_s,
+    )
+
+
+def apply_overrides(config: GPUConfig, overrides: Dict[str, Any]):
+    """Apply a nested override dict onto a (frozen) config dataclass.
+
+    Scalar fields are replaced directly, enum fields are parsed from
+    their wire value, and dict values recurse into nested config
+    dataclasses (``{"prefetch": {"nlp_degree": 2}}``).  Unknown field
+    names raise :class:`~repro.errors.BadRequestError`; invalid values
+    surface as :class:`~repro.errors.ConfigError` from the config's own
+    validation (mapped to ``bad_request`` on the wire).
+    """
+    if not overrides:
+        return config
+    fields = {f.name: f for f in dataclasses.fields(config)}
+    patch: Dict[str, Any] = {}
+    for name, value in overrides.items():
+        if name not in fields:
+            raise BadRequestError(
+                f"unknown config field {name!r} on "
+                f"{type(config).__name__}; choose from {sorted(fields)}"
+            )
+        current = getattr(config, name)
+        if isinstance(value, dict) and dataclasses.is_dataclass(current):
+            patch[name] = apply_overrides(current, value)
+        elif isinstance(current, enum.Enum):
+            try:
+                patch[name] = type(current)(value)
+            except ValueError:
+                raise BadRequestError(
+                    f"invalid value {value!r} for enum field {name!r}"
+                ) from None
+        else:
+            patch[name] = value
+    try:
+        return dataclasses.replace(config, **patch)
+    except (ConfigError, TypeError) as exc:
+        raise BadRequestError(f"invalid config overrides: {exc}") from exc
+
+
+def request_to_key(request: Request) -> RunKey:
+    """Resolve a validated ``simulate`` request into its canonical cell.
+
+    Mirrors :func:`repro.analysis.driver.make_key`: the scheduler
+    defaults to the engine's Figure 10 pairing, so a request and the
+    serial CLI name (and therefore cache-share) the exact same cell.
+    """
+    config = apply_overrides(PRESETS[request.preset](), request.overrides)
+    kind = (request.scheduler if request.scheduler is not None
+            else default_scheduler_for(request.engine))
+    return RunKey(request.benchmark, request.engine, request.scale,
+                  config.with_scheduler(kind))
+
+
+# ------------------------------------------------------------- responses
+def ok_response(req_id: str, result: Dict[str, Any],
+                meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Build a success response envelope."""
+    out = {"v": PROTOCOL_VERSION, "id": req_id, "ok": True, "result": result}
+    if meta:
+        out["meta"] = meta
+    return out
+
+
+def error_response(req_id: str, exc: BaseException) -> Dict[str, Any]:
+    """Map an exception onto the error-response envelope.
+
+    :class:`~repro.errors.RequestError` subclasses carry their own wire
+    code; everything else is folded into ``simulation_failed`` (the
+    dispatch raised) or ``internal``, with the transient/permanent kind
+    taken from :func:`repro.errors.classify` so clients know whether a
+    retry can help.
+    """
+    if isinstance(exc, RequestError):
+        code = exc.code
+    elif isinstance(exc, ConfigError):
+        code = "bad_request"
+    else:
+        code = "internal"
+    kind = classify(exc)
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": req_id,
+        "ok": False,
+        "error": {
+            "code": code,
+            "kind": kind.value,
+            "message": str(exc) or repr(exc),
+        },
+    }
+
+
+def raise_for_response(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Client-side: return ``payload`` if ok, else raise the typed error."""
+    if payload.get("ok"):
+        return payload
+    error = payload.get("error") or {}
+    cls = CODE_TO_ERROR.get(error.get("code"), RequestError)
+    raise cls(error.get("message", "request failed"))

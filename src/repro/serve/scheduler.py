@@ -1,0 +1,303 @@
+"""Request scheduling: admission, batching, single-flight, priorities.
+
+:class:`RequestScheduler` sits between the asyncio front-end
+(:mod:`repro.serve.server`) and the synchronous
+:class:`~repro.exec.runner.ExecutionEngine`:
+
+* **admission** — at most ``queue_limit`` cells may be admitted-but-
+  unresolved; past that, new work is shed with
+  :class:`~repro.errors.OverloadedError` (the server answers
+  ``overloaded`` instead of queueing unboundedly or hanging);
+* **single-flight** — concurrent requests for the same cell fingerprint
+  share one in-flight future, so N clients asking for the same config
+  cost one simulation (``dedup_joined`` counts the sharers);
+* **batching** — admitted cells are collected for ``batch_window_s``
+  and dispatched as one :meth:`~ExecutionEngine.run_recorded` batch on
+  a worker thread, which lets the engine deduplicate, parallelize
+  across its process pool, and serve its cache tiers in one pass;
+* **priorities** — every queued ``interactive`` cell dispatches before
+  any ``sweep`` cell, so cheap ad-hoc queries are not stuck behind a
+  bulk sweep's backlog.
+
+Cell failures resolve the shared future with
+:class:`~repro.errors.RequestFailedError` (code ``simulation_failed``);
+the waiting requests — however many joined the flight — all observe it.
+
+The dispatcher is a single task awaiting one engine batch at a time, so
+the engine's non-thread-safe internals (memo dict, event log) are only
+ever touched from one executor thread at a time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass
+from functools import partial
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.errors import (
+    OverloadedError,
+    RequestFailedError,
+    ShuttingDownError,
+)
+from repro.exec.cache import RunKey, key_fingerprint, result_bytes
+from repro.exec.runner import ExecutionEngine
+from repro.obs.latency import LatencyRecorder
+from repro.serve.memcache import ServeMemCache
+from repro.serve.protocol import PRIORITIES
+from repro.sim.gpu import SimResult
+
+#: Default batching window (seconds) the dispatcher waits to coalesce
+#: concurrently-arriving requests into one engine batch.
+DEFAULT_BATCH_WINDOW_S = 0.02
+
+#: Default cap on cells per dispatched batch.
+DEFAULT_BATCH_MAX = 32
+
+#: Default admission-queue bound (admitted-but-unresolved cells).
+DEFAULT_QUEUE_LIMIT = 64
+
+
+@dataclass
+class QueuedCell:
+    """One admitted cell awaiting dispatch."""
+
+    fingerprint: str
+    key: RunKey
+    enqueued_at: float
+
+
+class RequestScheduler:
+    """Batches, deduplicates and prioritizes simulation requests."""
+
+    def __init__(
+        self,
+        engine: ExecutionEngine,
+        memcache: ServeMemCache,
+        *,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        batch_window_s: float = DEFAULT_BATCH_WINDOW_S,
+        batch_max: int = DEFAULT_BATCH_MAX,
+        latency: Optional[LatencyRecorder] = None,
+    ):
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1 (got {queue_limit})")
+        if batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1 (got {batch_max})")
+        if batch_window_s < 0:
+            raise ValueError(
+                f"batch_window_s must be >= 0 (got {batch_window_s})"
+            )
+        self.engine = engine
+        self.memcache = memcache
+        self.queue_limit = queue_limit
+        self.batch_window_s = batch_window_s
+        self.batch_max = batch_max
+        self.latency = latency if latency is not None else LatencyRecorder(
+            stages=("queue_wait", "dispatch", "total"))
+        self._queues: Dict[str, Deque[QueuedCell]] = {
+            p: deque() for p in PRIORITIES
+        }
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._pending = 0
+        self._wakeup: Optional[asyncio.Event] = None
+        self._task: Optional[asyncio.Task] = None
+        self._draining = False
+        # Lifetime counters (the stats introspection payload).
+        self.memcache_hits = 0
+        self.dedup_joined = 0
+        self.admitted = 0
+        self.shed = 0
+        self.batches = 0
+        self.dispatched_cells = 0
+        self.completed = 0
+        self.failed = 0
+
+    # ---------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        """Start the dispatcher task (idempotent)."""
+        if self._task is None:
+            self._wakeup = asyncio.Event()
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def drain(self) -> None:
+        """Stop admitting new work, finish what is queued, then return."""
+        self._draining = True
+        if self._wakeup is not None:
+            self._wakeup.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain` has begun; new work is rejected."""
+        return self._draining
+
+    @property
+    def queue_depth(self) -> int:
+        """Admitted-but-unresolved cells (queued plus dispatching)."""
+        return self._pending
+
+    # ---------------------------------------------------------- admission
+    async def submit(self, key: RunKey,
+                     priority: str = "interactive") -> Tuple[SimResult, str]:
+        """Resolve one cell: memcache, single-flight join, or dispatch.
+
+        Returns ``(result, source)`` where ``source`` is ``"memcache"``,
+        ``"dedup"`` (joined an in-flight cell) or ``"dispatch"``.
+        Raises :class:`OverloadedError` when the admission queue is
+        full, :class:`ShuttingDownError` during drain, and
+        :class:`RequestFailedError` when the dispatched cell fails.
+        """
+        fingerprint = key_fingerprint(key)
+        cached = self.memcache.get(fingerprint)
+        if cached is not None:
+            self.memcache_hits += 1
+            return cached, "memcache"
+        flight = self._inflight.get(fingerprint)
+        if flight is not None:
+            self.dedup_joined += 1
+            return await asyncio.shield(flight), "dedup"
+        if self._draining:
+            raise ShuttingDownError(
+                "server is draining and no longer admits new simulations")
+        if self._pending >= self.queue_limit:
+            self.shed += 1
+            raise OverloadedError(
+                f"admission queue is full ({self._pending}/"
+                f"{self.queue_limit} cells in flight); retry later")
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        # Mark failures as observed even if every waiter's deadline
+        # expired, so abandoned flights never log "exception was never
+        # retrieved" from the GC.
+        future.add_done_callback(
+            lambda f: f.exception() if not f.cancelled() else None)
+        self._inflight[fingerprint] = future
+        self._pending += 1
+        self.admitted += 1
+        self._queues[priority].append(
+            QueuedCell(fingerprint, key, time.perf_counter()))
+        if self._wakeup is not None:
+            self._wakeup.set()
+        return await asyncio.shield(future), "dispatch"
+
+    # --------------------------------------------------------- dispatcher
+    def _queued(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def _take_batch(self) -> List[QueuedCell]:
+        batch: List[QueuedCell] = []
+        for priority in PRIORITIES:  # interactive strictly first
+            queue = self._queues[priority]
+            while queue and len(batch) < self.batch_max:
+                batch.append(queue.popleft())
+            if len(batch) >= self.batch_max:
+                break
+        return batch
+
+    async def _run(self) -> None:
+        assert self._wakeup is not None
+        while True:
+            if not self._queued():
+                if self._draining:
+                    return
+                self._wakeup.clear()
+                # Re-check: a submit (or drain) may have raced the clear.
+                if not self._queued() and not self._draining:
+                    await self._wakeup.wait()
+                continue
+            if self.batch_window_s > 0 and not self._draining:
+                await asyncio.sleep(self.batch_window_s)
+            batch = self._take_batch()
+            if batch:
+                await self._dispatch(batch)
+
+    async def _dispatch(self, batch: List[QueuedCell]) -> None:
+        loop = asyncio.get_running_loop()
+        start = time.perf_counter()
+        for cell in batch:
+            self.latency.record("queue_wait", start - cell.enqueued_at)
+        self.batches += 1
+        self.dispatched_cells += len(batch)
+        keys = [cell.key for cell in batch]
+        try:
+            results, failures = await loop.run_in_executor(
+                None, partial(self.engine.run_recorded, keys))
+        except BaseException as exc:  # engine-level failure: fail the batch
+            results, failures = {}, {}
+            fallback: Optional[BaseException] = exc
+        else:
+            fallback = None
+        wall = time.perf_counter() - start
+        for cell in batch:
+            self.latency.record("dispatch", wall)
+            future = self._inflight.pop(cell.fingerprint, None)
+            self._pending -= 1
+            result = results.get(cell.key)
+            if result is not None:
+                self.completed += 1
+                self.memcache.put(cell.fingerprint, result,
+                                  len(result_bytes(result)))
+                if future is not None and not future.done():
+                    future.set_result(result)
+                continue
+            self.failed += 1
+            failure = failures.get(cell.key)
+            if failure is not None:
+                error: BaseException = RequestFailedError(failure.describe())
+            elif fallback is not None:
+                error = RequestFailedError(
+                    f"batch dispatch failed: {fallback!r}")
+            else:  # engine contract violation; surface loudly
+                error = RequestFailedError(
+                    f"{cell.key.describe()}: cell vanished from the batch")
+            if future is not None and not future.done():
+                future.set_exception(error)
+
+    # -------------------------------------------------------------- stats
+    @property
+    def requests_total(self) -> int:
+        """Simulate-requests resolved by any path (including shed)."""
+        return (self.memcache_hits + self.dedup_joined + self.admitted
+                + self.shed)
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Share of requests that joined an in-flight cell."""
+        total = self.requests_total
+        return self.dedup_joined / total if total else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        """Snapshot for the ``stats`` introspection request."""
+        disk = self.engine.cache
+        return {
+            "queue_depth": self.queue_depth,
+            "queue_limit": self.queue_limit,
+            "queued_interactive": len(self._queues["interactive"]),
+            "queued_sweep": len(self._queues["sweep"]),
+            "draining": self._draining,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "memcache_hits": self.memcache_hits,
+            "dedup_joined": self.dedup_joined,
+            "dedup_ratio": round(self.dedup_ratio, 4),
+            "batches": self.batches,
+            "dispatched_cells": self.dispatched_cells,
+            "completed": self.completed,
+            "failed": self.failed,
+            "simulations": self.engine.events.simulations(),
+            "memcache": self.memcache.stats(),
+            "disk_cache": (
+                {
+                    "hits": disk.hits,
+                    "misses": disk.misses,
+                    "invalidated": disk.invalidated,
+                }
+                if disk is not None else None
+            ),
+            "latency_s": self.latency.summary(),
+        }

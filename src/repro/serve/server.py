@@ -1,0 +1,336 @@
+"""Asyncio front-end of the simulation service.
+
+:class:`SimulationServer` listens on a Unix or TCP socket, speaks the
+line-delimited JSON protocol of :mod:`repro.serve.protocol`, and feeds
+``simulate`` requests through the :class:`RequestScheduler` (admission
+bound, batching, single-flight, priorities) into the synchronous
+:class:`~repro.exec.runner.ExecutionEngine`.
+
+Request lifecycle guarantees (the failure semantics of
+``docs/serving.md``):
+
+* **load shedding** — when the admission queue is full the request is
+  answered immediately with an explicit ``overloaded`` error; the
+  server never queues unboundedly and never silently hangs a client;
+* **deadlines** — every ``simulate`` request may carry ``deadline_s``
+  (or inherit the server default); expiry answers
+  ``deadline_exceeded`` while the underlying cell keeps running and
+  lands in the caches, so an immediate retry is cheap;
+* **graceful drain** — SIGTERM (or :meth:`drain`) stops admissions,
+  answers new simulations with ``shutting_down``, lets every in-flight
+  request finish and respond, then closes connections; the engine's
+  process pools are per-batch and always shut down with the batch, so a
+  drained server leaves no orphaned workers.
+
+Connections are multiplexed: a client may pipeline many requests on one
+connection, responses come back as each completes (correlated by
+``id``), and one slow simulation never blocks another request's
+response on the same connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Set
+
+from repro.errors import DeadlineExceededError, ShuttingDownError
+from repro.exec.cache import key_fingerprint, serialize_result
+from repro.exec.runner import ExecutionEngine
+from repro.obs.latency import LatencyRecorder
+from repro.serve import protocol
+from repro.serve.memcache import (
+    DEFAULT_MAX_BYTES,
+    DEFAULT_MAX_ENTRIES,
+    ServeMemCache,
+)
+from repro.serve.scheduler import (
+    DEFAULT_BATCH_MAX,
+    DEFAULT_BATCH_WINDOW_S,
+    DEFAULT_QUEUE_LIMIT,
+    RequestScheduler,
+)
+
+#: Per-connection stream limit: responses embed serialized results
+#: (potentially with observability payloads), so the default 64 KiB
+#: readline limit is far too small.
+STREAM_LIMIT = 16 * 1024 * 1024
+
+#: Default TCP bind address.
+DEFAULT_HOST = "127.0.0.1"
+
+#: Default TCP port (unused when a Unix socket path is given).
+DEFAULT_PORT = 8642
+
+
+@dataclass
+class ServeConfig:
+    """Capacity-planning knobs of one server instance.
+
+    Exactly one of ``socket_path`` (Unix domain socket) or
+    ``host``/``port`` (TCP) selects the listener; ``socket_path`` wins
+    when both are set.
+    """
+
+    socket_path: Optional[str] = None
+    host: str = DEFAULT_HOST
+    port: int = DEFAULT_PORT
+    queue_limit: int = DEFAULT_QUEUE_LIMIT
+    batch_window_s: float = DEFAULT_BATCH_WINDOW_S
+    batch_max: int = DEFAULT_BATCH_MAX
+    default_deadline_s: Optional[float] = None
+    memcache_entries: int = DEFAULT_MAX_ENTRIES
+    memcache_bytes: int = DEFAULT_MAX_BYTES
+    evict_policy: str = "lru"
+
+
+class SimulationServer:
+    """Line-protocol asyncio server over one :class:`ExecutionEngine`."""
+
+    def __init__(self, engine: ExecutionEngine,
+                 config: Optional[ServeConfig] = None):
+        if engine.timeout_s:
+            # call_with_timeout arms SIGALRM, which only works on the
+            # main thread; dispatch happens on an executor thread.  Use
+            # per-request deadlines instead.
+            raise ValueError(
+                "ExecutionEngine.timeout_s is not supported under the "
+                "server (SIGALRM needs the main thread); use request "
+                "deadlines / --default-deadline instead")
+        self.engine = engine
+        self.config = config if config is not None else ServeConfig()
+        self.latency = LatencyRecorder(
+            stages=("queue_wait", "dispatch", "total"))
+        self.memcache = ServeMemCache(
+            max_entries=self.config.memcache_entries,
+            max_bytes=self.config.memcache_bytes,
+            policy=self.config.evict_policy,
+        )
+        self.scheduler = RequestScheduler(
+            engine, self.memcache,
+            queue_limit=self.config.queue_limit,
+            batch_window_s=self.config.batch_window_s,
+            batch_max=self.config.batch_max,
+            latency=self.latency,
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._request_tasks: Set[asyncio.Task] = set()
+        self._draining = False
+        self._started_at = 0.0
+        # Request counters by op plus terminal outcomes.
+        self.counters: Dict[str, int] = {
+            "connections": 0, "requests": 0, "responses": 0,
+            "errors": 0, "deadline_exceeded": 0, "bad_lines": 0,
+        }
+
+    # ---------------------------------------------------------- lifecycle
+    @property
+    def draining(self) -> bool:
+        """True once drain began; simulate requests are refused."""
+        return self._draining
+
+    @property
+    def endpoint(self) -> str:
+        """Human-readable listener address (for logs and tests)."""
+        if self.config.socket_path:
+            return f"unix:{self.config.socket_path}"
+        return f"tcp:{self.config.host}:{self.config.port}"
+
+    async def start(self) -> None:
+        """Bind the listener and start the dispatcher."""
+        await self.scheduler.start()
+        if self.config.socket_path:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.config.socket_path,
+                limit=STREAM_LIMIT)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self.config.host,
+                port=self.config.port, limit=STREAM_LIMIT)
+            # Rebind the advertised port when 0 was requested.
+            sockets = self._server.sockets or ()
+            if sockets:
+                self.config.port = sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: finish in-flight work, then close.
+
+        Idempotent.  On return every admitted request has been answered,
+        no engine workers are left running, and every connection is
+        closed.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        # Finish everything already admitted (resolves the futures the
+        # request tasks await), then let those tasks write responses.
+        await self.scheduler.drain()
+        if self._request_tasks:
+            await asyncio.gather(*list(self._request_tasks),
+                                 return_exceptions=True)
+        for writer in list(self._writers):
+            writer.close()
+        if self._server is not None:
+            await self._server.wait_closed()
+        if self.config.socket_path:
+            try:
+                os.unlink(self.config.socket_path)
+            except OSError:  # pragma: no cover - already removed
+                pass
+
+    # -------------------------------------------------------- connections
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self.counters["connections"] += 1
+        self._writers.add(writer)
+        write_lock = asyncio.Lock()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    self.counters["bad_lines"] += 1
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.get_running_loop().create_task(
+                    self._serve_line(line, writer, write_lock))
+                self._request_tasks.add(task)
+                task.add_done_callback(self._request_tasks.discard)
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _serve_line(self, line: bytes, writer: asyncio.StreamWriter,
+                          write_lock: asyncio.Lock) -> None:
+        self.counters["requests"] += 1
+        response = await self._response_for(line)
+        async with write_lock:
+            if writer.is_closing():
+                return
+            try:
+                writer.write(protocol.encode(response))
+                await writer.drain()
+            except (ConnectionError, BrokenPipeError):
+                return
+        self.counters["responses"] += 1
+        if not response.get("ok"):
+            self.counters["errors"] += 1
+
+    # ------------------------------------------------------------ request
+    async def _response_for(self, line: bytes) -> Dict[str, Any]:
+        req_id = ""
+        try:
+            payload = protocol.decode_line(line)
+            raw_id = payload.get("id")
+            req_id = raw_id if isinstance(raw_id, str) else ""
+            request = protocol.parse_request(payload)
+        except Exception as exc:
+            return protocol.error_response(req_id, exc)
+        if request.op == "ping":
+            return protocol.ok_response(request.id, {
+                "pong": True, "v": protocol.PROTOCOL_VERSION,
+                "draining": self._draining,
+            })
+        if request.op == "stats":
+            return protocol.ok_response(request.id, self.stats())
+        return await self._simulate(request)
+
+    async def _simulate(self, request: protocol.Request) -> Dict[str, Any]:
+        start = time.perf_counter()
+        try:
+            if self._draining:
+                raise ShuttingDownError(
+                    "server is draining; resubmit to the next instance")
+            key = protocol.request_to_key(request)
+            deadline = (request.deadline_s
+                        if request.deadline_s is not None
+                        else self.config.default_deadline_s)
+            submission = self.scheduler.submit(key, request.priority)
+            if deadline:
+                try:
+                    result, source = await asyncio.wait_for(
+                        submission, deadline)
+                except asyncio.TimeoutError:
+                    self.counters["deadline_exceeded"] += 1
+                    raise DeadlineExceededError(
+                        f"no result within the {deadline}s deadline for "
+                        f"{key.describe()}; the cell keeps running and a "
+                        "retry will find it cached") from None
+            else:
+                result, source = await submission
+        except Exception as exc:
+            return protocol.error_response(request.id, exc)
+        wall = time.perf_counter() - start
+        self.latency.record("total", wall)
+        return protocol.ok_response(
+            request.id,
+            serialize_result(result),
+            meta={
+                "source": source,
+                "wall_s": round(wall, 6),
+                "cell": key.describe(),
+                "fingerprint": key_fingerprint(key),
+            },
+        )
+
+    # -------------------------------------------------------------- stats
+    def stats(self) -> Dict[str, Any]:
+        """Introspection snapshot answered to a ``stats`` request."""
+        out = {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "endpoint": self.endpoint,
+            "uptime_s": round(time.monotonic() - self._started_at, 3)
+            if self._started_at else 0.0,
+            "draining": self._draining,
+            "engine_jobs": self.engine.jobs,
+            "server": dict(self.counters),
+        }
+        out.update(self.scheduler.stats())
+        return out
+
+
+async def run_server(engine: ExecutionEngine, config: ServeConfig,
+                     *, install_signals: bool = True,
+                     ready: Optional[asyncio.Event] = None) -> SimulationServer:
+    """Run a server until SIGTERM/SIGINT, drain gracefully, return it.
+
+    The CLI's ``repro serve`` entry point: binds, optionally installs
+    signal handlers (SIGTERM and SIGINT both trigger a graceful drain),
+    signals ``ready`` once accepting, and returns the drained server so
+    the caller can print final stats and exit 0.
+    """
+    server = SimulationServer(engine, config)
+    await server.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed = []
+    if install_signals:
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-Unix event loop; rely on KeyboardInterrupt
+    if ready is not None:
+        ready.set()
+    try:
+        await stop.wait()
+    finally:
+        for sig in installed:
+            loop.remove_signal_handler(sig)
+        await server.drain()
+    return server

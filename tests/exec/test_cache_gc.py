@@ -1,0 +1,186 @@
+"""Tests for cache maintenance: entries/disk_stats/gc and `repro cache`."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.config import test_config as tiny_config
+from repro.exec import ResultCache, RunKey, execute_cell
+from repro.workloads import Scale
+
+
+@pytest.fixture(scope="module")
+def result():
+    return execute_cell(RunKey("SCN", "none", Scale.TINY, tiny_config()))
+
+
+def fill(cache, result, benchmarks, base_mtime=1_000_000.0, step=100.0):
+    """Insert one entry per benchmark with deterministic spaced mtimes.
+
+    Returns {benchmark: path}, oldest first.
+    """
+    paths = {}
+    for i, benchmark in enumerate(benchmarks):
+        key = RunKey(benchmark, "none", Scale.TINY, tiny_config())
+        path = cache.put(key, result)
+        mtime = base_mtime + i * step
+        os.utime(path, (mtime, mtime))
+        paths[benchmark] = path
+    return paths
+
+
+class TestEntries:
+    def test_empty_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.entries() == []
+        stats = cache.disk_stats()
+        assert stats["entries"] == 0
+        assert stats["total_bytes"] == 0
+        assert stats["oldest_mtime"] is None
+
+    def test_entries_sorted_oldest_first(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        paths = fill(cache, result, ["MM", "BFS", "FFT"])
+        entries = cache.entries()
+        assert [e.path for e in entries] == \
+            [paths["MM"], paths["BFS"], paths["FFT"]]
+        assert all(e.size_bytes > 0 for e in entries)
+
+    def test_disk_stats_totals(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        fill(cache, result, ["MM", "BFS"])
+        stats = cache.disk_stats()
+        assert stats["entries"] == 2
+        assert stats["total_bytes"] == \
+            sum(e.size_bytes for e in cache.entries())
+        assert stats["oldest_mtime"] < stats["newest_mtime"]
+        assert stats["schema"] >= 3
+
+
+class TestGC:
+    def test_age_pass_never_deletes_newer_than_cutoff(self, tmp_path, result):
+        """The satellite regression: gc --older-than respects the cutoff."""
+        cache = ResultCache(tmp_path)
+        paths = fill(cache, result, ["MM", "BFS", "FFT", "HST"],
+                     base_mtime=1_000_000.0, step=100.0)
+        # now=1_000_350, cutoff=now-300=1_000_050: only MM (1_000_000)
+        # is strictly older; BFS/FFT/HST are at or newer than it.
+        report = cache.gc(older_than_s=300.0, now=1_000_350.0)
+        assert report.removed == 1
+        assert not paths["MM"].exists()
+        for survivor in ("BFS", "FFT", "HST"):
+            assert paths[survivor].exists()
+
+    def test_age_pass_entry_exactly_at_cutoff_survives(self, tmp_path,
+                                                       result):
+        cache = ResultCache(tmp_path)
+        paths = fill(cache, result, ["MM"], base_mtime=1_000_000.0)
+        report = cache.gc(older_than_s=100.0, now=1_000_100.0)
+        assert report.removed == 0
+        assert paths["MM"].exists()
+
+    def test_size_pass_evicts_oldest_first(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        paths = fill(cache, result, ["MM", "BFS", "FFT"])
+        total = sum(e.size_bytes for e in cache.entries())
+        # One byte over budget: exactly the oldest entry must go.
+        report = cache.gc(max_bytes=total - 1)
+        assert report.removed == 1
+        assert not paths["MM"].exists()          # oldest went first
+        assert paths["BFS"].exists() and paths["FFT"].exists()
+        assert report.kept_bytes <= total - 1
+
+    def test_size_pass_zero_budget_clears_everything(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        fill(cache, result, ["MM", "BFS"])
+        report = cache.gc(max_bytes=0)
+        assert report.kept == 0
+        assert cache.entries() == []
+
+    def test_combined_passes(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        paths = fill(cache, result, ["MM", "BFS", "FFT"],
+                     base_mtime=1_000_000.0, step=100.0)
+        newest_size = cache.entries()[-1].size_bytes
+        # Age pass drops MM; size pass then drops BFS (oldest survivor),
+        # leaving exactly the newest entry within budget.
+        report = cache.gc(max_bytes=newest_size, older_than_s=250.0,
+                          now=1_000_300.0)
+        assert report.removed == 2
+        assert not paths["MM"].exists()
+        assert not paths["BFS"].exists()
+        assert paths["FFT"].exists()
+
+    def test_noop_gc_keeps_everything(self, tmp_path, result):
+        cache = ResultCache(tmp_path)
+        fill(cache, result, ["MM", "BFS"])
+        report = cache.gc(max_bytes=10**9, older_than_s=10**9,
+                          now=1_000_000.0)
+        assert report.removed == 0
+        assert report.kept == 2
+
+    def test_invalid_budgets_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.gc(max_bytes=-1)
+        with pytest.raises(ValueError):
+            cache.gc(older_than_s=-1.0)
+
+    def test_gc_is_atomic_per_entry(self, tmp_path, result):
+        """Survivors are byte-identical afterwards (no partial writes)."""
+        cache = ResultCache(tmp_path)
+        paths = fill(cache, result, ["MM", "BFS"])
+        before = paths["BFS"].read_bytes()
+        cache.gc(older_than_s=150.0, now=1_000_200.0)   # removes MM only
+        assert paths["BFS"].read_bytes() == before
+        key = RunKey("BFS", "none", Scale.TINY, tiny_config())
+        assert cache.get(key) == result
+
+
+class TestCacheCLI:
+    def test_stats_json(self, tmp_path, result, capsys):
+        cache = ResultCache(tmp_path)
+        fill(cache, result, ["MM", "BFS"])
+        assert main(["cache", "stats", "--cache", str(tmp_path),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 2
+        assert payload["total_bytes"] > 0
+
+    def test_stats_table(self, tmp_path, result, capsys):
+        cache = ResultCache(tmp_path)
+        fill(cache, result, ["MM"])
+        assert main(["cache", "stats", "--cache", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Result cache" in out
+        assert "entries" in out
+
+    def test_gc_requires_a_policy(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cache", "gc", "--cache", str(tmp_path)])
+
+    def test_gc_older_than_via_cli(self, tmp_path, result, capsys):
+        cache = ResultCache(tmp_path)
+        paths = fill(cache, result, ["MM", "BFS"])
+        # Age relative to the real clock: the CLI's gc uses time.time().
+        recent = time.time()
+        os.utime(paths["MM"], (recent - 7200, recent - 7200))
+        os.utime(paths["BFS"], (recent, recent))
+        assert main(["cache", "gc", "--cache", str(tmp_path),
+                     "--older-than", "1h", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["removed"] == 1
+        assert not paths["MM"].exists()
+        assert paths["BFS"].exists()
+
+    def test_gc_max_bytes_with_suffix(self, tmp_path, result, capsys):
+        cache = ResultCache(tmp_path)
+        fill(cache, result, ["MM", "BFS"])
+        assert main(["cache", "gc", "--cache", str(tmp_path),
+                     "--max-bytes", "0", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["removed"] == 2
+        assert cache.entries() == []

@@ -5,7 +5,13 @@ import json
 
 import pytest
 
-from repro.exec import EventLog, JSONLSink, TTYProgress
+from repro.exec import (
+    EventLog,
+    ExecEvent,
+    JSONLSink,
+    TTYProgress,
+    read_events,
+)
 
 
 class TestEventLog:
@@ -58,6 +64,91 @@ class TestJSONLSink:
         assert [e["kind"] for e in lines] == ["queued", "finished"]
         assert lines[1]["wall_s"] == pytest.approx(0.1)
         assert lines[0]["config_hash"] == "abc123"
+
+    def test_every_event_is_flushed_immediately(self, tmp_path):
+        """Durability contract: lines land on disk before close()."""
+        path = tmp_path / "events.jsonl"
+        log = EventLog()
+        sink = JSONLSink(path)
+        log.subscribe(sink)
+        log.emit("queued", "A")
+        log.emit("started", "A")
+        # Sink still open: both lines must already be complete on disk.
+        on_disk = path.read_text()
+        assert on_disk.endswith("\n")
+        assert len(on_disk.splitlines()) == 2
+        sink.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JSONLSink(tmp_path / "events.jsonl")
+        sink.close()
+        sink.close()    # second close on a closed file must not raise
+
+
+class TestReadEvents:
+    def write_log(self, path, kinds):
+        log = EventLog()
+        sink = JSONLSink(path)
+        log.subscribe(sink)
+        for kind in kinds:
+            log.emit(kind, "A/none@tiny/two_level", "abc123")
+        sink.close()
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        self.write_log(path, ["queued", "started", "finished"])
+        events = read_events(path)
+        assert [e.kind for e in events] == ["queued", "started", "finished"]
+        assert [e.seq for e in events] == [0, 1, 2]
+        assert all(isinstance(e, ExecEvent) for e in events)
+
+    def test_truncated_mid_write_drops_only_torn_tail(self, tmp_path):
+        """The satellite regression: kill -9 mid-write tears one line."""
+        path = tmp_path / "events.jsonl"
+        self.write_log(path, ["queued", "started", "finished"])
+        data = path.read_bytes()
+        # Truncate into the middle of the final line, as a crash would.
+        path.write_bytes(data[: len(data) - 10])
+        events = read_events(path)
+        assert [e.kind for e in events] == ["queued", "started"]
+
+    def test_every_truncation_point_parses_complete_prefix(self, tmp_path):
+        """Chop the log at every byte: never an error, never a torn
+        event, and every fully-written line is recovered."""
+        path = tmp_path / "events.jsonl"
+        kinds = ["queued", "started", "finished"]
+        self.write_log(path, kinds)
+        data = path.read_bytes()
+        assert data.count(b"\n") == 3
+        chopped = tmp_path / "chopped.jsonl"
+        for cut in range(len(data) + 1):
+            chopped.write_bytes(data[:cut])
+            events = read_events(chopped)
+            # Every fully-terminated line is recovered; the unterminated
+            # tail may parse too when the cut fell exactly at line end.
+            terminated = data[:cut].count(b"\n")
+            assert terminated <= len(events) <= terminated + 1
+            assert [e.kind for e in events] == kinds[: len(events)]
+
+    def test_malformed_mid_file_raises(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        self.write_log(path, ["queued", "finished"])
+        lines = path.read_text().splitlines()
+        lines.insert(1, "{this is not json")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="line 2"):
+            read_events(path)
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        self.write_log(path, ["queued"])
+        path.write_text(path.read_text() + "\n\n")
+        assert [e.kind for e in read_events(path)] == ["queued"]
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text("")
+        assert read_events(path) == []
 
 
 class TestTTYProgress:
