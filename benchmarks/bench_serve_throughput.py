@@ -1,16 +1,23 @@
 """Serving-layer throughput micro-benchmark (infrastructure, not a
 paper figure).
 
-Closed-loop clients hammer one in-process :class:`SimulationServer`
-over a Unix socket at 1 / 4 / 16 concurrency, each issuing requests
-drawn round-robin from a fixed pool of 4 distinct cells (TINY scale,
-test config).  With more clients than distinct cells, most requests
-must be answered by the single-flight dedup or the in-memory tier —
-the table records req/s, p50/p99 request latency and the dedup +
-memcache hit ratios that prove it.
+Two client mixes against one in-process :class:`SimulationServer`:
 
-The first concurrency level pays the 4 real simulations (they land in
-the disk cache); later levels exercise the pure serving overhead.
+* **uniform** — closed-loop clients at 1 / 4 / 16 concurrency, each
+  issuing requests drawn round-robin from a fixed pool of 4 distinct
+  cells (TINY scale, test config).  With more clients than distinct
+  cells, most requests must be answered by the single-flight dedup or
+  the in-memory tier — the table records req/s, p50/p99 request
+  latency and the dedup + memcache hit ratios that prove it.
+* **sweep-shaped** — one client stepping a single config knob
+  monotonically (the pattern the ``repro.serve.predict`` miner is
+  built for).  The table reports the **predicted-hit ratio**: the
+  fraction of post-warmup requests answered from speculatively-warmed
+  state (``*-speculative`` sources), with the predictor's own
+  admitted/confirmed counters alongside.
+
+The first uniform level pays the 4 real simulations (they land in the
+disk cache); later levels exercise the pure serving overhead.
 """
 
 import asyncio
@@ -28,6 +35,13 @@ BENCHES = ("SCN", "MM", "BPR", "BFS")
 CONCURRENCIES = (1, 4, 16)
 REQUESTS_PER_CLIENT = 8
 
+#: Sweep-mix shape: one knob stepped monotonically over this many cells.
+SWEEP_STEPS = 10
+SWEEP_KNOB = "prefetch_window"
+SWEEP_BASE = 8
+#: Requests before the miner can have formed a run (default min_run).
+SWEEP_WARMUP = 3
+
 
 async def closed_loop(socket_path, client_index, latencies):
     """One client: connect, then issue its requests back to back."""
@@ -38,6 +52,52 @@ async def closed_loop(socket_path, client_index, latencies):
             await client.simulate(benchmark=benchmark, engine="caps",
                                   scale="tiny", preset="test")
             latencies.append(time.perf_counter() - t0)
+
+
+async def sweep_loop(socket_path, latencies, sources):
+    """One sweep client stepping SWEEP_KNOB monotonically."""
+    async with AsyncServeClient(socket_path) as client:
+        for i in range(SWEEP_STEPS):
+            t0 = time.perf_counter()
+            _, meta = await client.simulate(
+                benchmark="MM", engine="caps", scale="tiny", preset="test",
+                overrides={"prefetch": {SWEEP_KNOB: SWEEP_BASE + i}},
+            )
+            latencies.append(time.perf_counter() - t0)
+            sources.append(meta["source"])
+
+
+async def drive_sweep(tmp_path):
+    """The sweep-shaped mix: returns one row + the predictor stats."""
+    engine = ExecutionEngine(jobs=1,
+                             cache=ResultCache(tmp_path / "sweep-cache"),
+                             events=EventLog())
+    config = ServeConfig(socket_path=str(tmp_path / "bench-sweep.sock"),
+                         batch_window_s=0.005)
+    server = SimulationServer(engine, config)
+    await server.start()
+    try:
+        latencies, sources = [], []
+        t0 = time.perf_counter()
+        await sweep_loop(config.socket_path, latencies, sources)
+        wall = time.perf_counter() - t0
+    finally:
+        await server.drain()
+    stats = server.stats()
+    post_warmup = sources[SWEEP_WARMUP:]
+    predicted = [s for s in post_warmup if s.endswith("-speculative")]
+    predicted_ratio = len(predicted) / len(post_warmup)
+    row = (
+        "sweep",
+        SWEEP_STEPS,
+        f"{SWEEP_STEPS / wall:.0f}",
+        f"{percentile(latencies, 0.50) * 1e3:.1f}",
+        f"{percentile(latencies, 0.99) * 1e3:.1f}",
+        f"{predicted_ratio:.2f}",
+        f"{stats['speculation']['admitted']}",
+        f"{stats['predictor']['confirmed']}",
+    )
+    return row, predicted_ratio, stats
 
 
 async def drive(tmp_path):
@@ -94,3 +154,25 @@ def test_serve_throughput(benchmark, emit, tmp_path_factory):
     # shared engine, at most the first level's 4 dispatches simulate.
     warm = rows[-1]
     assert float(warm[6]) > 0, "warm level never hit the memcache"
+
+
+def test_serve_sweep_prediction(benchmark, emit, tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("serve-bench-sweep")
+
+    row, predicted_ratio, stats = run_once(
+        benchmark, lambda: asyncio.run(drive_sweep(tmp_path)))
+    emit(
+        "serve_sweep_prediction",
+        format_table(
+            ["mix", "requests", "req/s", "p50 [ms]", "p99 [ms]",
+             "predicted hit", "spec admitted", "confirmed"],
+            [row],
+            title=f"Sweep-shaped mix: {SWEEP_KNOB} stepped over "
+                  f"{SWEEP_STEPS} cells (predicted-hit ratio is the "
+                  f"fraction of post-warmup answers from speculation)",
+        ),
+    )
+    # A clean stepped sweep is exactly what the miner exists for: at
+    # least half the post-warmup requests must land on warmed state.
+    assert predicted_ratio >= 0.5, row
+    assert stats["predictor"]["confirmed"] > 0

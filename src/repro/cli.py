@@ -330,9 +330,22 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="SIZE",
                      help="in-memory result-cache byte cap "
                           "(default: 64M; accepts K/M/G suffixes)")
-    srv.add_argument("--evict-policy", choices=("lru", "lfu", "fifo"),
+    srv.add_argument("--evict-policy",
+                     choices=("lru", "lfu", "fifo", "mru", "filo"),
                      default="lru",
                      help="memcache eviction policy (default: lru)")
+    srv.add_argument("--no-predict", action="store_true",
+                     help="disable sweep prediction and speculative "
+                          "execution of the forecast next cells")
+    srv.add_argument("--predict-min-run", type=int, default=3, metavar="N",
+                     help="consecutive same-stride steps before the "
+                          "predictor speculates (default: 3)")
+    srv.add_argument("--predict-depth", type=int, default=2, metavar="N",
+                     help="future sweep cells speculated per confirmed "
+                          "step (default: 2)")
+    srv.add_argument("--speculate-max", type=int, default=4, metavar="N",
+                     help="outstanding speculative cells bound; beyond it "
+                          "predictions are dropped (default: 4)")
 
     rq = sub.add_parser(
         "request",
@@ -363,7 +376,10 @@ def build_parser() -> argparse.ArgumentParser:
     rq.add_argument("--json", action="store_true",
                     help="print the raw response payload as JSON")
     rq.add_argument("--stats", action="store_true",
-                    help="fetch the server's introspection snapshot")
+                    help="fetch the server's introspection snapshot "
+                         "(versioned payload, stats_schema v2: counters "
+                         "plus speculation/predictor/tiers blocks; see "
+                         "docs/serving.md)")
     rq.add_argument("--ping", action="store_true",
                     help="liveness probe")
 
@@ -640,6 +656,10 @@ def cmd_serve(args) -> int:
         memcache_entries=args.memcache_entries,
         memcache_bytes=args.memcache_bytes,
         evict_policy=args.evict_policy,
+        predict=not args.no_predict,
+        predict_min_run=args.predict_min_run,
+        predict_depth=args.predict_depth,
+        spec_limit=args.speculate_max,
     )
 
     async def _serve():

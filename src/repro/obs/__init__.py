@@ -49,6 +49,12 @@ from repro.obs.collector import (
     series,
     window_totals,
 )
+from repro.obs.cachestats import (
+    DEFAULT_MAX_WINDOWS,
+    DEFAULT_WINDOW_S,
+    SERVE_TIERS,
+    TierHitSeries,
+)
 from repro.obs.export import write_csv, write_json, write_jsonl, write_metrics
 from repro.obs.latency import SUMMARY_QUANTILES, LatencyRecorder, percentile
 from repro.obs.profiler import PhaseProfiler, format_profile, merge_profiles
@@ -87,6 +93,10 @@ __all__ = [
     "LatencyRecorder",
     "SUMMARY_QUANTILES",
     "percentile",
+    "TierHitSeries",
+    "SERVE_TIERS",
+    "DEFAULT_WINDOW_S",
+    "DEFAULT_MAX_WINDOWS",
 ]
 
 

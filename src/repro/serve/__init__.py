@@ -5,17 +5,24 @@ tiered cache or by batching them into the existing
 :class:`~repro.exec.runner.ExecutionEngine`:
 
 * :mod:`repro.serve.protocol` — versioned line-delimited JSON schema
-  (request ids, ops, the stable error-code taxonomy);
-* :mod:`repro.serve.memcache` — in-memory LRU/LFU/FIFO result tier with
-  entry/byte caps and eviction counters, layered over the persistent
-  :class:`~repro.exec.cache.ResultCache`;
+  (request ids, ops, the stable error-code taxonomy, the versioned
+  ``stats`` payload schema);
+* :mod:`repro.serve.memcache` — in-memory LRU/LFU/FIFO/MRU/FILO result
+  tier with entry/byte caps, prefix-aware per-sweep accounting,
+  speculative-entry handling and eviction counters, layered over the
+  persistent :class:`~repro.exec.cache.ResultCache`;
 * :mod:`repro.serve.scheduler` — bounded admission with explicit
   ``overloaded`` shedding, request batching into one engine dispatch,
-  single-flight dedup of identical in-flight cells, and
-  interactive-over-sweep priority classes;
+  single-flight dedup of identical in-flight cells,
+  interactive-over-sweep priority classes and an idle-capacity-only
+  speculative lane (abort-on-pressure, promote-on-demand);
+* :mod:`repro.serve.predict` — the request-stream pattern miner and
+  speculative dispatcher (CAP's predict-then-prefetch applied to the
+  request stream);
 * :mod:`repro.serve.server` — the asyncio front-end (Unix/TCP socket,
   per-request deadlines, graceful SIGTERM drain, ``stats``
-  introspection wired into :mod:`repro.obs` latency recording);
+  introspection wired into :mod:`repro.obs` latency recording and
+  per-tier hit-rate series);
 * :mod:`repro.serve.client` — sync and async client libraries backing
   the ``repro serve`` / ``repro request`` CLI pair.
 
@@ -28,21 +35,27 @@ from repro.serve.client import AsyncServeClient, ServeClient
 from repro.serve.memcache import (
     EVICTION_POLICIES,
     FIFOStrategy,
+    FILOStrategy,
     LFUStrategy,
     LRUStrategy,
+    MRUStrategy,
     ServeMemCache,
 )
+from repro.serve.predict import PatternMiner, Predictor
 from repro.serve.protocol import (
     ERROR_CODES,
     OPS,
     PRIORITIES,
     PROTOCOL_VERSION,
+    SOURCES,
+    STATS_SCHEMA_VERSION,
     Request,
     apply_overrides,
     parse_request,
     request_to_key,
+    validate_stats,
 )
-from repro.serve.scheduler import RequestScheduler
+from repro.serve.scheduler import RequestScheduler, SpeculationAborted
 from repro.serve.server import (
     DEFAULT_HOST,
     DEFAULT_PORT,
@@ -56,18 +69,26 @@ __all__ = [
     "ServeClient",
     "EVICTION_POLICIES",
     "FIFOStrategy",
+    "FILOStrategy",
     "LFUStrategy",
     "LRUStrategy",
+    "MRUStrategy",
     "ServeMemCache",
+    "PatternMiner",
+    "Predictor",
     "ERROR_CODES",
     "OPS",
     "PRIORITIES",
     "PROTOCOL_VERSION",
+    "SOURCES",
+    "STATS_SCHEMA_VERSION",
     "Request",
     "apply_overrides",
     "parse_request",
     "request_to_key",
+    "validate_stats",
     "RequestScheduler",
+    "SpeculationAborted",
     "DEFAULT_HOST",
     "DEFAULT_PORT",
     "ServeConfig",

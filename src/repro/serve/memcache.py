@@ -14,8 +14,24 @@ Eviction follows the sglang ``mem_cache/evict_policy.py`` shape: a
 pluggable :class:`EvictionStrategy` maps each entry to a priority and
 the minimum-priority entry is evicted first.  ``lru`` (the default)
 evicts the least-recently-used entry, ``lfu`` the least-hit (ties by
-recency), ``fifo`` the oldest insertion.  Recency is a monotonic access
+recency), ``fifo`` the oldest insertion, ``mru`` the most-recently-used
+entry (scan-resistant: a one-pass sweep cannot flush the whole tier)
+and ``filo`` the newest insertion.  Recency is a monotonic access
 counter, not wall-clock time, so eviction order is deterministic.
+
+Entries carry two speculation-era attributes:
+
+* a **prefix** — the cell coordinates minus the config hash
+  (``benchmark/engine@scale/scheduler``), so every cell of one sweep
+  over a fixed baseline shares a prefix and eviction/stats can reason
+  per-sweep (:meth:`ServeMemCache.prefix_stats`,
+  :meth:`ServeMemCache.evict_prefix`);
+* a **speculative** flag — set when the entry was produced by the
+  predictive dispatcher rather than a real request.  Speculative
+  entries that no demand request has read yet are evicted *first*
+  under pressure (speculation sheds before real traffic, in the cache
+  as in the admission queue); the first demand hit clears the flag and
+  counts ``spec_hits``.
 
 Both an entry-count cap and an approximate byte cap (sum of each
 entry's canonical serialized size) bound the tier; ``hits`` /
@@ -43,6 +59,20 @@ class CacheEntry:
     insert_seq: int
     last_access: int
     hit_count: int = 0
+    prefix: str = ""
+    speculative: bool = False
+
+
+@dataclass(frozen=True)
+class CacheRecord:
+    """One lookup outcome: the value plus whether speculation warmed it.
+
+    ``speculative_hit`` is True exactly once per speculative entry —
+    on the first demand read, which also clears the entry's flag.
+    """
+
+    value: Any
+    speculative_hit: bool
 
 
 class EvictionStrategy:
@@ -82,9 +112,38 @@ class FIFOStrategy(EvictionStrategy):
         return entry.insert_seq
 
 
+class MRUStrategy(EvictionStrategy):
+    """Evict the most-recently-accessed entry first.
+
+    Scan-resistant: a linear sweep touching every cell once keeps
+    evicting its own newest entry instead of flushing older residents,
+    so the working set that predates the scan survives it.
+    """
+
+    name = "mru"
+
+    def get_priority(self, entry: CacheEntry) -> int:
+        return -entry.last_access
+
+
+class FILOStrategy(EvictionStrategy):
+    """Evict the newest insertion first (first-in, last-out).
+
+    The insertion-order mirror of ``fifo``: long-resident entries are
+    never displaced by churn at the tail.
+    """
+
+    name = "filo"
+
+    def get_priority(self, entry: CacheEntry) -> int:
+        return -entry.insert_seq
+
+
 #: Policy name -> strategy class (the ``--evict-policy`` CLI choices).
 EVICTION_POLICIES = {
-    cls.name: cls for cls in (LRUStrategy, LFUStrategy, FIFOStrategy)
+    cls.name: cls
+    for cls in (LRUStrategy, LFUStrategy, FIFOStrategy, MRUStrategy,
+                FILOStrategy)
 }
 
 
@@ -114,6 +173,12 @@ class ServeMemCache:
         self.misses = 0
         self.evictions = 0
         self.puts = 0
+        # Speculation bookkeeping: puts by the predictive dispatcher,
+        # first-demand-reads of such entries, and evictions that removed
+        # a never-read speculative entry (wasted speculation).
+        self.spec_puts = 0
+        self.spec_hits = 0
+        self.spec_evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -125,8 +190,24 @@ class ServeMemCache:
         self._clock += 1
         return self._clock
 
-    def get(self, fingerprint: str) -> Optional[Any]:
-        """Return the cached value for ``fingerprint`` or ``None``."""
+    def peek(self, fingerprint: str) -> Optional[Any]:
+        """Return the cached value without touching any counter or clock.
+
+        The predictive dispatcher uses this to short-circuit predictions
+        that are already resident — a peek must not perturb hit ratios
+        or recency, or speculation would bias the eviction order.
+        """
+        entry = self._entries.get(fingerprint)
+        return entry.value if entry is not None else None
+
+    def lookup(self, fingerprint: str) -> Optional[CacheRecord]:
+        """Demand lookup: record hit/miss, return value + speculation bit.
+
+        The first demand read of a speculatively-warmed entry returns
+        ``speculative_hit=True``, clears the entry's flag (it is now
+        proven useful and competes for retention like any real entry)
+        and counts ``spec_hits``.
+        """
         entry = self._entries.get(fingerprint)
         if entry is None:
             self.misses += 1
@@ -134,9 +215,19 @@ class ServeMemCache:
         entry.last_access = self._tick()
         entry.hit_count += 1
         self.hits += 1
-        return entry.value
+        first_spec_hit = entry.speculative
+        if first_spec_hit:
+            entry.speculative = False
+            self.spec_hits += 1
+        return CacheRecord(entry.value, first_spec_hit)
 
-    def put(self, fingerprint: str, value: Any, size_bytes: int) -> None:
+    def get(self, fingerprint: str) -> Optional[Any]:
+        """Return the cached value for ``fingerprint`` or ``None``."""
+        record = self.lookup(fingerprint)
+        return record.value if record is not None else None
+
+    def put(self, fingerprint: str, value: Any, size_bytes: int,
+            prefix: str = "", speculative: bool = False) -> None:
         """Insert (or refresh) an entry, evicting until under both caps.
 
         ``size_bytes`` is the entry's accounting weight — the serving
@@ -144,29 +235,74 @@ class ServeMemCache:
         byte cap tracks what the payloads would occupy on the wire.  A
         value larger than ``max_bytes`` is cached alone (the cache never
         rejects; it just cannot hold anything else beside it).
+
+        ``prefix`` groups sweep cells sharing a baseline config;
+        ``speculative`` marks entries landed by the predictive
+        dispatcher (evicted first while unread; refreshing an existing
+        real entry never demotes it to speculative).
         """
         old = self._entries.pop(fingerprint, None)
         if old is not None:
             self.current_bytes -= old.size_bytes
+            # A refresh of a demand-proven entry stays demand-proven.
+            speculative = speculative and old.speculative
         seq = self._tick()
         self._entries[fingerprint] = CacheEntry(
             value=value, size_bytes=max(0, size_bytes),
             insert_seq=seq, last_access=seq,
+            prefix=prefix, speculative=speculative,
         )
         self.current_bytes += max(0, size_bytes)
         self.puts += 1
-        self._evict_to_caps()
+        if speculative:
+            self.spec_puts += 1
+        self._evict_to_caps(protect=fingerprint)
 
-    def _evict_to_caps(self) -> None:
-        while (len(self._entries) > self.max_entries
-               or (self.current_bytes > self.max_bytes
-                   and len(self._entries) > 1)):
+    def _over_caps(self) -> bool:
+        return (len(self._entries) > self.max_entries
+                or (self.current_bytes > self.max_bytes
+                    and len(self._entries) > 1))
+
+    def _evict_to_caps(self, protect: Optional[str] = None) -> None:
+        while self._over_caps():
+            # The just-inserted entry is not a victim candidate (it is
+            # what the eviction makes room for; without this, MRU and
+            # FILO would always evict the newcomer itself).
+            # Speculation sheds first: unread speculative entries are
+            # the victim pool whenever any exist; within a pool the
+            # strategy picks (logical clocks make the order replayable).
+            candidates = [fp for fp in self._entries if fp != protect]
+            if not candidates:
+                return      # a single oversized entry is cached alone
+            pool = [fp for fp in candidates
+                    if self._entries[fp].speculative]
+            if not pool:
+                pool = candidates
             victim = min(
-                self._entries,
+                pool,
                 key=lambda fp: self.strategy.get_priority(self._entries[fp]),
             )
-            self.current_bytes -= self._entries.pop(victim).size_bytes
+            entry = self._entries.pop(victim)
+            self.current_bytes -= entry.size_bytes
             self.evictions += 1
+            if entry.speculative:
+                self.spec_evictions += 1
+
+    def evict_prefix(self, prefix: str) -> int:
+        """Drop every entry of one sweep group; returns the count dropped.
+
+        Used to invalidate a whole sweep at once (the per-sweep
+        counterpart of :meth:`clear`); the drops count as evictions.
+        """
+        victims = [fp for fp, e in self._entries.items()
+                   if e.prefix == prefix]
+        for fp in victims:
+            entry = self._entries.pop(fp)
+            self.current_bytes -= entry.size_bytes
+            self.evictions += 1
+            if entry.speculative:
+                self.spec_evictions += 1
+        return len(victims)
 
     def clear(self) -> None:
         """Drop every entry (counters keep their lifetime values)."""
@@ -178,6 +314,28 @@ class ServeMemCache:
         """Hits over lookups since construction (0.0 before any lookup)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    @property
+    def spec_entries(self) -> int:
+        """Resident entries still marked speculative (never demand-read)."""
+        return sum(1 for e in self._entries.values() if e.speculative)
+
+    def prefix_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-prefix residency: entries, bytes, hits and unread spec.
+
+        Entries with an empty prefix (pre-speculation callers) group
+        under ``""``.
+        """
+        out: Dict[str, Dict[str, int]] = {}
+        for entry in self._entries.values():
+            group = out.setdefault(entry.prefix, {
+                "entries": 0, "bytes": 0, "hits": 0, "speculative": 0,
+            })
+            group["entries"] += 1
+            group["bytes"] += entry.size_bytes
+            group["hits"] += entry.hit_count
+            group["speculative"] += 1 if entry.speculative else 0
+        return out
 
     def stats(self) -> Dict[str, Any]:
         """Snapshot for the ``stats`` introspection request."""
@@ -192,4 +350,9 @@ class ServeMemCache:
             "hit_ratio": round(self.hit_ratio, 4),
             "evictions": self.evictions,
             "puts": self.puts,
+            "spec_puts": self.spec_puts,
+            "spec_hits": self.spec_hits,
+            "spec_evictions": self.spec_evictions,
+            "spec_entries": self.spec_entries,
+            "prefixes": self.prefix_stats(),
         }

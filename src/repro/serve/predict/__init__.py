@@ -1,0 +1,62 @@
+"""repro.serve.predict — predictive result prefetching for the serve tier.
+
+CAP's predict-then-prefetch discipline applied to the request stream:
+the :class:`~repro.serve.predict.miner.PatternMiner` watches the
+fingerprinted simulate stream for sweep-shaped patterns (one numeric
+config knob stepping by a constant stride over a fixed baseline) and
+the :class:`~repro.serve.predict.speculator.Predictor` computes the
+extrapolated next cells in idle batching-scheduler slots at strictly
+lower priority than real traffic — so the client's *next* sweep request
+is a warm cache hit instead of a simulation.
+
+Safety properties (enforced by ``tests/serve/test_speculation_e2e.py``):
+
+* speculative results are byte-identical to on-demand runs — they are
+  produced by the same :func:`~repro.exec.runner.execute_cell` path a
+  real dispatch uses;
+* speculation never displaces real work — admission requires idle
+  capacity, dispatch only fills otherwise-empty batches, and queued
+  speculation is aborted the moment a real request faces shedding;
+* an aborted speculation has touched no cache tier (aborts are
+  strictly pre-dispatch), so the shared persistent cache can never be
+  poisoned by a mispredicted cell;
+* mispredicting request groups are muted after a bounded number of
+  unconfirmed predictions (the paper's ``MISPRED_THRESH`` analogue),
+  so adversarial streams cost nothing.
+"""
+
+from repro.serve.predict.miner import (
+    DEFAULT_DEPTH,
+    DEFAULT_MAX_GROUPS,
+    DEFAULT_MIN_RUN,
+    DEFAULT_MISPREDICT_LIMIT,
+    CellSpec,
+    PatternMiner,
+    Prediction,
+    flatten_overrides,
+    unflatten_overrides,
+)
+from repro.serve.predict.speculator import (
+    DEFAULT_MAX_OUTSTANDING,
+    DEFAULT_TTL_OBSERVATIONS,
+    Predictor,
+    build_predictor,
+    prediction_to_request,
+)
+
+__all__ = [
+    "CellSpec",
+    "PatternMiner",
+    "Prediction",
+    "Predictor",
+    "build_predictor",
+    "prediction_to_request",
+    "flatten_overrides",
+    "unflatten_overrides",
+    "DEFAULT_MIN_RUN",
+    "DEFAULT_DEPTH",
+    "DEFAULT_MAX_GROUPS",
+    "DEFAULT_MISPREDICT_LIMIT",
+    "DEFAULT_MAX_OUTSTANDING",
+    "DEFAULT_TTL_OBSERVATIONS",
+]

@@ -77,6 +77,25 @@ PRESETS = {
     "test": test_config,
 }
 
+#: Version of the ``stats`` introspection payload.  Bumped whenever a
+#: field is removed or changes meaning; additive fields do not bump it.
+#: v1 was the pre-speculation payload; v2 added the ``stats_schema``
+#: marker itself plus the ``speculation``, ``predictor`` and ``tiers``
+#: blocks and the speculation fields of ``memcache``.
+STATS_SCHEMA_VERSION = 2
+
+#: Values the ``meta.source`` field of a simulate response may take.
+#: The ``-speculative`` variants mark answers served from
+#: speculatively-warmed state (a predicted memcache entry's first
+#: demand hit, or a join that promoted a speculative flight).
+SOURCES = (
+    "memcache",
+    "memcache-speculative",
+    "dedup",
+    "dedup-speculative",
+    "dispatch",
+)
+
 #: Stable error codes a response may carry.
 ERROR_CODES = (
     "bad_request",
@@ -269,6 +288,108 @@ def request_to_key(request: Request) -> RunKey:
             else default_scheduler_for(request.engine))
     return RunKey(request.benchmark, request.engine, request.scale,
                   config.with_scheduler(kind))
+
+
+# ----------------------------------------------------------- stats schema
+#: Required fields of the v2 stats payload: dotted path -> accepted
+#: types.  ``?`` marks the value as nullable.  Documented (with
+#: per-field semantics) in ``docs/serving.md``; the round-trip test in
+#: ``tests/serve/test_stats_schema.py`` holds a live server to it.
+STATS_SCHEMA: Dict[str, tuple] = {
+    "stats_schema": (int,),
+    "protocol": (int,),
+    "endpoint": (str,),
+    "uptime_s": (int, float),
+    "draining": (bool,),
+    "engine_jobs": (int,),
+    "server": (dict,),
+    "queue_depth": (int,),
+    "queue_limit": (int,),
+    "queued_interactive": (int,),
+    "queued_sweep": (int,),
+    "queued_speculative": (int,),
+    "admitted": (int,),
+    "shed": (int,),
+    "memcache_hits": (int,),
+    "dedup_joined": (int,),
+    "dedup_ratio": (int, float),
+    "batches": (int,),
+    "dispatched_cells": (int,),
+    "completed": (int,),
+    "failed": (int,),
+    "simulations": (int,),
+    "speculation": (dict,),
+    "speculation.limit": (int,),
+    "speculation.outstanding": (int,),
+    "speculation.queued": (int,),
+    "speculation.admitted": (int,),
+    "speculation.rejected": (int,),
+    "speculation.aborted": (int,),
+    "speculation.promoted": (int,),
+    "speculation.completed": (int,),
+    "speculation.failed": (int,),
+    "speculation.warm_hits": (int,),
+    "predictor?": (dict,),
+    "memcache": (dict,),
+    "memcache.policy": (str,),
+    "memcache.entries": (int,),
+    "memcache.hits": (int,),
+    "memcache.misses": (int,),
+    "memcache.hit_ratio": (int, float),
+    "memcache.spec_puts": (int,),
+    "memcache.spec_hits": (int,),
+    "memcache.spec_evictions": (int,),
+    "memcache.spec_entries": (int,),
+    "memcache.prefixes": (dict,),
+    "disk_cache?": (dict,),
+    "latency_s": (dict,),
+    "tiers": (dict,),
+    "tiers.window_s": (int, float),
+    "tiers.totals": (dict,),
+    "tiers.windows": (list,),
+}
+
+
+def validate_stats(payload: Dict[str, Any]) -> list:
+    """Check a stats payload against :data:`STATS_SCHEMA`.
+
+    Returns a list of human-readable problems (empty when the payload
+    conforms).  Extra fields are always allowed — the schema versions
+    removals and retypes, not additions.
+    """
+    problems = []
+    version = payload.get("stats_schema")
+    if version != STATS_SCHEMA_VERSION:
+        problems.append(
+            f"stats_schema is {version!r}, expected {STATS_SCHEMA_VERSION}")
+    for path, types in STATS_SCHEMA.items():
+        nullable = path.endswith("?")
+        clean = path[:-1] if nullable else path
+        node: Any = payload
+        missing = False
+        for part in clean.split("."):
+            if not isinstance(node, dict) or part not in node:
+                missing = True
+                break
+            node = node[part]
+        if missing:
+            problems.append(f"missing stats field {clean!r}")
+            continue
+        if node is None:
+            if not nullable:
+                problems.append(f"stats field {clean!r} must not be null")
+            continue
+        if not isinstance(node, types):
+            problems.append(
+                f"stats field {clean!r} has type "
+                f"{type(node).__name__}, expected one of "
+                f"{[t.__name__ for t in types]}")
+        # bool is an int subclass; reject it where int was meant.
+        if (isinstance(node, bool) and bool not in types
+                and int in types):
+            problems.append(f"stats field {clean!r} is a bool, "
+                            "expected a number")
+    return problems
 
 
 # ------------------------------------------------------------- responses

@@ -17,7 +17,22 @@
   across its process pool, and serve its cache tiers in one pass;
 * **priorities** — every queued ``interactive`` cell dispatches before
   any ``sweep`` cell, so cheap ad-hoc queries are not stuck behind a
-  bulk sweep's backlog.
+  bulk sweep's backlog;
+* **speculation** — the predictive dispatcher
+  (:mod:`repro.serve.predict`) submits predicted cells at the internal
+  ``speculative`` priority.  Speculative cells only ever occupy *idle*
+  capacity: admission requires queue headroom and at most
+  ``spec_limit`` outstanding speculative cells, they dispatch only in
+  batches that carry no real work, and they are the first thing
+  sacrificed when real traffic needs the space: a real submit that finds the queue full
+  aborts every still-queued speculative cell (resolving their futures
+  with :class:`SpeculationAborted`) before it ever sheds.  A real
+  request arriving for a cell that speculation already queued
+  **promotes** the flight to the request's own priority and joins it
+  (the serve-tier analogue of CAP's prefetch late-merge).  Aborts
+  happen strictly before dispatch, so an aborted speculation has
+  touched no cache tier — the persistent cache can only ever hold
+  results that a real dispatch would have produced byte-identically.
 
 Cell failures resolve the shared future with
 :class:`~repro.errors.RequestFailedError` (code ``simulation_failed``);
@@ -35,15 +50,17 @@ import time
 from collections import deque
 from dataclasses import dataclass
 from functools import partial
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.errors import (
     OverloadedError,
     RequestFailedError,
     ShuttingDownError,
+    TransientError,
 )
 from repro.exec.cache import RunKey, key_fingerprint, result_bytes
 from repro.exec.runner import ExecutionEngine
+from repro.obs.cachestats import TierHitSeries
 from repro.obs.latency import LatencyRecorder
 from repro.serve.memcache import ServeMemCache
 from repro.serve.protocol import PRIORITIES
@@ -58,6 +75,39 @@ DEFAULT_BATCH_MAX = 32
 
 #: Default admission-queue bound (admitted-but-unresolved cells).
 DEFAULT_QUEUE_LIMIT = 64
+
+#: Default bound on outstanding speculative cells (queued + dispatched).
+DEFAULT_SPEC_LIMIT = 4
+
+#: Internal dispatch priority of speculative cells.  Never accepted on
+#: the wire (requests speak :data:`~repro.serve.protocol.PRIORITIES`);
+#: only the predictive dispatcher submits at this priority.
+SPECULATIVE_PRIORITY = "speculative"
+
+#: Dispatch order: every real priority strictly before speculation.
+DISPATCH_PRIORITIES = PRIORITIES + (SPECULATIVE_PRIORITY,)
+
+
+class SpeculationAborted(TransientError):
+    """A queued speculative cell was sacrificed to admission pressure.
+
+    Internal to the scheduler/predictor pair: only the speculative
+    submitter ever awaits a future this resolves, so the code never
+    reaches the wire.  Transient by construction — the same cell may be
+    speculated again (or requested for real) later.
+    """
+
+
+def sweep_prefix(key: RunKey) -> str:
+    """Cache-prefix of a cell: its coordinates minus the config hash.
+
+    Every cell of one sweep over a fixed baseline — same benchmark,
+    engine, scale and scheduler, one knob stepping — shares this
+    prefix, which is what makes the memcache's per-prefix accounting
+    and eviction (:meth:`~repro.serve.memcache.ServeMemCache.
+    prefix_stats`) group by sweep.
+    """
+    return key.describe()
 
 
 @dataclass
@@ -80,7 +130,9 @@ class RequestScheduler:
         queue_limit: int = DEFAULT_QUEUE_LIMIT,
         batch_window_s: float = DEFAULT_BATCH_WINDOW_S,
         batch_max: int = DEFAULT_BATCH_MAX,
+        spec_limit: int = DEFAULT_SPEC_LIMIT,
         latency: Optional[LatencyRecorder] = None,
+        tiers: Optional[TierHitSeries] = None,
     ):
         if queue_limit < 1:
             raise ValueError(f"queue_limit must be >= 1 (got {queue_limit})")
@@ -90,22 +142,34 @@ class RequestScheduler:
             raise ValueError(
                 f"batch_window_s must be >= 0 (got {batch_window_s})"
             )
+        if spec_limit < 0:
+            raise ValueError(f"spec_limit must be >= 0 (got {spec_limit})")
         self.engine = engine
         self.memcache = memcache
         self.queue_limit = queue_limit
         self.batch_window_s = batch_window_s
         self.batch_max = batch_max
+        self.spec_limit = spec_limit
         self.latency = latency if latency is not None else LatencyRecorder(
             stages=("queue_wait", "dispatch", "total"))
+        self.tiers = tiers
         self._queues: Dict[str, Deque[QueuedCell]] = {
-            p: deque() for p in PRIORITIES
+            p: deque() for p in DISPATCH_PRIORITIES
         }
         self._inflight: Dict[str, asyncio.Future] = {}
         self._pending = 0
+        # Speculative bookkeeping: cells queued-but-undispatched (the
+        # abortable window) and every unresolved speculative flight.
+        self._spec_queued: Dict[str, QueuedCell] = {}
+        self._spec_inflight: Set[str] = set()
         self._wakeup: Optional[asyncio.Event] = None
         self._task: Optional[asyncio.Task] = None
         self._draining = False
-        # Lifetime counters (the stats introspection payload).
+        # Lifetime counters (the stats introspection payload).  The
+        # spec_* family is isolated from the demand-path counters:
+        # speculative traffic never moves admitted/shed/memcache_hits/
+        # dedup_joined, so demand-side invariants hold with or without
+        # the predictor running.
         self.memcache_hits = 0
         self.dedup_joined = 0
         self.admitted = 0
@@ -114,6 +178,13 @@ class RequestScheduler:
         self.dispatched_cells = 0
         self.completed = 0
         self.failed = 0
+        self.spec_admitted = 0
+        self.spec_rejected = 0
+        self.spec_aborted = 0
+        self.spec_promoted = 0
+        self.spec_completed = 0
+        self.spec_failed = 0
+        self.spec_warm_hits = 0
 
     # ---------------------------------------------------------- lifecycle
     async def start(self) -> None:
@@ -123,8 +194,14 @@ class RequestScheduler:
             self._task = asyncio.get_running_loop().create_task(self._run())
 
     async def drain(self) -> None:
-        """Stop admitting new work, finish what is queued, then return."""
+        """Stop admitting new work, finish what is queued, then return.
+
+        Queued speculation is aborted immediately (nothing real awaits
+        it); speculative cells already dispatched finish with their
+        batch.
+        """
         self._draining = True
+        self._abort_queued_speculation()
         if self._wakeup is not None:
             self._wakeup.set()
         if self._task is not None:
@@ -142,33 +219,73 @@ class RequestScheduler:
         return self._pending
 
     # ---------------------------------------------------------- admission
+    def _record_tier(self, tier: str, hit: bool) -> None:
+        if self.tiers is not None:
+            self.tiers.record(tier, hit)
+
     async def submit(self, key: RunKey,
                      priority: str = "interactive") -> Tuple[SimResult, str]:
         """Resolve one cell: memcache, single-flight join, or dispatch.
 
         Returns ``(result, source)`` where ``source`` is ``"memcache"``,
-        ``"dedup"`` (joined an in-flight cell) or ``"dispatch"``.
-        Raises :class:`OverloadedError` when the admission queue is
-        full, :class:`ShuttingDownError` during drain, and
-        :class:`RequestFailedError` when the dispatched cell fails.
+        ``"dedup"`` (joined an in-flight cell) or ``"dispatch"`` — with
+        a ``-speculative`` suffix when the answer came from
+        speculatively-warmed state (the first demand hit on a
+        spec-warmed memcache entry, or a join that promoted a
+        speculative flight).  Raises :class:`OverloadedError` when the
+        admission queue is full, :class:`ShuttingDownError` during
+        drain, and :class:`RequestFailedError` when the dispatched cell
+        fails.
+
+        ``priority=SPECULATIVE_PRIORITY`` takes the speculative
+        admission path instead (idle capacity only; may additionally
+        raise :class:`SpeculationAborted`).
         """
+        if priority == SPECULATIVE_PRIORITY:
+            return await self._submit_speculative(key)
         fingerprint = key_fingerprint(key)
-        cached = self.memcache.get(fingerprint)
-        if cached is not None:
+        record = self.memcache.lookup(fingerprint)
+        self._record_tier("memcache", record is not None)
+        if record is not None:
             self.memcache_hits += 1
-            return cached, "memcache"
+            self._record_tier("predicted", record.speculative_hit)
+            if record.speculative_hit:
+                self.spec_warm_hits += 1
+                return record.value, "memcache-speculative"
+            return record.value, "memcache"
         flight = self._inflight.get(fingerprint)
+        self._record_tier("dedup", flight is not None)
         if flight is not None:
             self.dedup_joined += 1
+            promoted = self._promote(fingerprint, priority)
+            self._record_tier("predicted", promoted)
+            if promoted:
+                self.spec_promoted += 1
+                return await asyncio.shield(flight), "dedup-speculative"
             return await asyncio.shield(flight), "dedup"
+        self._record_tier("predicted", False)
         if self._draining:
             raise ShuttingDownError(
                 "server is draining and no longer admits new simulations")
+        if self._pending >= self.queue_limit and self._spec_queued:
+            # Speculation sheds first: sacrifice every still-queued
+            # speculative cell before shedding real traffic.
+            self._abort_queued_speculation()
         if self._pending >= self.queue_limit:
             self.shed += 1
             raise OverloadedError(
                 f"admission queue is full ({self._pending}/"
                 f"{self.queue_limit} cells in flight); retry later")
+        future = self._open_flight(fingerprint)
+        self._pending += 1
+        self.admitted += 1
+        self._queues[priority].append(
+            QueuedCell(fingerprint, key, time.perf_counter()))
+        if self._wakeup is not None:
+            self._wakeup.set()
+        return await asyncio.shield(future), "dispatch"
+
+    def _open_flight(self, fingerprint: str) -> asyncio.Future:
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         # Mark failures as observed even if every waiter's deadline
@@ -177,13 +294,86 @@ class RequestScheduler:
         future.add_done_callback(
             lambda f: f.exception() if not f.cancelled() else None)
         self._inflight[fingerprint] = future
+        return future
+
+    async def _submit_speculative(self, key: RunKey) -> Tuple[SimResult, str]:
+        """Admit one predicted cell at speculative priority, or refuse.
+
+        Speculation never displaces real work: admission requires queue
+        headroom and room under ``spec_limit`` (else
+        :class:`OverloadedError` and the predictor drops the
+        prediction), speculative cells only ever dispatch in batches
+        that carry no real cell (:meth:`_take_batch`), and a real
+        submit facing a full queue aborts them (:class:`
+        SpeculationAborted`) before shedding anything real.
+        """
+        if self._draining:
+            raise ShuttingDownError(
+                "server is draining and no longer admits speculation")
+        fingerprint = key_fingerprint(key)
+        cached = self.memcache.peek(fingerprint)
+        if cached is not None:
+            return cached, "memcache"
+        flight = self._inflight.get(fingerprint)
+        if flight is not None:
+            # Someone (real or speculative) is already computing it.
+            return await asyncio.shield(flight), "dedup"
+        if (self._pending >= self.queue_limit
+                or len(self._spec_inflight) >= self.spec_limit):
+            self.spec_rejected += 1
+            raise OverloadedError(
+                "no capacity for speculation (admission queue full or "
+                "spec_limit outstanding cells reached)")
+        future = self._open_flight(fingerprint)
         self._pending += 1
-        self.admitted += 1
-        self._queues[priority].append(
-            QueuedCell(fingerprint, key, time.perf_counter()))
+        self.spec_admitted += 1
+        cell = QueuedCell(fingerprint, key, time.perf_counter())
+        self._queues[SPECULATIVE_PRIORITY].append(cell)
+        self._spec_queued[fingerprint] = cell
+        self._spec_inflight.add(fingerprint)
         if self._wakeup is not None:
             self._wakeup.set()
         return await asyncio.shield(future), "dispatch"
+
+    def _promote(self, fingerprint: str, priority: str) -> bool:
+        """Late-merge a real request into a speculative flight.
+
+        Returns True when ``fingerprint`` was speculative: the flight
+        now belongs to real traffic (its completion counts as a real
+        completion, its result is cached unmarked) and, when the cell
+        is still queued, it moves to the head of the requested real
+        priority so it dispatches with real work instead of waiting for
+        an idle batch.
+        """
+        if fingerprint not in self._spec_inflight:
+            return False
+        self._spec_inflight.discard(fingerprint)
+        cell = self._spec_queued.pop(fingerprint, None)
+        if cell is not None:
+            self._queues[SPECULATIVE_PRIORITY].remove(cell)
+            self._queues[priority].append(cell)
+        return True
+
+    def _abort_queued_speculation(self) -> None:
+        """Resolve every queued-undispatched speculative cell as aborted.
+
+        Strictly pre-dispatch, so an aborted cell has produced no
+        result and touched no cache tier — the never-poison guarantee.
+        """
+        for fingerprint, cell in list(self._spec_queued.items()):
+            self._spec_queued.pop(fingerprint, None)
+            self._spec_inflight.discard(fingerprint)
+            try:
+                self._queues[SPECULATIVE_PRIORITY].remove(cell)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+            future = self._inflight.pop(fingerprint, None)
+            self._pending -= 1
+            self.spec_aborted += 1
+            if future is not None and not future.done():
+                future.set_exception(SpeculationAborted(
+                    f"{cell.key.describe()}: speculation aborted under "
+                    "admission pressure"))
 
     # --------------------------------------------------------- dispatcher
     def _queued(self) -> int:
@@ -197,6 +387,14 @@ class RequestScheduler:
                 batch.append(queue.popleft())
             if len(batch) >= self.batch_max:
                 break
+        if not batch:
+            # Speculative cells dispatch only in otherwise-empty
+            # batches: real work never waits on a speculative cell.
+            queue = self._queues[SPECULATIVE_PRIORITY]
+            while queue and len(batch) < self.batch_max:
+                cell = queue.popleft()
+                self._spec_queued.pop(cell.fingerprint, None)
+                batch.append(cell)
         return batch
 
     async def _run(self) -> None:
@@ -237,15 +435,27 @@ class RequestScheduler:
             self.latency.record("dispatch", wall)
             future = self._inflight.pop(cell.fingerprint, None)
             self._pending -= 1
+            # A flight still marked at completion ran purely on
+            # speculation's budget; promotion would have unmarked it.
+            speculative = cell.fingerprint in self._spec_inflight
+            self._spec_inflight.discard(cell.fingerprint)
             result = results.get(cell.key)
             if result is not None:
-                self.completed += 1
+                if speculative:
+                    self.spec_completed += 1
+                else:
+                    self.completed += 1
                 self.memcache.put(cell.fingerprint, result,
-                                  len(result_bytes(result)))
+                                  len(result_bytes(result)),
+                                  prefix=sweep_prefix(cell.key),
+                                  speculative=speculative)
                 if future is not None and not future.done():
                     future.set_result(result)
                 continue
-            self.failed += 1
+            if speculative:
+                self.spec_failed += 1
+            else:
+                self.failed += 1
             failure = failures.get(cell.key)
             if failure is not None:
                 error: BaseException = RequestFailedError(failure.describe())
@@ -271,6 +481,21 @@ class RequestScheduler:
         total = self.requests_total
         return self.dedup_joined / total if total else 0.0
 
+    def speculation_stats(self) -> Dict[str, Any]:
+        """The ``speculation`` stats block: the spec_* counter family."""
+        return {
+            "limit": self.spec_limit,
+            "outstanding": len(self._spec_inflight),
+            "queued": len(self._spec_queued),
+            "admitted": self.spec_admitted,
+            "rejected": self.spec_rejected,
+            "aborted": self.spec_aborted,
+            "promoted": self.spec_promoted,
+            "completed": self.spec_completed,
+            "failed": self.spec_failed,
+            "warm_hits": self.spec_warm_hits,
+        }
+
     def stats(self) -> Dict[str, Any]:
         """Snapshot for the ``stats`` introspection request."""
         disk = self.engine.cache
@@ -279,6 +504,7 @@ class RequestScheduler:
             "queue_limit": self.queue_limit,
             "queued_interactive": len(self._queues["interactive"]),
             "queued_sweep": len(self._queues["sweep"]),
+            "queued_speculative": len(self._queues[SPECULATIVE_PRIORITY]),
             "draining": self._draining,
             "admitted": self.admitted,
             "shed": self.shed,
@@ -290,6 +516,7 @@ class RequestScheduler:
             "completed": self.completed,
             "failed": self.failed,
             "simulations": self.engine.events.simulations(),
+            "speculation": self.speculation_stats(),
             "memcache": self.memcache.stats(),
             "disk_cache": (
                 {

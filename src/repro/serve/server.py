@@ -40,6 +40,7 @@ from typing import Any, Dict, Optional, Set
 from repro.errors import DeadlineExceededError, ShuttingDownError
 from repro.exec.cache import key_fingerprint, serialize_result
 from repro.exec.runner import ExecutionEngine
+from repro.obs.cachestats import DEFAULT_WINDOW_S, TierHitSeries
 from repro.obs.latency import LatencyRecorder
 from repro.serve import protocol
 from repro.serve.memcache import (
@@ -47,10 +48,17 @@ from repro.serve.memcache import (
     DEFAULT_MAX_ENTRIES,
     ServeMemCache,
 )
+from repro.serve.predict.miner import (
+    DEFAULT_DEPTH,
+    DEFAULT_MIN_RUN,
+    DEFAULT_MISPREDICT_LIMIT,
+)
+from repro.serve.predict.speculator import build_predictor
 from repro.serve.scheduler import (
     DEFAULT_BATCH_MAX,
     DEFAULT_BATCH_WINDOW_S,
     DEFAULT_QUEUE_LIMIT,
+    DEFAULT_SPEC_LIMIT,
     RequestScheduler,
 )
 
@@ -85,6 +93,12 @@ class ServeConfig:
     memcache_entries: int = DEFAULT_MAX_ENTRIES
     memcache_bytes: int = DEFAULT_MAX_BYTES
     evict_policy: str = "lru"
+    predict: bool = True
+    predict_min_run: int = DEFAULT_MIN_RUN
+    predict_depth: int = DEFAULT_DEPTH
+    mispredict_limit: int = DEFAULT_MISPREDICT_LIMIT
+    spec_limit: int = DEFAULT_SPEC_LIMIT
+    tier_window_s: float = DEFAULT_WINDOW_S
 
 
 class SimulationServer:
@@ -109,13 +123,22 @@ class SimulationServer:
             max_bytes=self.config.memcache_bytes,
             policy=self.config.evict_policy,
         )
+        self.tiers = TierHitSeries(window_s=self.config.tier_window_s)
         self.scheduler = RequestScheduler(
             engine, self.memcache,
             queue_limit=self.config.queue_limit,
             batch_window_s=self.config.batch_window_s,
             batch_max=self.config.batch_max,
+            spec_limit=self.config.spec_limit,
             latency=self.latency,
+            tiers=self.tiers,
         )
+        self.predictor = build_predictor(self.scheduler, self.config)
+        # The disk tier is observed from execution events: a dispatched
+        # cell either hit the engine's memo/disk cache or started a
+        # simulation.  Events fire on the executor thread; the series
+        # is thread-safe.
+        engine.events.subscribe(self._on_exec_event)
         self._server: Optional[asyncio.AbstractServer] = None
         self._writers: Set[asyncio.StreamWriter] = set()
         self._request_tasks: Set[asyncio.Task] = set()
@@ -126,6 +149,13 @@ class SimulationServer:
             "connections": 0, "requests": 0, "responses": 0,
             "errors": 0, "deadline_exceeded": 0, "bad_lines": 0,
         }
+
+    def _on_exec_event(self, event) -> None:
+        """Record disk-tier outcomes from the engine's event stream."""
+        if event.kind == "cache_hit":
+            self.tiers.record("disk", True)
+        elif event.kind == "started":
+            self.tiers.record("disk", False)
 
     # ---------------------------------------------------------- lifecycle
     @property
@@ -169,8 +199,11 @@ class SimulationServer:
         self._draining = True
         if self._server is not None:
             self._server.close()
-        # Finish everything already admitted (resolves the futures the
-        # request tasks await), then let those tasks write responses.
+        # Stop speculating first (cancels prediction tasks), then
+        # finish everything already admitted (resolves the futures the
+        # request tasks await) and let those tasks write responses.
+        if self.predictor is not None:
+            await self.predictor.drain()
         await self.scheduler.drain()
         if self._request_tasks:
             await asyncio.gather(*list(self._request_tasks),
@@ -256,6 +289,10 @@ class SimulationServer:
                 raise ShuttingDownError(
                     "server is draining; resubmit to the next instance")
             key = protocol.request_to_key(request)
+            if self.predictor is not None:
+                # Feed the miner before scheduling, warm hits included,
+                # so a sweep stays tracked even once fully cached.
+                self.predictor.observe(request, key_fingerprint(key))
             deadline = (request.deadline_s
                         if request.deadline_s is not None
                         else self.config.default_deadline_s)
@@ -291,6 +328,7 @@ class SimulationServer:
     def stats(self) -> Dict[str, Any]:
         """Introspection snapshot answered to a ``stats`` request."""
         out = {
+            "stats_schema": protocol.STATS_SCHEMA_VERSION,
             "protocol": protocol.PROTOCOL_VERSION,
             "endpoint": self.endpoint,
             "uptime_s": round(time.monotonic() - self._started_at, 3)
@@ -298,6 +336,9 @@ class SimulationServer:
             "draining": self._draining,
             "engine_jobs": self.engine.jobs,
             "server": dict(self.counters),
+            "predictor": (self.predictor.stats()
+                          if self.predictor is not None else None),
+            "tiers": self.tiers.snapshot(),
         }
         out.update(self.scheduler.stats())
         return out

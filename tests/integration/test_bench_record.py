@@ -1,0 +1,103 @@
+"""Tests of the performance-baseline recorder's comparison logic.
+
+The measurement paths are exercised by CI's ``bench`` job; here we pin
+the pure comparison semantics — direction awareness, tolerance, the
+absolute-slack floor for millisecond latencies, and schema handling —
+so a regression gate that silently stopped gating would be caught.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+TOOL = Path(__file__).resolve().parents[2] / "tools" / "bench_record.py"
+_spec = importlib.util.spec_from_file_location("bench_record", TOOL)
+bench_record = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("bench_record", bench_record)
+_spec.loader.exec_module(bench_record)
+
+
+def envelope(**metrics):
+    return bench_record.payload("sim", metrics)
+
+
+class TestCompareDirections:
+    def test_equal_metrics_pass(self):
+        base = envelope(sim_cycles_per_s=1000.0)
+        assert bench_record.compare(base, base, 0.10) == []
+
+    def test_throughput_drop_beyond_tolerance_fails(self):
+        base = envelope(sim_cycles_per_s=1000.0)
+        now = envelope(sim_cycles_per_s=850.0)
+        problems = bench_record.compare(base, now, 0.10)
+        assert len(problems) == 1
+        assert "sim_cycles_per_s" in problems[0]
+
+    def test_throughput_drop_within_tolerance_passes(self):
+        base = envelope(sim_cycles_per_s=1000.0)
+        now = envelope(sim_cycles_per_s=950.0)
+        assert bench_record.compare(base, now, 0.10) == []
+
+    def test_improvement_never_fails(self):
+        base = envelope(sim_cycles_per_s=1000.0, serve_p99_ms=400.0)
+        now = envelope(sim_cycles_per_s=5000.0, serve_p99_ms=10.0)
+        assert bench_record.compare(base, now, 0.10) == []
+
+    def test_latency_rise_beyond_tolerance_and_floor_fails(self):
+        base = envelope(serve_p99_ms=400.0)
+        now = envelope(serve_p99_ms=500.0)     # +25%, +100ms > 75ms floor
+        problems = bench_record.compare(base, now, 0.10)
+        assert len(problems) == 1
+        assert "serve_p99_ms" in problems[0]
+
+
+class TestAbsoluteFloor:
+    def test_tiny_absolute_latency_jitter_ignored(self):
+        """1.5ms -> 2.2ms is +47% but under the 5ms floor: not a
+        regression (scheduler jitter dwarfs 10% of a millisecond)."""
+        base = envelope(serve_p50_ms=1.5)
+        now = envelope(serve_p50_ms=2.2)
+        assert bench_record.compare(base, now, 0.10) == []
+
+    def test_floor_does_not_mask_real_latency_regressions(self):
+        base = envelope(serve_p50_ms=1.5)
+        now = envelope(serve_p50_ms=20.0)
+        problems = bench_record.compare(base, now, 0.10)
+        assert len(problems) == 1
+
+    def test_unfloored_metrics_use_pure_relative_tolerance(self):
+        base = envelope(sweep_predicted_hit_ratio=1.0)
+        now = envelope(sweep_predicted_hit_ratio=0.7)
+        problems = bench_record.compare(base, now, 0.10)
+        assert len(problems) == 1
+        assert "sweep_predicted_hit_ratio" in problems[0]
+
+
+class TestSchemaHandling:
+    def test_metric_missing_from_current_is_reported(self):
+        base = envelope(sim_cycles_per_s=1000.0)
+        now = envelope()
+        problems = bench_record.compare(base, now, 0.10)
+        assert any("not measured" in p for p in problems)
+
+    def test_metric_new_in_current_is_not_required_in_baseline(self):
+        """Baselines predating a metric never fail on it (additive
+        evolution; re-record to start gating it)."""
+        base = envelope()
+        now = envelope(sim_cycles_per_s=1000.0)
+        assert bench_record.compare(base, now, 0.10) == []
+
+    def test_informational_metrics_never_gate(self):
+        base = envelope(sim_cycles=22506, serve_requests=32)
+        now = envelope(sim_cycles=1, serve_requests=1)
+        assert bench_record.compare(base, now, 0.10) == []
+
+    def test_repo_baselines_exist_and_carry_schema(self):
+        """The committed BENCH_*.json files match the tool's schema."""
+        import json
+        for filename in ("BENCH_sim.json", "BENCH_serve.json"):
+            path = TOOL.parent.parent / filename
+            assert path.exists(), filename
+            payload = json.loads(path.read_text())
+            assert payload["schema"] == bench_record.BENCH_SCHEMA
+            assert "metrics" in payload

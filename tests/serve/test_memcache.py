@@ -134,6 +134,142 @@ class TestStats:
         assert stats["evictions"] == 0
 
     def test_policy_registry_complete(self):
-        assert set(EVICTION_POLICIES) == {"lru", "lfu", "fifo"}
+        assert set(EVICTION_POLICIES) == {"lru", "lfu", "fifo", "mru", "filo"}
         for name, cls in EVICTION_POLICIES.items():
             assert cls.name == name
+
+
+class TestNewStrategies:
+    def test_mru_evicts_most_recently_used(self):
+        cache = ServeMemCache(max_entries=2, policy="mru")
+        cache.put("a", 1, 1)
+        cache.put("b", 2, 1)
+        cache.get("a")          # a is now the most recently used
+        cache.put("c", 3, 1)
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+
+    def test_mru_is_scan_resistant(self):
+        """A one-pass scan keeps evicting its own tail, not residents."""
+        cache = ServeMemCache(max_entries=3, policy="mru")
+        cache.put("res1", 1, 1)
+        cache.put("res2", 2, 1)
+        for i in range(10):     # scan of never-reused keys
+            cache.put(f"scan{i}", i, 1)
+        assert "res1" in cache and "res2" in cache
+
+    def test_filo_evicts_newest_insertion(self):
+        cache = ServeMemCache(max_entries=2, policy="filo")
+        cache.put("a", 1, 1)
+        cache.put("b", 2, 1)
+        cache.get("b")          # access does not matter under FILO
+        cache.put("c", 3, 1)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+
+    def test_mru_and_filo_tie_breaking_is_deterministic(self):
+        """Logical clocks make every priority unique, so a scripted
+        op sequence evicts identically on every replay."""
+        def run(policy):
+            cache = ServeMemCache(max_entries=3, policy=policy)
+            for i in range(8):
+                cache.put(f"k{i}", i, 1)
+                cache.get(f"k{max(0, i - 1)}")
+            return sorted(cache._entries), cache.evictions
+        for policy in ("mru", "filo"):
+            assert run(policy) == run(policy)
+
+
+class TestPrefixGrouping:
+    def test_prefix_stats_group_by_sweep(self):
+        cache = ServeMemCache(max_entries=8)
+        cache.put("f1", 1, 10, prefix="MM/caps@tiny/pas")
+        cache.put("f2", 2, 20, prefix="MM/caps@tiny/pas")
+        cache.put("f3", 3, 5, prefix="BFS/caps@tiny/pas")
+        cache.get("f1")
+        stats = cache.prefix_stats()
+        assert stats["MM/caps@tiny/pas"] == {
+            "entries": 2, "bytes": 30, "hits": 1, "speculative": 0,
+        }
+        assert stats["BFS/caps@tiny/pas"]["entries"] == 1
+
+    def test_evict_prefix_drops_exactly_one_sweep(self):
+        cache = ServeMemCache(max_entries=8)
+        cache.put("f1", 1, 1, prefix="sweepA")
+        cache.put("f2", 2, 1, prefix="sweepA")
+        cache.put("f3", 3, 1, prefix="sweepB")
+        dropped = cache.evict_prefix("sweepA")
+        assert dropped == 2
+        assert "f1" not in cache and "f2" not in cache
+        assert "f3" in cache
+        assert cache.evictions == 2
+
+    def test_unprefixed_entries_group_under_empty_string(self):
+        cache = ServeMemCache(max_entries=8)
+        cache.put("f1", 1, 1)
+        assert cache.prefix_stats()[""]["entries"] == 1
+
+
+class TestSpeculativeEntries:
+    def test_first_demand_hit_clears_flag_and_counts(self):
+        cache = ServeMemCache(max_entries=4)
+        cache.put("f1", 1, 1, speculative=True)
+        assert cache.spec_entries == 1
+        record = cache.lookup("f1")
+        assert record.speculative_hit is True
+        assert cache.spec_hits == 1
+        assert cache.spec_entries == 0
+        # Second hit is an ordinary hit.
+        assert cache.lookup("f1").speculative_hit is False
+        assert cache.spec_hits == 1
+
+    def test_peek_touches_no_counters_or_recency(self):
+        cache = ServeMemCache(max_entries=4)
+        cache.put("f1", 1, 1, speculative=True)
+        clock = cache._clock
+        assert cache.peek("f1") == 1
+        assert cache.peek("nope") is None
+        assert cache.hits == 0 and cache.misses == 0
+        assert cache.spec_hits == 0
+        assert cache._clock == clock
+
+    def test_unread_speculative_entries_evict_first(self):
+        """Speculation sheds first in the cache: under pressure the
+        victim pool is unread speculative entries, whatever the
+        strategy would otherwise pick."""
+        cache = ServeMemCache(max_entries=3, policy="lru")
+        cache.put("real_old", 1, 1)
+        cache.put("spec", 2, 1, speculative=True)
+        cache.put("real_new", 3, 1)
+        cache.put("overflow", 4, 1)
+        # LRU alone would evict real_old; the speculative entry goes.
+        assert "spec" not in cache
+        assert "real_old" in cache
+        assert cache.spec_evictions == 1
+
+    def test_demand_read_promotes_to_real_retention(self):
+        cache = ServeMemCache(max_entries=3, policy="lru")
+        cache.put("real_old", 1, 1)
+        cache.put("spec", 2, 1, speculative=True)
+        cache.get("spec")       # proven useful: competes like any entry
+        cache.put("x", 3, 1)
+        cache.put("y", 4, 1)
+        assert "spec" in cache  # real_old was the LRU victim instead
+        assert "real_old" not in cache
+
+    def test_refresh_never_demotes_a_real_entry(self):
+        cache = ServeMemCache(max_entries=4)
+        cache.put("f1", 1, 1)
+        cache.put("f1", 2, 1, speculative=True)
+        assert cache.spec_entries == 0
+        assert cache.spec_puts == 0
+
+    def test_spec_counters_in_stats(self):
+        cache = ServeMemCache(max_entries=4)
+        cache.put("f1", 1, 1, speculative=True, prefix="p")
+        cache.get("f1")
+        stats = cache.stats()
+        assert stats["spec_puts"] == 1
+        assert stats["spec_hits"] == 1
+        assert stats["spec_entries"] == 0
+        assert stats["prefixes"]["p"]["entries"] == 1

@@ -1,0 +1,200 @@
+"""Unit tests of the request-stream pattern miner and predictor glue."""
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.predict import (
+    CellSpec,
+    PatternMiner,
+    flatten_overrides,
+    prediction_to_request,
+    unflatten_overrides,
+)
+
+
+def make_request(benchmark="MM", engine="caps", scale="tiny", preset="test",
+                 overrides=None, scheduler=None):
+    payload = {
+        "v": protocol.PROTOCOL_VERSION, "id": "t", "op": "simulate",
+        "benchmark": benchmark, "engine": engine, "scale": scale,
+        "preset": preset,
+    }
+    if overrides:
+        payload["overrides"] = overrides
+    if scheduler:
+        payload["scheduler"] = scheduler
+    return protocol.parse_request(payload)
+
+
+def spec_with_window(window, **kwargs):
+    return CellSpec.from_request(make_request(
+        overrides={"prefetch": {"prefetch_window": window}}, **kwargs))
+
+
+class TestOverrideFlattening:
+    def test_flatten_and_unflatten_round_trip(self):
+        nested = {"prefetch": {"prefetch_window": 8, "nlp_degree": 2},
+                  "num_sms": 4}
+        flat = flatten_overrides(nested)
+        assert flat == {"prefetch.prefetch_window": 8,
+                        "prefetch.nlp_degree": 2, "num_sms": 4}
+        assert unflatten_overrides(flat) == nested
+
+
+class TestCellSpec:
+    def test_from_request_keeps_wire_values(self):
+        spec = spec_with_window(8)
+        assert spec.benchmark == "MM"
+        assert spec.scale == "tiny"
+        assert spec.scheduler is None
+        assert spec.override_map() == {"prefetch.prefetch_window": 8}
+
+    def test_signature_excludes_overrides(self):
+        assert spec_with_window(8).signature == spec_with_window(9).signature
+
+    def test_with_override_preserves_int_type(self):
+        spec = spec_with_window(8).with_override(
+            "prefetch.prefetch_window", 10)
+        value = spec.override_map()["prefetch.prefetch_window"]
+        assert value == 10 and isinstance(value, int)
+
+
+class TestMinerDetection:
+    def test_monotone_run_predicts_after_min_run(self):
+        miner = PatternMiner(min_run=3, depth=2)
+        assert miner.observe(spec_with_window(8)) == []
+        assert miner.observe(spec_with_window(9)) == []    # run length 2
+        preds = miner.observe(spec_with_window(10))        # run length 3
+        assert [p.value for p in preds] == [11, 12]
+        assert all(isinstance(p.value, int) for p in preds)
+        assert [p.rank for p in preds] == [1, 2]
+        assert preds[0].knob == "prefetch.prefetch_window"
+        assert miner.patterns == 1
+
+    def test_negative_stride_extrapolates_downward(self):
+        miner = PatternMiner(min_run=3, depth=2)
+        for window in (20, 18, 16):
+            preds = miner.observe(spec_with_window(window))
+        assert [p.value for p in preds] == [14, 12]
+
+    def test_sliding_window_keeps_predicting(self):
+        miner = PatternMiner(min_run=3, depth=1)
+        for window in (8, 9, 10):
+            miner.observe(spec_with_window(window))
+        preds = miner.observe(spec_with_window(11))
+        assert [p.value for p in preds] == [12]
+        assert preds[0].confidence == 4
+
+    def test_exact_repeat_is_neutral(self):
+        miner = PatternMiner(min_run=3, depth=1)
+        miner.observe(spec_with_window(8))
+        miner.observe(spec_with_window(9))
+        assert miner.observe(spec_with_window(9)) == []    # retry
+        preds = miner.observe(spec_with_window(10))
+        assert [p.value for p in preds] == [11]
+
+    def test_stride_change_restarts_the_run(self):
+        miner = PatternMiner(min_run=3, depth=1)
+        for window in (8, 9, 10):
+            miner.observe(spec_with_window(window))
+        # The 10 -> 20 step breaks the stride-1 run and immediately
+        # becomes the first step of a stride-10 run (10, 20, 30, ...).
+        assert miner.observe(spec_with_window(20)) == []
+        preds = miner.observe(spec_with_window(30))
+        assert [p.value for p in preds] == [40]
+
+    def test_multi_knob_change_resets(self):
+        miner = PatternMiner(min_run=3, depth=1)
+        base = make_request(overrides={
+            "prefetch": {"prefetch_window": 8, "nlp_degree": 1}})
+        miner.observe(CellSpec.from_request(base))
+        both = make_request(overrides={
+            "prefetch": {"prefetch_window": 9, "nlp_degree": 2}})
+        assert miner.observe(CellSpec.from_request(both)) == []
+
+    def test_non_numeric_knob_never_predicts(self):
+        miner = PatternMiner(min_run=2, depth=1)
+        for flag in (True, False, True):
+            req = make_request(overrides={
+                "prefetch": {"eager_wakeup": flag}})
+            assert miner.observe(CellSpec.from_request(req)) == []
+
+    def test_key_set_change_resets(self):
+        miner = PatternMiner(min_run=3, depth=1)
+        miner.observe(spec_with_window(8))
+        other = make_request(overrides={"num_sms": 4})
+        assert miner.observe(CellSpec.from_request(other)) == []
+
+
+class TestMinerGroups:
+    def test_interleaved_sweeps_track_independently(self):
+        miner = PatternMiner(min_run=3, depth=1)
+        out = {}
+        for window in (8, 9, 10):
+            for bench in ("MM", "BFS"):
+                out[bench] = miner.observe(
+                    spec_with_window(window, benchmark=bench))
+        assert [p.value for p in out["MM"]] == [11]
+        assert [p.value for p in out["BFS"]] == [11]
+        assert out["MM"][0].spec.benchmark == "MM"
+        assert miner.tracked_groups == 2
+
+    def test_group_table_is_bounded_lru(self):
+        miner = PatternMiner(max_groups=2)
+        for bench in ("MM", "BFS", "FFT"):
+            miner.observe(spec_with_window(8, benchmark=bench))
+        assert miner.tracked_groups == 2
+        assert miner.group_evictions == 1
+
+    def test_mispredictions_mute_the_group(self):
+        miner = PatternMiner(min_run=3, depth=1, mispredict_limit=2)
+        for window in (8, 9, 10):
+            preds = miner.observe(spec_with_window(window))
+        signature = preds[0].group
+        miner.record_misprediction(signature)
+        assert miner.muted_groups == 0
+        miner.record_misprediction(signature)
+        assert miner.muted_groups == 1
+        # A muted group stops predicting no matter how clean the run.
+        for window in (11, 12, 13, 14):
+            assert miner.observe(spec_with_window(window)) == []
+
+    def test_validation_rejects_bad_knobs(self):
+        with pytest.raises(ValueError, match="min_run"):
+            PatternMiner(min_run=1)
+        with pytest.raises(ValueError, match="depth"):
+            PatternMiner(depth=0)
+
+
+class TestPredictionToRequest:
+    def test_round_trips_through_protocol_validation(self):
+        miner = PatternMiner(min_run=3, depth=1)
+        for window in (8, 9, 10):
+            preds = miner.observe(spec_with_window(window))
+        request = prediction_to_request(preds[0])
+        key = protocol.request_to_key(request)
+        assert key.config.prefetch.prefetch_window == 11
+        # Identical to what the client's next request would resolve to.
+        client_next = protocol.request_to_key(make_request(
+            overrides={"prefetch": {"prefetch_window": 11}}))
+        assert key == client_next
+
+    def test_predicted_scheduler_is_preserved(self):
+        miner = PatternMiner(min_run=3, depth=1)
+        for window in (8, 9, 10):
+            preds = miner.observe(CellSpec.from_request(make_request(
+                overrides={"prefetch": {"prefetch_window": window}},
+                scheduler="gto")))
+        request = prediction_to_request(preds[0])
+        assert request.scheduler is not None
+        assert request.scheduler.value == "gto"
+
+    def test_invalid_extrapolation_raises_bad_request(self):
+        """Walking a knob below its legal floor fails validation, so
+        the predictor drops it before any engine work."""
+        miner = PatternMiner(min_run=3, depth=1)
+        for window in (3, 2, 1):
+            preds = miner.observe(spec_with_window(window))
+        assert preds[0].value == 0      # prefetch_window must be >= 1
+        with pytest.raises(Exception):
+            protocol.request_to_key(prediction_to_request(preds[0]))

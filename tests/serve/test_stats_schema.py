@@ -1,0 +1,118 @@
+"""The versioned ``stats`` payload contract (protocol.validate_stats).
+
+The ``repro request --stats --json`` output is a documented, versioned
+schema (``stats_schema`` v2, see ``docs/serving.md``).  These tests hold
+a live server's payload to :data:`repro.serve.protocol.STATS_SCHEMA`,
+prove the payload survives a JSON wire round-trip unchanged, and check
+that the validator actually catches removals, retypes and nulls.
+"""
+
+import asyncio
+import copy
+import json
+
+from repro.exec import EventLog, ExecutionEngine, ResultCache
+from repro.serve import protocol
+from repro.serve.client import AsyncServeClient
+from repro.serve.server import ServeConfig, SimulationServer
+
+
+def live_stats(tmp_path, **config_kwargs):
+    """Stats payload from a served stats request after one simulate."""
+    config_kwargs.setdefault("batch_window_s", 0.01)
+    config = ServeConfig(socket_path=str(tmp_path / "serve.sock"),
+                         **config_kwargs)
+    engine = ExecutionEngine(jobs=1, cache=ResultCache(tmp_path / "cache"),
+                             events=EventLog())
+
+    async def scenario():
+        server = SimulationServer(engine, config)
+        await server.start()
+        try:
+            async with AsyncServeClient(config.socket_path) as client:
+                await client.simulate(benchmark="MM", engine="caps",
+                                      scale="tiny", preset="test")
+                return await client.stats()
+        finally:
+            await server.drain()
+
+    return asyncio.run(scenario())
+
+
+class TestLivePayload:
+    def test_live_server_stats_conform_to_schema(self, tmp_path):
+        stats = live_stats(tmp_path)
+        assert protocol.validate_stats(stats) == []
+        assert stats["stats_schema"] == protocol.STATS_SCHEMA_VERSION
+
+    def test_disabled_predictor_is_null_and_still_valid(self, tmp_path):
+        stats = live_stats(tmp_path, predict=False)
+        assert stats["predictor"] is None
+        assert protocol.validate_stats(stats) == []
+
+    def test_payload_round_trips_through_json(self, tmp_path):
+        """The wire form (sorted, compact) reparses to the same object
+        and still validates — no non-JSON types leak into the payload."""
+        stats = live_stats(tmp_path)
+        wire = protocol.encode({"v": 1, "id": "s", "ok": True,
+                                "result": stats})
+        reparsed = protocol.decode_line(wire)["result"]
+        assert reparsed == stats
+        assert protocol.validate_stats(reparsed) == []
+
+
+class TestValidatorCatchesTampering:
+    def base(self, tmp_path):
+        stats = live_stats(tmp_path)
+        assert protocol.validate_stats(stats) == []
+        return stats
+
+    def test_missing_field_reported(self, tmp_path):
+        stats = self.base(tmp_path)
+        del stats["speculation"]["warm_hits"]
+        problems = protocol.validate_stats(stats)
+        assert any("speculation.warm_hits" in p for p in problems)
+
+    def test_wrong_type_reported(self, tmp_path):
+        stats = self.base(tmp_path)
+        stats["memcache"]["hits"] = "3"
+        problems = protocol.validate_stats(stats)
+        assert any("memcache.hits" in p for p in problems)
+
+    def test_bool_where_number_expected_reported(self, tmp_path):
+        stats = self.base(tmp_path)
+        stats["shed"] = False
+        problems = protocol.validate_stats(stats)
+        assert any("'shed'" in p and "bool" in p for p in problems)
+
+    def test_null_in_non_nullable_field_reported(self, tmp_path):
+        stats = self.base(tmp_path)
+        stats["tiers"] = None
+        problems = protocol.validate_stats(stats)
+        assert any("'tiers'" in p for p in problems)
+
+    def test_version_mismatch_reported(self, tmp_path):
+        stats = self.base(tmp_path)
+        stats["stats_schema"] = 1
+        problems = protocol.validate_stats(stats)
+        assert any("stats_schema" in p for p in problems)
+
+    def test_extra_fields_are_allowed(self, tmp_path):
+        """Additive evolution must not trip the validator (the schema
+        versions removals and retypes only)."""
+        stats = copy.deepcopy(self.base(tmp_path))
+        stats["new_experimental_block"] = {"x": 1}
+        assert protocol.validate_stats(stats) == []
+
+
+class TestSchemaSpec:
+    def test_schema_paths_are_well_formed(self):
+        for path, types in protocol.STATS_SCHEMA.items():
+            assert isinstance(types, tuple) and types, path
+            assert "?" not in path.rstrip("?"), path
+
+    def test_schema_is_json_documentable(self):
+        """The schema itself serializes (for docs tooling)."""
+        doc = {path: [t.__name__ for t in types]
+               for path, types in protocol.STATS_SCHEMA.items()}
+        assert json.loads(json.dumps(doc)) == doc

@@ -1,0 +1,284 @@
+"""Record and regression-check repo-level performance baselines.
+
+Two suites, each producing one JSON file at the repo root:
+
+* ``sim``  -> ``BENCH_sim.json`` — raw simulator speed: best-of-N wall
+  time of one SMALL-scale MRQ run under the small config, reported as
+  simulated SM-cycles per second (higher is better);
+* ``serve`` -> ``BENCH_serve.json`` — serving-stack behaviour: a
+  closed-loop uniform phase (4 clients x 8 requests over 4 TINY cells
+  — req/s, p50/p99 ms) plus a sweep-shaped phase exercising the
+  ``repro.serve.predict`` prefetcher (predicted-hit ratio).
+
+Modes::
+
+    python tools/bench_record.py --write            # (re)record baselines
+    python tools/bench_record.py --check            # compare vs baselines
+    python tools/bench_record.py --check --tolerance 0.10
+
+``--check`` exits non-zero when any metric regresses beyond the
+tolerance in its *bad* direction (throughput metrics may not fall,
+latency metrics may not rise); improvements never fail.  CI runs the
+check on every push (the ``bench`` job), so a change that slows the
+simulator or the serve tier by more than 10% fails loudly instead of
+rotting silently.
+
+Timings are wall-clock and therefore noisy on shared runners — the
+default 10% tolerance plus best-of-N measurement absorbs normal
+jitter; ratio metrics (predicted hits) are deterministic.
+
+Stdlib + repro only (no pytest), so the tool runs anywhere the package
+imports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.config import small_config                  # noqa: E402
+from repro.exec import EventLog, ExecutionEngine, ResultCache  # noqa: E402
+from repro.obs import percentile                       # noqa: E402
+from repro.serve.client import AsyncServeClient        # noqa: E402
+from repro.serve.server import ServeConfig, SimulationServer   # noqa: E402
+from repro.sim.gpu import simulate                     # noqa: E402
+from repro.workloads import Scale, build               # noqa: E402
+
+#: Baseline file schema version (bump on incompatible layout changes).
+BENCH_SCHEMA = 1
+
+#: Metric name -> direction: "higher" means a drop is a regression,
+#: "lower" means a rise is.  Unlisted metrics are informational only.
+DIRECTIONS = {
+    "sim_cycles_per_s": "higher",
+    "serve_req_per_s": "higher",
+    "serve_p50_ms": "lower",
+    "serve_p99_ms": "lower",
+    "sweep_predicted_hit_ratio": "higher",
+}
+
+#: Minimum absolute delta before a relative breach counts.  Millisecond
+#: latencies are tiny, so scheduler jitter easily exceeds 10% of them;
+#: a regression must clear both the relative tolerance and this floor.
+ABS_FLOOR = {
+    "serve_p50_ms": 5.0,
+    "serve_p99_ms": 75.0,
+}
+
+SIM_ROUNDS = 3
+UNIFORM_CLIENTS = 4
+UNIFORM_REQUESTS = 8
+UNIFORM_BENCHES = ("SCN", "MM", "BPR", "BFS")
+SWEEP_STEPS = 10
+SWEEP_WARMUP = 3
+
+
+# ------------------------------------------------------------------ sim
+def measure_sim() -> Dict[str, Any]:
+    """Best-of-N simulator speed on one SMALL MRQ cell."""
+    config = small_config()
+    best = None
+    for _ in range(SIM_ROUNDS):
+        kernel = build("MRQ", Scale.SMALL)
+        t0 = time.perf_counter()
+        result = simulate(kernel, config)
+        wall = time.perf_counter() - t0
+        rate = result.cycles / wall
+        if best is None or rate > best[0]:
+            best = (rate, result.cycles, wall)
+    rate, cycles, wall = best
+    return {
+        "sim_cycles_per_s": round(rate, 1),
+        "sim_cycles": cycles,
+        "sim_best_wall_s": round(wall, 4),
+        "sim_rounds": SIM_ROUNDS,
+    }
+
+
+# ---------------------------------------------------------------- serve
+async def _uniform_client(socket_path: str, index: int,
+                          latencies: List[float]) -> None:
+    async with AsyncServeClient(socket_path) as client:
+        for i in range(UNIFORM_REQUESTS):
+            benchmark = UNIFORM_BENCHES[(index + i) % len(UNIFORM_BENCHES)]
+            t0 = time.perf_counter()
+            await client.simulate(benchmark=benchmark, engine="caps",
+                                  scale="tiny", preset="test")
+            latencies.append(time.perf_counter() - t0)
+
+
+async def _sweep_client(socket_path: str,
+                        sources: List[str]) -> None:
+    async with AsyncServeClient(socket_path) as client:
+        for i in range(SWEEP_STEPS):
+            _, meta = await client.simulate(
+                benchmark="MM", engine="caps", scale="tiny", preset="test",
+                overrides={"prefetch": {"prefetch_window": 8 + i}},
+            )
+            sources.append(meta["source"])
+
+
+async def _measure_serve(workdir: Path) -> Dict[str, Any]:
+    engine = ExecutionEngine(jobs=1, cache=ResultCache(workdir / "cache"),
+                             events=EventLog())
+    # Uniform closed-loop phase.
+    config = ServeConfig(socket_path=str(workdir / "bench.sock"),
+                         batch_window_s=0.005)
+    server = SimulationServer(engine, config)
+    await server.start()
+    try:
+        latencies: List[float] = []
+        t0 = time.perf_counter()
+        await asyncio.gather(*(
+            _uniform_client(config.socket_path, i, latencies)
+            for i in range(UNIFORM_CLIENTS)
+        ))
+        wall = time.perf_counter() - t0
+    finally:
+        await server.drain()
+    total = UNIFORM_CLIENTS * UNIFORM_REQUESTS
+
+    # Sweep-shaped phase (fresh server + cache so prediction starts cold).
+    sweep_engine = ExecutionEngine(
+        jobs=1, cache=ResultCache(workdir / "sweep-cache"),
+        events=EventLog())
+    sweep_config = ServeConfig(socket_path=str(workdir / "sweep.sock"),
+                               batch_window_s=0.005)
+    sweep_server = SimulationServer(sweep_engine, sweep_config)
+    await sweep_server.start()
+    try:
+        sources: List[str] = []
+        await _sweep_client(sweep_config.socket_path, sources)
+    finally:
+        await sweep_server.drain()
+    stats = sweep_server.stats()
+    post = sources[SWEEP_WARMUP:]
+    predicted = sum(1 for s in post if s.endswith("-speculative"))
+
+    return {
+        "serve_req_per_s": round(total / wall, 1),
+        "serve_p50_ms": round(percentile(latencies, 0.50) * 1e3, 3),
+        "serve_p99_ms": round(percentile(latencies, 0.99) * 1e3, 3),
+        "serve_requests": total,
+        "sweep_predicted_hit_ratio": round(predicted / len(post), 4),
+        "sweep_spec_admitted": stats["speculation"]["admitted"],
+        "sweep_predictor_confirmed": stats["predictor"]["confirmed"],
+    }
+
+
+def measure_serve() -> Dict[str, Any]:
+    """Serving-stack metrics (uniform + sweep phases, temp workdir)."""
+    import tempfile
+    with tempfile.TemporaryDirectory(prefix="bench-record-") as tmp:
+        return asyncio.run(_measure_serve(Path(tmp)))
+
+
+# -------------------------------------------------------------- compare
+def compare(baseline: Dict[str, Any], current: Dict[str, Any],
+            tolerance: float) -> List[str]:
+    """Regressions of ``current`` vs ``baseline`` beyond ``tolerance``.
+
+    Only metrics named in :data:`DIRECTIONS` are compared; a metric
+    missing from either side is reported (a silently-vanished metric
+    is itself a regression of the harness).  Returns human-readable
+    problem strings, empty when everything holds.
+    """
+    problems = []
+    for name, direction in DIRECTIONS.items():
+        if name not in baseline.get("metrics", {}):
+            continue        # baseline predates this metric: nothing to hold
+        if name not in current.get("metrics", {}):
+            problems.append(f"{name}: present in baseline but not measured")
+            continue
+        base = float(baseline["metrics"][name])
+        now = float(current["metrics"][name])
+        if base == 0:
+            continue
+        change = (now - base) / base
+        if abs(now - base) < ABS_FLOOR.get(name, 0.0):
+            continue
+        if direction == "higher" and change < -tolerance:
+            problems.append(
+                f"{name}: {now} is {-change:.1%} below baseline {base} "
+                f"(tolerance {tolerance:.0%})")
+        elif direction == "lower" and change > tolerance:
+            problems.append(
+                f"{name}: {now} is {change:.1%} above baseline {base} "
+                f"(tolerance {tolerance:.0%})")
+    return problems
+
+
+def payload(suite: str, metrics: Dict[str, Any]) -> Dict[str, Any]:
+    """Wrap suite metrics in the versioned baseline envelope."""
+    return {"schema": BENCH_SCHEMA, "suite": suite, "metrics": metrics}
+
+
+SUITES: Dict[str, Tuple[Any, str]] = {
+    "sim": (measure_sim, "BENCH_sim.json"),
+    "serve": (measure_serve, "BENCH_serve.json"),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--write", action="store_true",
+                      help="measure and (over)write the baseline files")
+    mode.add_argument("--check", action="store_true",
+                      help="measure and fail on regression vs baselines")
+    parser.add_argument("--suite", choices=sorted(SUITES), action="append",
+                        help="restrict to one suite (repeatable; "
+                             "default: all)")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional regression (default 0.10)")
+    args = parser.parse_args(argv)
+
+    suites = args.suite or sorted(SUITES)
+    failures: List[str] = []
+    for suite in suites:
+        measure, filename = SUITES[suite]
+        path = REPO_ROOT / filename
+        print(f"[{suite}] measuring ...", flush=True)
+        metrics = measure()
+        for name, value in sorted(metrics.items()):
+            print(f"[{suite}]   {name} = {value}")
+        if args.write:
+            path.write_text(json.dumps(payload(suite, metrics), indent=2,
+                                       sort_keys=True) + "\n")
+            print(f"[{suite}] wrote {path.name}")
+            continue
+        if not path.exists():
+            failures.append(f"{suite}: no baseline {path.name} "
+                            "(run --write first)")
+            continue
+        baseline = json.loads(path.read_text())
+        if baseline.get("schema") != BENCH_SCHEMA:
+            failures.append(
+                f"{suite}: baseline schema {baseline.get('schema')!r} "
+                f"!= {BENCH_SCHEMA} (re-record with --write)")
+            continue
+        problems = compare(baseline, payload(suite, metrics),
+                           args.tolerance)
+        for problem in problems:
+            failures.append(f"{suite}: {problem}")
+        status = "FAIL" if problems else "ok"
+        print(f"[{suite}] {status} vs {path.name}")
+
+    if failures:
+        print("\nperformance regressions detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
