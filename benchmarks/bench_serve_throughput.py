@@ -15,6 +15,12 @@ Two client mixes against one in-process :class:`SimulationServer`:
   fraction of post-warmup requests answered from speculatively-warmed
   state (``*-speculative`` sources), with the predictor's own
   admitted/confirmed counters alongside.
+* **fleet scaling** — the same warm uniform mix against a supervised
+  1-backend and ``FLEET_BACKENDS``-backend fleet behind the consistent
+  hashing router (real spawned backend processes): req/s and request
+  latency per fleet size, proving the router adds bounded overhead and
+  an N-backend fleet keeps up with one server on a partitioned
+  keyspace.
 
 The first uniform level pays the 4 real simulations (they land in the
 disk cache); later levels exercise the pure serving overhead.
@@ -29,11 +35,18 @@ from repro.analysis.report import format_table
 from repro.exec import EventLog, ExecutionEngine, ResultCache
 from repro.obs import percentile
 from repro.serve.client import AsyncServeClient
+from repro.serve.fleet.router import RouterConfig, make_fleet
 from repro.serve.server import ServeConfig, SimulationServer
 
 BENCHES = ("SCN", "MM", "BPR", "BFS")
 CONCURRENCIES = (1, 4, 16)
 REQUESTS_PER_CLIENT = 8
+
+#: Fleet sizes compared by the scaling benchmark (1 = router overhead
+#: baseline; the larger size exercises ring partitioning).
+FLEET_SIZES = (1, 3)
+FLEET_BACKENDS = FLEET_SIZES[-1]
+FLEET_CLIENTS = 4
 
 #: Sweep-mix shape: one knob stepped monotonically over this many cells.
 SWEEP_STEPS = 10
@@ -136,6 +149,51 @@ async def drive(tmp_path):
     return rows
 
 
+async def drive_fleet(tmp_path):
+    """Warm uniform mix against spawned fleets of each FLEET_SIZES."""
+    rows = []
+    for backends in FLEET_SIZES:
+        runtime = tmp_path / f"fleet-{backends}"
+        supervisor, router = make_fleet(
+            backends, str(runtime),
+            cache_dir=str(runtime / "cache"),
+            serve_template=ServeConfig(batch_window_s=0.005),
+            router_config=RouterConfig(probe_interval_s=0.2))
+        supervisor.start()
+        await router.start()
+        try:
+            assert await router.wait_backends_ready(timeout_s=30)
+            # Warm round: pay the real simulations once per fleet, so
+            # the measured phase is pure serving + routing overhead.
+            async with AsyncServeClient(router.config.socket_path) as c:
+                for bench in BENCHES:
+                    await c.simulate(benchmark=bench, engine="caps",
+                                     scale="tiny", preset="test")
+            latencies = []
+            t0 = time.perf_counter()
+            await asyncio.gather(*(
+                closed_loop(router.config.socket_path, i, latencies)
+                for i in range(FLEET_CLIENTS)
+            ))
+            wall = time.perf_counter() - t0
+            stats = router.stats()
+        finally:
+            await router.drain()
+            await asyncio.get_running_loop().run_in_executor(
+                None, supervisor.drain)
+        total = FLEET_CLIENTS * REQUESTS_PER_CLIENT
+        assert len(latencies) == total
+        rows.append((
+            backends,
+            total,
+            f"{total / wall:.0f}",
+            f"{percentile(latencies, 0.50) * 1e3:.1f}",
+            f"{percentile(latencies, 0.99) * 1e3:.1f}",
+            stats["router"]["failovers"],
+        ))
+    return rows
+
+
 def test_serve_throughput(benchmark, emit, tmp_path_factory):
     tmp_path = tmp_path_factory.mktemp("serve-bench")
 
@@ -176,3 +234,26 @@ def test_serve_sweep_prediction(benchmark, emit, tmp_path_factory):
     # least half the post-warmup requests must land on warmed state.
     assert predicted_ratio >= 0.5, row
     assert stats["predictor"]["confirmed"] > 0
+
+
+def test_fleet_scaling(benchmark, emit, tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("serve-bench-fleet")
+
+    rows = run_once(benchmark, lambda: asyncio.run(drive_fleet(tmp_path)))
+    emit(
+        "fleet_scaling",
+        format_table(
+            ["backends", "requests", "req/s", "p50 [ms]", "p99 [ms]",
+             "failovers"],
+            rows,
+            title=f"Fleet scaling: warm uniform mix ({FLEET_CLIENTS} "
+                  f"clients) through the consistent-hashing router, "
+                  f"1 vs {FLEET_BACKENDS} spawned backends",
+        ),
+    )
+    # A healthy fleet run never needs failover, and the large fleet must
+    # not collapse: its warm throughput stays within 5x of the single
+    # backend (spawn/IPC jitter makes a tighter bound flaky).
+    assert all(row[5] == 0 for row in rows), rows
+    small, large = float(rows[0][2]), float(rows[-1][2])
+    assert large > small / 5, rows

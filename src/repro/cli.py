@@ -28,7 +28,15 @@ Commands
     docs/serving.md).
 ``request [BENCH]``
     Issue one request to a running server (``--stats`` / ``--ping``
-    for introspection and liveness).
+    for introspection and liveness); transient failures are retried
+    with backoff (``--retries``, default 3 attempts) before the
+    command gives up with exit code 5.
+``fleet``
+    Run the fault-tolerant serve fleet: N supervised backend
+    processes behind a consistent-hashing router with per-backend
+    circuit breakers and a read-only degraded disk fallback (see
+    docs/fleet.md).  ``--chaos-*`` flags arm the seeded fault
+    injection used by the chaos suite.
 ``cache {stats,gc}``
     Maintain the on-disk result cache: usage summary, and garbage
     collection by age (``--older-than``) and/or size (``--max-bytes``).
@@ -373,15 +381,85 @@ def build_parser() -> argparse.ArgumentParser:
                     help="per-request deadline enforced by the server")
     rq.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                     help="client-side socket timeout")
+    rq.add_argument("--retries", type=int, default=3, metavar="N",
+                    help="total attempts for transient failures "
+                         "(connection refused/reset, overloaded, "
+                         "degraded, deadline); backoff between "
+                         "attempts, exit 5 only after the last one "
+                         "(default: 3; 1 disables retries)")
     rq.add_argument("--json", action="store_true",
                     help="print the raw response payload as JSON")
     rq.add_argument("--stats", action="store_true",
                     help="fetch the server's introspection snapshot "
-                         "(versioned payload, stats_schema v2: counters "
-                         "plus speculation/predictor/tiers blocks; see "
-                         "docs/serving.md)")
+                         "(versioned payload, stats_schema v3: counters "
+                         "plus speculation/predictor/tiers blocks, or "
+                         "the router's fleet/health payload; see "
+                         "docs/serving.md and docs/fleet.md)")
     rq.add_argument("--ping", action="store_true",
                     help="liveness probe")
+
+    fl = sub.add_parser(
+        "fleet",
+        help="run the fault-tolerant multi-backend serve fleet "
+             "(see docs/fleet.md)",
+        parents=[ep],
+    )
+    fl.add_argument("--backends", type=int, default=3, metavar="N",
+                    help="supervised backend processes (default: 3)")
+    fl.add_argument("--runtime-dir", type=pathlib.Path, default=None,
+                    metavar="DIR",
+                    help="directory for backend Unix sockets (default: "
+                         "a fresh temporary directory)")
+    fl.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="worker processes per backend (default: 1)")
+    fl.add_argument("--cache", type=pathlib.Path,
+                    default=pathlib.Path(DEFAULT_CACHE_DIR), metavar="DIR",
+                    help="shared persistent result cache; also the "
+                         "router's read-only degraded fallback "
+                         f"(default: {DEFAULT_CACHE_DIR})")
+    fl.add_argument("--no-disk-cache", action="store_true",
+                    help="no persistent cache (disables the degraded "
+                         "disk fallback too)")
+    fl.add_argument("--restart-budget", type=int, default=None, metavar="N",
+                    help="restarts per backend before the supervisor "
+                         "gives up on it (default: 3)")
+    fl.add_argument("--probe-interval", type=float, default=None,
+                    metavar="SECONDS",
+                    help="active health-probe cadence (default: 0.25)")
+    fl.add_argument("--forward-timeout", type=float, default=None,
+                    metavar="SECONDS",
+                    help="bound on one forwarded request "
+                         "(default: 60; detects blackholed backends)")
+    fl.add_argument("--failure-threshold", type=int, default=None,
+                    metavar="N",
+                    help="consecutive failures that open a backend's "
+                         "circuit breaker (default: 3)")
+    fl.add_argument("--reset-timeout", type=float, default=None,
+                    metavar="SECONDS",
+                    help="how long an open breaker waits before "
+                         "half-open trial requests (default: 1.0)")
+    chaos = fl.add_argument_group(
+        "chaos", "seeded serve-tier fault injection (tests/CI only)")
+    chaos.add_argument("--chaos-seed", type=int, default=0,
+                       help="fault-plan seed (default: 0)")
+    chaos.add_argument("--chaos-kill-backend", type=int, default=-1,
+                       metavar="INDEX",
+                       help="backend index that exits mid-flight "
+                            "(default: -1, none)")
+    chaos.add_argument("--chaos-kill-after", type=int, default=0,
+                       metavar="N",
+                       help="simulate requests the doomed backend "
+                            "answers before dying (default: 0)")
+    chaos.add_argument("--chaos-slow-rate", type=float, default=0.0,
+                       metavar="P", help="fraction of requests delayed")
+    chaos.add_argument("--chaos-slow-s", type=float, default=0.05,
+                       metavar="SECONDS", help="injected delay length")
+    chaos.add_argument("--chaos-blackhole-rate", type=float, default=0.0,
+                       metavar="P",
+                       help="fraction of requests never answered")
+    chaos.add_argument("--chaos-torn-rate", type=float, default=0.0,
+                       metavar="P",
+                       help="fraction of responses cut mid-line")
 
     ca = sub.add_parser(
         "cache",
@@ -692,6 +770,92 @@ def cmd_serve(args) -> int:
     return EXIT_OK
 
 
+def cmd_fleet(args) -> int:
+    """Run the supervised multi-backend fleet until SIGTERM/SIGINT."""
+    import asyncio
+    import dataclasses as _dc
+    import tempfile
+
+    from repro.guard.faults import ServeFaultPlan
+    from repro.serve.fleet import RouterConfig, make_fleet, run_fleet
+    from repro.serve.server import DEFAULT_HOST, DEFAULT_PORT, ServeConfig
+
+    if args.backends < 1:
+        raise SystemExit("--backends must be >= 1")
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    runtime_dir = (str(args.runtime_dir) if args.runtime_dir is not None
+                   else tempfile.mkdtemp(prefix="repro-fleet-"))
+    router_config = RouterConfig(
+        socket_path=str(args.socket) if args.socket else None,
+        host=args.host or DEFAULT_HOST,
+        port=DEFAULT_PORT if args.port is None else args.port,
+    )
+    knobs = {}
+    if args.probe_interval is not None:
+        knobs["probe_interval_s"] = args.probe_interval
+    if args.forward_timeout is not None:
+        knobs["forward_timeout_s"] = args.forward_timeout
+    if args.failure_threshold is not None:
+        knobs["failure_threshold"] = args.failure_threshold
+    if args.reset_timeout is not None:
+        knobs["reset_timeout_s"] = args.reset_timeout
+    if knobs:
+        router_config = _dc.replace(router_config, **knobs)
+    fault_plan = None
+    if (args.chaos_kill_backend >= 0 or args.chaos_slow_rate
+            or args.chaos_blackhole_rate or args.chaos_torn_rate):
+        fault_plan = ServeFaultPlan(
+            seed=args.chaos_seed,
+            kill_backend=args.chaos_kill_backend,
+            kill_after_requests=args.chaos_kill_after,
+            slow_request_rate=args.chaos_slow_rate,
+            slow_request_s=args.chaos_slow_s,
+            blackhole_rate=args.chaos_blackhole_rate,
+            torn_response_rate=args.chaos_torn_rate,
+        )
+        print(f"repro fleet: CHAOS armed ({fault_plan})", file=sys.stderr)
+    supervisor, router = make_fleet(
+        args.backends, runtime_dir,
+        router_config=router_config,
+        jobs=args.jobs,
+        cache_dir=None if args.no_disk_cache else str(args.cache),
+        serve_template=ServeConfig(),
+        fault_plan=fault_plan,
+        restart_budget=args.restart_budget,
+    )
+
+    async def _run():
+        ready = asyncio.Event()
+
+        async def _announce():
+            await ready.wait()
+            print(f"repro fleet: {args.backends} backend(s) behind "
+                  f"{router.endpoint} (runtime: {runtime_dir}); "
+                  "SIGTERM drains", file=sys.stderr, flush=True)
+
+        task = asyncio.get_running_loop().create_task(_announce())
+        try:
+            return await run_fleet(supervisor, router, ready=ready)
+        finally:
+            task.cancel()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - ^C without handler
+        return EXIT_OK
+    stats = router.stats()
+    restarts = sum(entry["restarts"]
+                   for entry in stats["supervisor"]["backends"].values())
+    print(f"repro fleet: drained cleanly — "
+          f"{stats['router']['requests']} request(s), "
+          f"{stats['router']['routed']} routed, "
+          f"{stats['router']['failovers']} failover(s), "
+          f"{restarts} restart(s)",
+          file=sys.stderr)
+    return EXIT_OK
+
+
 def cmd_request(args) -> int:
     """Issue one request (simulate / stats / ping) to a running server."""
     from repro.errors import (
@@ -699,16 +863,21 @@ def cmd_request(args) -> int:
         RequestError,
     )
     from repro.serve.client import ServeClient
+    from repro.serve.retry import RetryPolicy
     from repro.serve.server import DEFAULT_HOST, DEFAULT_PORT
 
     if not (args.stats or args.ping) and args.bench is None:
         raise SystemExit(
             "repro request: name a benchmark, or pass --stats / --ping")
+    if args.retries < 1:
+        raise SystemExit("--retries must be >= 1")
     client = ServeClient(
         socket_path=str(args.socket) if args.socket else None,
         host=args.host or DEFAULT_HOST,
         port=DEFAULT_PORT if args.port is None else args.port,
         timeout=args.timeout,
+        retry=(RetryPolicy(attempts=args.retries)
+               if args.retries > 1 else None),
     )
     try:
         with client:
@@ -736,7 +905,8 @@ def cmd_request(args) -> int:
         print(f"request error [{exc.code}]: {exc}", file=sys.stderr)
         return (EXIT_UNAVAILABLE
                 if exc.code in ("overloaded", "deadline_exceeded",
-                                "shutting_down") else EXIT_FAIL)
+                                "shutting_down", "degraded")
+                else EXIT_FAIL)
     except (ConnectionError, OSError) as exc:
         print(f"cannot reach server: {exc}", file=sys.stderr)
         return EXIT_UNAVAILABLE
@@ -836,7 +1006,7 @@ def _report_hang(exc: BaseException) -> None:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        if args.command not in ("serve", "request", "cache"):
+        if args.command not in ("serve", "request", "cache", "fleet"):
             # The serving/maintenance commands manage their own engine
             # (or none); the shared flags mean different things there.
             _install_engine(args)
@@ -850,6 +1020,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "trace": cmd_trace,
             "serve": cmd_serve,
             "request": cmd_request,
+            "fleet": cmd_fleet,
             "cache": cmd_cache,
         }[args.command](args)
     except ConfigError as exc:

@@ -161,14 +161,46 @@ class ShuttingDownError(RequestError, TransientError):
     code = "shutting_down"
 
 
+class DegradedError(RequestError, TransientError):
+    """No healthy backend can serve the request right now.
+
+    Raised by the fleet router when every candidate backend is down (or
+    circuit-open) and the shared disk cache holds no answer either.
+    Carries ``retry_after_s`` — the router's hint for how long a client
+    should back off before retrying (supervised backends restart on a
+    known schedule, so the hint is informed, not arbitrary).
+    """
+
+    code = "degraded"
+
+    def __init__(self, message: str, retry_after_s: Optional[float] = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+    def __reduce__(self):
+        return (self.__class__, (self.args[0], self.retry_after_s))
+
+
 class RequestFailedError(RequestError, PermanentError):
     """The dispatched simulation failed; the failure detail is attached.
 
     Wraps a :class:`CellFailure`-shaped server-side outcome (a hang, an
     invariant violation, an exhausted retry budget) for the client.
+    ``details`` is a JSON-able payload carried verbatim across the wire
+    (``error.details`` in the protocol envelope) — for a hang it holds
+    the watchdog's diagnostic snapshot, so the client can triage a
+    remote wedge exactly as it would a local one.
     """
 
     code = "simulation_failed"
+
+    def __init__(self, message: str,
+                 details: Optional[Dict[str, Any]] = None):
+        super().__init__(message)
+        self.details = details or {}
+
+    def __reduce__(self):
+        return (self.__class__, (self.args[0], self.details))
 
 
 class InjectedFault(TransientError):

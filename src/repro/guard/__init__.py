@@ -17,7 +17,9 @@ tooling to prove its own recovery paths work:
 * :mod:`repro.guard.faults` — seeded deterministic :class:`FaultPlan`
   consulted by the memory subsystem (dropped/delayed responses), the
   execution runner (transient worker crashes) and the result cache
-  (corrupted entries);
+  (corrupted entries), plus :class:`ServeFaultPlan` — the serve-tier
+  chaos twin (backend kills mid-flight, slow/blackholed requests, torn
+  response lines) consulted by :class:`repro.serve.server.SimulationServer`;
 * :mod:`repro.guard.bundle` — on-disk diagnostic bundles (config, seed,
   snapshot, event tail) written whenever a sweep cell fails.
 
@@ -41,7 +43,13 @@ from repro.errors import (
     is_transient,
 )
 from repro.guard.bundle import DIAGNOSTICS_DIRNAME, write_diagnostic_bundle
-from repro.guard.faults import FaultPlan, MemoryFaultInjector
+from repro.guard.faults import (
+    SERVE_KILL_EXIT,
+    FaultPlan,
+    MemoryFaultInjector,
+    ServeFaultInjector,
+    ServeFaultPlan,
+)
 from repro.guard.invariants import InvariantChecker
 from repro.guard.watchdog import (
     DEFAULT_HANG_CYCLES,
@@ -69,6 +77,9 @@ __all__ = [
     "write_diagnostic_bundle",
     "FaultPlan",
     "MemoryFaultInjector",
+    "SERVE_KILL_EXIT",
+    "ServeFaultInjector",
+    "ServeFaultPlan",
     "InvariantChecker",
     "DEFAULT_HANG_CYCLES",
     "Watchdog",

@@ -27,6 +27,7 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import InjectedWorkerCrash
 
@@ -97,6 +98,146 @@ class FaultPlan:
         """Roll the dice: corrupt this cache write under the plan?"""
         return (self.corrupt_cache_rate > 0
                 and rng.random() < self.corrupt_cache_rate)
+
+
+@dataclass(frozen=True)
+class ServeFaultPlan:
+    """Seeded description of serve-tier faults (the fleet chaos harness).
+
+    Where :class:`FaultPlan` perturbs the *simulator* (memory responses,
+    worker crashes, cache bytes), this plan perturbs the *serving path*:
+    backend processes, connections and response framing.  A
+    :class:`~repro.serve.server.SimulationServer` given a plan (via
+    ``ServeConfig.fault_plan``) consults a :class:`ServeFaultInjector`
+    per process; all randomness derives from SHA-256 streams of
+    ``seed:label`` so a plan replays identically on every platform —
+    which is what lets the chaos suite assert exact recovery behaviour
+    (zero lost requests, byte-identical answers, breaker transitions).
+
+    Fault classes:
+
+    * **kill** — backend ``kill_backend`` hard-exits (``os._exit``)
+      while serving its ``kill_after_requests``-th simulate request:
+      mid-flight crash, in-flight work lost, stale socket left behind;
+    * **slow** — a fraction of simulate requests sleep
+      ``slow_request_s`` before answering (a degraded backend);
+    * **blackhole** — a fraction of simulate requests are accepted and
+      never answered (a wedged backend; only forward timeouts or
+      deadlines recover the caller);
+    * **torn** — a fraction of responses are cut mid-line and the
+      connection dropped (a crash between ``write`` and ``flush``).
+    """
+
+    seed: int = 0
+    #: Index of the one backend the kill fault arms on (-1 = none).
+    kill_backend: int = -1
+    #: The n-th simulate request (1-based) that backend dies serving.
+    kill_after_requests: int = 0
+    #: Probability a simulate request is answered ``slow_request_s`` late.
+    slow_request_rate: float = 0.0
+    slow_request_s: float = 0.05
+    #: Probability a simulate request is accepted but never answered.
+    blackhole_rate: float = 0.0
+    #: Probability a response line is torn mid-write (connection drops).
+    torn_response_rate: float = 0.0
+
+    def __post_init__(self):
+        for name in ("slow_request_rate", "blackhole_rate",
+                     "torn_response_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1] (got {rate})")
+        if self.kill_after_requests < 0:
+            raise ValueError("kill_after_requests must be >= 0")
+        if self.slow_request_s < 0:
+            raise ValueError("slow_request_s must be >= 0")
+
+    def stream(self, label: str) -> random.Random:
+        """Independent deterministic RNG for one consumer (see
+        :meth:`FaultPlan.stream`)."""
+        digest = hashlib.sha256(f"{self.seed}:{label}".encode()).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
+
+    @property
+    def any_faults(self) -> bool:
+        """True when the plan can inject at least one fault."""
+        return (self.kill_after_requests > 0 and self.kill_backend >= 0) \
+            or self.slow_request_rate > 0 or self.blackhole_rate > 0 \
+            or self.torn_response_rate > 0
+
+
+#: Exit code a fault-plan backend kill uses (distinguishable from the
+#: worker-crash code 43 of :meth:`FaultPlan.crash`).
+SERVE_KILL_EXIT = 44
+
+
+class ServeFaultInjector:
+    """Per-server adapter applying a :class:`ServeFaultPlan`.
+
+    One injector per :class:`~repro.serve.server.SimulationServer`
+    process; ``backend_index`` selects which backend of a fleet the
+    plan's kill fault arms on and namespaces the random streams, so
+    every backend of one fleet draws an independent deterministic
+    sequence from the same plan.
+    """
+
+    def __init__(self, plan: ServeFaultPlan, backend_index: int = 0):
+        self.plan = plan
+        self.backend_index = backend_index
+        self._slow_rng = plan.stream(f"serve.slow.{backend_index}")
+        self._black_rng = plan.stream(f"serve.blackhole.{backend_index}")
+        self._torn_rng = plan.stream(f"serve.torn.{backend_index}")
+        #: Simulate requests seen (drives the kill countdown).
+        self.simulate_seen = 0
+        self.slowed = 0
+        self.blackholed = 0
+        self.torn = 0
+
+    def on_simulate(self) -> str:
+        """Fate of one simulate request: ``kill``/``blackhole``/``slow``/
+        ``serve``.  Called once per admitted simulate request."""
+        self.simulate_seen += 1
+        plan = self.plan
+        if (plan.kill_backend == self.backend_index
+                and plan.kill_after_requests > 0
+                and self.simulate_seen == plan.kill_after_requests):
+            return "kill"
+        if plan.blackhole_rate > 0 and \
+                self._black_rng.random() < plan.blackhole_rate:
+            self.blackholed += 1
+            return "blackhole"
+        if plan.slow_request_rate > 0 and \
+                self._slow_rng.random() < plan.slow_request_rate:
+            self.slowed += 1
+            return "slow"
+        return "serve"
+
+    def kill_now(self) -> None:  # pragma: no cover - exits the process
+        """Hard-exit the backend process (a mid-flight crash)."""
+        import os
+        os._exit(SERVE_KILL_EXIT)
+
+    def tear(self, data: bytes) -> Optional[bytes]:
+        """Return the torn prefix of a response line, or ``None``.
+
+        ``None`` means deliver intact; a ``bytes`` return means write
+        only that prefix and drop the connection (the torn-line fault).
+        """
+        if self.plan.torn_response_rate > 0 and len(data) > 1 and \
+                self._torn_rng.random() < self.plan.torn_response_rate:
+            self.torn += 1
+            return data[:max(1, len(data) // 2)]
+        return None
+
+    def stats(self) -> dict:
+        """JSON-able injector counters (exported via server stats)."""
+        return {
+            "backend_index": self.backend_index,
+            "simulate_seen": self.simulate_seen,
+            "slowed": self.slowed,
+            "blackholed": self.blackholed,
+            "torn": self.torn,
+        }
 
 
 class MemoryFaultInjector:

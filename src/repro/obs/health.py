@@ -1,0 +1,88 @@
+"""Fleet health timeline: a bounded series of backend-state changes.
+
+The router's prober feeds every observation cycle into one
+:class:`HealthTimeline`; the timeline only stores *changes* (plus the
+first observation), so a stable fleet costs one entry while a flapping
+backend documents every closed → open → half_open → closed hop with a
+monotonic timestamp.  The series is exported in the router's ``stats``
+payload (``health`` block) — it is the observable record the chaos
+suite replays to assert the recovery trajectory, and the obs-layer
+complement to the per-breaker ``transitions`` list (which survives only
+as long as the breaker object).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+#: Default cap on retained samples (oldest evicted first).
+DEFAULT_CAPACITY = 512
+
+
+class HealthTimeline:
+    """Bounded change-log of per-backend health states."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1 (got {capacity})")
+        self.capacity = capacity
+        self._samples: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self._last: Optional[Dict[str, str]] = None
+        self.observations = 0
+        self.changes = 0
+        self.dropped = 0
+
+    def record(self, states: Dict[int, str],
+               t: Optional[float] = None) -> bool:
+        """Observe the fleet; store a sample only when states changed.
+
+        ``states`` maps backend index -> circuit-state wire name.
+        Returns True when a sample was appended.
+        """
+        self.observations += 1
+        normalized = {str(index): state for index, state in states.items()}
+        if normalized == self._last:
+            return False
+        if len(self._samples) == self.capacity:
+            self.dropped += 1
+        self.changes += 1
+        self._last = normalized
+        healthy = sum(1 for state in normalized.values()
+                      if state == "closed")
+        self._samples.append({
+            "t": round(time.monotonic() if t is None else t, 6),
+            "states": dict(normalized),
+            "healthy": healthy,
+        })
+        return True
+
+    @property
+    def samples(self) -> List[Dict[str, Any]]:
+        """Retained change samples, oldest first."""
+        return list(self._samples)
+
+    def states_seen(self, index: int) -> List[str]:
+        """Distinct-state sequence one backend moved through (collapsed).
+
+        The chaos suite asserts recovery with
+        ``states_seen(killed) == [..., "closed", "open", "half_open",
+        "closed"]``-style subsequence checks.
+        """
+        out: List[str] = []
+        for sample in self._samples:
+            state = sample["states"].get(str(index))
+            if state is not None and (not out or out[-1] != state):
+                out.append(state)
+        return out
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able export for the router stats payload."""
+        return {
+            "capacity": self.capacity,
+            "observations": self.observations,
+            "changes": self.changes,
+            "dropped": self.dropped,
+            "samples": self.samples,
+        }

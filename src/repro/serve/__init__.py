@@ -24,14 +24,36 @@ tiered cache or by batching them into the existing
   introspection wired into :mod:`repro.obs` latency recording and
   per-tier hit-rate series);
 * :mod:`repro.serve.client` — sync and async client libraries backing
-  the ``repro serve`` / ``repro request`` CLI pair.
+  the ``repro serve`` / ``repro request`` CLI pair, with bounded
+  connect timeouts, optional retry policies and hedged requests;
+* :mod:`repro.serve.retry` — client-side resilience primitives
+  (:class:`RetryPolicy` backoff/jitter over the transient/permanent
+  error taxonomy, :func:`~repro.serve.retry.hedged` request racing);
+* :mod:`repro.serve.fleet` — the fault-tolerant multi-backend fleet
+  (process supervisor, consistent-hash router, per-backend circuit
+  breakers, degraded-mode disk fallback) behind ``repro fleet``.
 
 Pure stdlib (asyncio) — no new runtime dependencies.  See
 ``docs/serving.md`` for the protocol spec, capacity-planning knobs and
 failure semantics.
 """
 
-from repro.serve.client import AsyncServeClient, ServeClient
+from repro.serve.client import (
+    DEFAULT_CONNECT_TIMEOUT_S,
+    AsyncServeClient,
+    ServeClient,
+)
+from repro.serve.fleet import (
+    BackendSpec,
+    BackendSupervisor,
+    CircuitBreaker,
+    CircuitState,
+    FleetRouter,
+    HashRing,
+    RouterConfig,
+    make_fleet,
+    run_fleet,
+)
 from repro.serve.memcache import (
     EVICTION_POLICIES,
     FIFOStrategy,
@@ -53,7 +75,16 @@ from repro.serve.protocol import (
     apply_overrides,
     parse_request,
     request_to_key,
+    validate_router_stats,
     validate_stats,
+)
+from repro.serve.retry import (
+    NO_RETRY,
+    HedgePolicy,
+    RetryPolicy,
+    RetryStats,
+    hedged,
+    retryable,
 )
 from repro.serve.scheduler import RequestScheduler, SpeculationAborted
 from repro.serve.server import (
@@ -67,6 +98,23 @@ from repro.serve.server import (
 __all__ = [
     "AsyncServeClient",
     "ServeClient",
+    "DEFAULT_CONNECT_TIMEOUT_S",
+    "BackendSpec",
+    "BackendSupervisor",
+    "CircuitBreaker",
+    "CircuitState",
+    "FleetRouter",
+    "HashRing",
+    "RouterConfig",
+    "make_fleet",
+    "run_fleet",
+    "NO_RETRY",
+    "HedgePolicy",
+    "RetryPolicy",
+    "RetryStats",
+    "hedged",
+    "retryable",
+    "validate_router_stats",
     "EVICTION_POLICIES",
     "FIFOStrategy",
     "FILOStrategy",

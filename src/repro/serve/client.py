@@ -12,6 +12,15 @@ Both clients deserialize ``simulate`` payloads back into
 :func:`repro.exec.cache.deserialize_result`, so a served result is
 byte-identical (under :func:`~repro.exec.cache.result_bytes`) to the
 same cell executed in-process.
+
+Resilience: connecting always has a bounded timeout
+(:data:`DEFAULT_CONNECT_TIMEOUT_S`, distinct from the per-request
+``timeout`` — a dead endpoint fails fast even when requests may run
+unbounded), an optional :class:`~repro.serve.retry.RetryPolicy`
+re-runs transient failures with backoff (reconnecting between
+attempts), and :class:`AsyncServeClient` can hedge interactive
+``simulate`` calls (:class:`~repro.serve.retry.HedgePolicy`) — safe
+because every request is idempotent by content-hash.
 """
 
 from __future__ import annotations
@@ -25,8 +34,16 @@ from typing import Any, Dict, Optional, Tuple
 from repro.errors import RequestError
 from repro.exec.cache import deserialize_result
 from repro.serve import protocol
+from repro.serve.retry import HedgePolicy, RetryPolicy, RetryStats
 from repro.serve.server import DEFAULT_HOST, DEFAULT_PORT, STREAM_LIMIT
 from repro.sim.gpu import SimResult
+
+#: Bound on connection establishment (seconds).  Distinct from the
+#: per-request ``timeout``: ``timeout=None`` legitimately means "wait
+#: however long the simulation takes", but waiting forever for a SYN/
+#: accept that will never come (dead endpoint, wedged listener) is
+#: never useful.
+DEFAULT_CONNECT_TIMEOUT_S = 5.0
 
 _REQUEST_IDS = itertools.count(1)
 
@@ -64,26 +81,42 @@ class ServeClient:
 
     def __init__(self, socket_path: Optional[str] = None,
                  host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
-                 timeout: Optional[float] = None):
+                 timeout: Optional[float] = None,
+                 connect_timeout: Optional[float] = DEFAULT_CONNECT_TIMEOUT_S,
+                 retry: Optional[RetryPolicy] = None):
         self.socket_path = socket_path
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.retry = retry
+        self.retry_stats = RetryStats()
         self._sock: Optional[socket.socket] = None
         self._file = None
 
     # --------------------------------------------------------- connection
     def connect(self) -> "ServeClient":
-        """Open the connection (idempotent); returns self for chaining."""
+        """Open the connection (idempotent); returns self for chaining.
+
+        Establishment is bounded by ``connect_timeout`` even when the
+        per-request ``timeout`` is ``None`` — a dead endpoint raises
+        instead of hanging the caller forever.
+        """
         if self._sock is not None:
             return self
         if self.socket_path:
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            sock.settimeout(self.timeout)
-            sock.connect(self.socket_path)
+            sock.settimeout(self.connect_timeout)
+            try:
+                sock.connect(self.socket_path)
+            except Exception:
+                sock.close()
+                raise
         else:
             sock = socket.create_connection((self.host, self.port),
-                                            timeout=self.timeout)
+                                            timeout=self.connect_timeout)
+        # Connected: switch to the per-request deadline semantics.
+        sock.settimeout(self.timeout)
         self._sock = sock
         self._file = sock.makefile("rb")
         return self
@@ -110,21 +143,40 @@ class ServeClient:
         self.close()
 
     # ----------------------------------------------------------- requests
+    def _request_once(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One attempt: send, read one line, raise typed errors.
+
+        Transport failures tear the connection down so the next attempt
+        starts from a fresh connect (the old socket may be half-dead).
+        """
+        try:
+            self.connect()
+            assert self._sock is not None and self._file is not None
+            self._sock.sendall(protocol.encode(payload))
+            line = self._file.readline()
+        except (ConnectionError, socket.timeout, OSError):
+            self.close()
+            raise
+        if not line:
+            self.close()
+            raise ConnectionError(
+                "server closed the connection before responding")
+        return protocol.raise_for_response(protocol.decode_line(line))
+
     def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         """Send one raw message dict; return the ok-checked response.
 
         Raises the typed :class:`~repro.errors.RequestError` subclass
         matching the response's error code on failure, and
         :class:`ConnectionError` if the server closed mid-request.
+        When the client was built with a ``retry`` policy, transient
+        failures are retried (with backoff, reconnecting in between)
+        before anything is raised.
         """
-        self.connect()
-        assert self._sock is not None and self._file is not None
-        self._sock.sendall(protocol.encode(payload))
-        line = self._file.readline()
-        if not line:
-            raise ConnectionError(
-                "server closed the connection before responding")
-        return protocol.raise_for_response(protocol.decode_line(line))
+        if self.retry is None:
+            return self._request_once(payload)
+        return self.retry.call(lambda: self._request_once(payload),
+                               stats=self.retry_stats)
 
     def simulate(self, benchmark: str, engine: str = "none",
                  scale: str = "small", preset: str = "small",
@@ -158,10 +210,17 @@ class AsyncServeClient:
     """Asyncio client supporting pipelined concurrent requests."""
 
     def __init__(self, socket_path: Optional[str] = None,
-                 host: str = DEFAULT_HOST, port: int = DEFAULT_PORT):
+                 host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
+                 connect_timeout: Optional[float] = DEFAULT_CONNECT_TIMEOUT_S,
+                 retry: Optional[RetryPolicy] = None,
+                 hedge: Optional[HedgePolicy] = None):
         self.socket_path = socket_path
         self.host = host
         self.port = port
+        self.connect_timeout = connect_timeout
+        self.retry = retry
+        self.hedge = hedge
+        self.retry_stats = RetryStats()
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._pending: Dict[str, asyncio.Future] = {}
@@ -170,15 +229,24 @@ class AsyncServeClient:
 
     # --------------------------------------------------------- connection
     async def connect(self) -> "AsyncServeClient":
-        """Open the connection and start the response demultiplexer."""
+        """Open the connection and start the response demultiplexer.
+
+        Establishment is bounded by ``connect_timeout`` so a dead
+        endpoint raises instead of hanging the caller forever.
+        """
         if self._writer is not None:
             return self
         if self.socket_path:
-            self._reader, self._writer = await asyncio.open_unix_connection(
+            opening = asyncio.open_unix_connection(
                 self.socket_path, limit=STREAM_LIMIT)
         else:
-            self._reader, self._writer = await asyncio.open_connection(
+            opening = asyncio.open_connection(
                 self.host, self.port, limit=STREAM_LIMIT)
+        if self.connect_timeout is not None:
+            self._reader, self._writer = await asyncio.wait_for(
+                opening, self.connect_timeout)
+        else:
+            self._reader, self._writer = await opening
         self._write_lock = asyncio.Lock()
         self._reader_task = asyncio.get_running_loop().create_task(
             self._read_responses())
@@ -238,16 +306,48 @@ class AsyncServeClient:
                 ConnectionError("server closed the connection"))
 
     # ----------------------------------------------------------- requests
-    async def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
-        """Send one raw message dict; await its ok-checked response."""
+    async def request_raw(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one raw message dict; await the *unchecked* response.
+
+        Returns the full response envelope (``ok`` true or false)
+        without raising typed errors — the fleet router uses this to
+        forward a backend's error envelope to the client verbatim.
+        Transport failures (connection refused/reset/closed) still
+        raise.
+        """
         await self.connect()
         assert self._writer is not None and self._write_lock is not None
         future = asyncio.get_running_loop().create_future()
         self._pending[payload["id"]] = future
-        async with self._write_lock:
-            self._writer.write(protocol.encode(payload))
-            await self._writer.drain()
-        return protocol.raise_for_response(await future)
+        try:
+            async with self._write_lock:
+                self._writer.write(protocol.encode(payload))
+                await self._writer.drain()
+            return await future
+        finally:
+            self._pending.pop(payload["id"], None)
+
+    async def _request_once(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One ok-checked attempt; tears the connection down on
+        transport failure so the next attempt reconnects."""
+        try:
+            return protocol.raise_for_response(
+                await self.request_raw(payload))
+        except (ConnectionError, asyncio.TimeoutError, OSError):
+            await self.close()
+            raise
+
+    async def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one raw message dict; await its ok-checked response.
+
+        When the client was built with a ``retry`` policy, transient
+        failures are retried (with backoff, reconnecting in between)
+        before anything is raised.
+        """
+        if self.retry is None:
+            return await self._request_once(payload)
+        return await self.retry.acall(lambda: self._request_once(payload),
+                                      stats=self.retry_stats)
 
     async def simulate(self, benchmark: str, engine: str = "none",
                        scale: str = "small", preset: str = "small",
@@ -255,11 +355,27 @@ class AsyncServeClient:
                        scheduler: Optional[str] = None,
                        priority: str = "interactive",
                        deadline_s: Optional[float] = None,
+                       hedge: Optional[HedgePolicy] = None,
                        ) -> Tuple[SimResult, Dict[str, Any]]:
-        """Request one cell; returns ``(SimResult, response meta)``."""
-        response = await self.request(_simulate_payload(
-            benchmark, engine, scale, preset, overrides, scheduler,
-            priority, deadline_s))
+        """Request one cell; returns ``(SimResult, response meta)``.
+
+        With a hedge policy (per-call ``hedge`` or the client-wide
+        default), ``interactive`` requests race staggered duplicates —
+        each duplicate is a fresh request id, so a pipelined server (or
+        a fleet router) treats them independently; single-flight dedup
+        makes the duplicate nearly free when both land on one backend.
+        """
+        hedge = hedge if hedge is not None else self.hedge
+        if hedge is not None and priority == "interactive":
+            def attempt():
+                return self.request(_simulate_payload(
+                    benchmark, engine, scale, preset, overrides, scheduler,
+                    priority, deadline_s))
+            response = await hedge.run(attempt)
+        else:
+            response = await self.request(_simulate_payload(
+                benchmark, engine, scale, preset, overrides, scheduler,
+                priority, deadline_s))
         return deserialize_result(response["result"]), response.get("meta", {})
 
     async def stats(self) -> Dict[str, Any]:

@@ -21,7 +21,11 @@ on failure, where ``code`` is a stable member of :data:`ERROR_CODES`
 (the request-level failure taxonomy of :mod:`repro.errors`) and
 ``kind`` its transient/permanent classification — clients back off and
 retry on transient codes (``overloaded``, ``deadline_exceeded``,
-``shutting_down``) and fix the payload on permanent ones.
+``shutting_down``, ``degraded``) and fix the payload on permanent
+ones.  Error envelopes may additionally carry ``retry_after_s`` (a
+back-off hint, see :class:`~repro.errors.DegradedError`) and
+``details`` (a JSON-able diagnostic payload — for a hung simulation,
+the watchdog snapshot travels here verbatim).
 
 A ``simulate`` result is the lossless
 :func:`repro.exec.cache.serialize_result` payload, so a served result
@@ -48,6 +52,7 @@ from repro.errors import (
     BadRequestError,
     ConfigError,
     DeadlineExceededError,
+    DegradedError,
     OverloadedError,
     RequestError,
     RequestFailedError,
@@ -81,19 +86,34 @@ PRESETS = {
 #: field is removed or changes meaning; additive fields do not bump it.
 #: v1 was the pre-speculation payload; v2 added the ``stats_schema``
 #: marker itself plus the ``speculation``, ``predictor`` and ``tiers``
-#: blocks and the speculation fields of ``memcache``.
-STATS_SCHEMA_VERSION = 2
+#: blocks and the speculation fields of ``memcache``.  v3 adds the
+#: required ``role`` discriminator (``backend``/``router``) and with it
+#: a second payload family: the fleet router's stats (see
+#: :data:`ROUTER_STATS_SCHEMA`) with per-backend health, circuit-breaker
+#: state series and retry/hedge counters.
+STATS_SCHEMA_VERSION = 3
+
+#: Values the ``role`` stats field may take: a standalone/fleet backend
+#: :class:`~repro.serve.server.SimulationServer`, or the fleet router.
+ROLES = ("backend", "router")
+
+#: Wire names of the circuit-breaker states a router stats payload may
+#: report per backend (see :mod:`repro.serve.fleet.health`).
+CIRCUIT_STATES = ("closed", "open", "half_open")
 
 #: Values the ``meta.source`` field of a simulate response may take.
 #: The ``-speculative`` variants mark answers served from
 #: speculatively-warmed state (a predicted memcache entry's first
-#: demand hit, or a join that promoted a speculative flight).
+#: demand hit, or a join that promoted a speculative flight);
+#: ``disk-degraded`` marks a read-only disk-cache answer the fleet
+#: router served while the key's backends were down.
 SOURCES = (
     "memcache",
     "memcache-speculative",
     "dedup",
     "dedup-speculative",
     "dispatch",
+    "disk-degraded",
 )
 
 #: Stable error codes a response may carry.
@@ -102,6 +122,7 @@ ERROR_CODES = (
     "overloaded",
     "deadline_exceeded",
     "shutting_down",
+    "degraded",
     "simulation_failed",
     "internal",
 )
@@ -113,6 +134,7 @@ CODE_TO_ERROR = {
     "overloaded": OverloadedError,
     "deadline_exceeded": DeadlineExceededError,
     "shutting_down": ShuttingDownError,
+    "degraded": DegradedError,
     "simulation_failed": RequestFailedError,
     "internal": RequestError,
 }
@@ -291,13 +313,15 @@ def request_to_key(request: Request) -> RunKey:
 
 
 # ----------------------------------------------------------- stats schema
-#: Required fields of the v2 stats payload: dotted path -> accepted
-#: types.  ``?`` marks the value as nullable.  Documented (with
-#: per-field semantics) in ``docs/serving.md``; the round-trip test in
-#: ``tests/serve/test_stats_schema.py`` holds a live server to it.
+#: Required fields of a v3 *backend* stats payload: dotted path ->
+#: accepted types.  ``?`` marks the value as nullable.  Documented
+#: (with per-field semantics) in ``docs/serving.md``; the round-trip
+#: test in ``tests/serve/test_stats_schema.py`` holds a live server to
+#: it.  The router payload family is :data:`ROUTER_STATS_SCHEMA`.
 STATS_SCHEMA: Dict[str, tuple] = {
     "stats_schema": (int,),
     "protocol": (int,),
+    "role": (str,),
     "endpoint": (str,),
     "uptime_s": (int, float),
     "draining": (bool,),
@@ -350,8 +374,100 @@ STATS_SCHEMA: Dict[str, tuple] = {
 }
 
 
+#: Required fields of a v3 *router* stats payload (the fleet front-end;
+#: ``role`` is ``"router"``).  ``backends`` is a list of per-backend
+#: health dicts, each validated against
+#: :data:`BACKEND_HEALTH_SCHEMA`; ``retry`` carries the router's
+#: failover retry counters and ``hedge`` the client-visible hedge
+#: counters (:meth:`repro.serve.retry.RetryStats.as_dict` shapes both).
+ROUTER_STATS_SCHEMA: Dict[str, tuple] = {
+    "stats_schema": (int,),
+    "protocol": (int,),
+    "role": (str,),
+    "endpoint": (str,),
+    "uptime_s": (int, float),
+    "draining": (bool,),
+    "fleet": (dict,),
+    "fleet.backends": (int,),
+    "fleet.healthy": (int,),
+    "fleet.vnodes": (int,),
+    "router": (dict,),
+    "router.requests": (int,),
+    "router.routed": (int,),
+    "router.failovers": (int,),
+    "router.degraded_disk_hits": (int,),
+    "router.degraded_errors": (int,),
+    "retry": (dict,),
+    "retry.attempts": (int,),
+    "retry.retries": (int,),
+    "retry.gave_up": (int,),
+    "retry.succeeded": (int,),
+    "retry.hedges_launched": (int,),
+    "retry.hedge_wins": (int,),
+    "backends": (list,),
+}
+
+#: Required fields of one entry of a router payload's ``backends`` list:
+#: identity, liveness, the circuit-breaker state machine (current state
+#: plus its recorded ``transitions`` series — the chaos suite asserts
+#: the closed→open→half_open→closed trajectory off exactly this field)
+#: and the supervisor's restart accounting.
+BACKEND_HEALTH_SCHEMA: Dict[str, tuple] = {
+    "index": (int,),
+    "endpoint": (str,),
+    "healthy": (bool,),
+    "circuit": (dict,),
+    "circuit.state": (str,),
+    "circuit.failures": (int,),
+    "circuit.successes": (int,),
+    "circuit.opened": (int,),
+    "circuit.transitions": (list,),
+    "probes": (dict,),
+    "probes.sent": (int,),
+    "probes.ok": (int,),
+    "probes.failed": (int,),
+    "restarts": (int,),
+}
+
+
+def _validate_against(payload: Dict[str, Any],
+                      schema: Dict[str, tuple],
+                      prefix: str = "") -> list:
+    """Shared dotted-path/type walker behind the stats validators."""
+    problems = []
+    for path, types in schema.items():
+        nullable = path.endswith("?")
+        clean = path[:-1] if nullable else path
+        shown = prefix + clean
+        node: Any = payload
+        missing = False
+        for part in clean.split("."):
+            if not isinstance(node, dict) or part not in node:
+                missing = True
+                break
+            node = node[part]
+        if missing:
+            problems.append(f"missing stats field {shown!r}")
+            continue
+        if node is None:
+            if not nullable:
+                problems.append(f"stats field {shown!r} must not be null")
+            continue
+        if not isinstance(node, types):
+            problems.append(
+                f"stats field {shown!r} has type "
+                f"{type(node).__name__}, expected one of "
+                f"{[t.__name__ for t in types]}")
+        # bool is an int subclass; reject it where int was meant.
+        if (isinstance(node, bool) and bool not in types
+                and int in types):
+            problems.append(f"stats field {shown!r} is a bool, "
+                            "expected a number")
+    return problems
+
+
 def validate_stats(payload: Dict[str, Any]) -> list:
-    """Check a stats payload against :data:`STATS_SCHEMA`.
+    """Check a backend stats payload against :data:`STATS_SCHEMA`.
 
     Returns a list of human-readable problems (empty when the payload
     conforms).  Extra fields are always allowed — the schema versions
@@ -362,33 +478,37 @@ def validate_stats(payload: Dict[str, Any]) -> list:
     if version != STATS_SCHEMA_VERSION:
         problems.append(
             f"stats_schema is {version!r}, expected {STATS_SCHEMA_VERSION}")
-    for path, types in STATS_SCHEMA.items():
-        nullable = path.endswith("?")
-        clean = path[:-1] if nullable else path
-        node: Any = payload
-        missing = False
-        for part in clean.split("."):
-            if not isinstance(node, dict) or part not in node:
-                missing = True
-                break
-            node = node[part]
-        if missing:
-            problems.append(f"missing stats field {clean!r}")
+    role = payload.get("role")
+    if role != "backend":
+        problems.append(f"role is {role!r}, expected 'backend'")
+    problems.extend(_validate_against(payload, STATS_SCHEMA))
+    return problems
+
+
+def validate_router_stats(payload: Dict[str, Any]) -> list:
+    """Check a fleet-router stats payload against
+    :data:`ROUTER_STATS_SCHEMA` (plus every ``backends`` entry against
+    :data:`BACKEND_HEALTH_SCHEMA`)."""
+    problems = []
+    version = payload.get("stats_schema")
+    if version != STATS_SCHEMA_VERSION:
+        problems.append(
+            f"stats_schema is {version!r}, expected {STATS_SCHEMA_VERSION}")
+    role = payload.get("role")
+    if role != "router":
+        problems.append(f"role is {role!r}, expected 'router'")
+    problems.extend(_validate_against(payload, ROUTER_STATS_SCHEMA))
+    for pos, entry in enumerate(payload.get("backends") or []):
+        if not isinstance(entry, dict):
+            problems.append(f"backends[{pos}] must be an object")
             continue
-        if node is None:
-            if not nullable:
-                problems.append(f"stats field {clean!r} must not be null")
-            continue
-        if not isinstance(node, types):
+        problems.extend(_validate_against(
+            entry, BACKEND_HEALTH_SCHEMA, prefix=f"backends[{pos}]."))
+        state = (entry.get("circuit") or {}).get("state")
+        if state is not None and state not in CIRCUIT_STATES:
             problems.append(
-                f"stats field {clean!r} has type "
-                f"{type(node).__name__}, expected one of "
-                f"{[t.__name__ for t in types]}")
-        # bool is an int subclass; reject it where int was meant.
-        if (isinstance(node, bool) and bool not in types
-                and int in types):
-            problems.append(f"stats field {clean!r} is a bool, "
-                            "expected a number")
+                f"backends[{pos}].circuit.state is {state!r}, expected "
+                f"one of {CIRCUIT_STATES}")
     return problems
 
 
@@ -418,22 +538,39 @@ def error_response(req_id: str, exc: BaseException) -> Dict[str, Any]:
     else:
         code = "internal"
     kind = classify(exc)
+    error: Dict[str, Any] = {
+        "code": code,
+        "kind": kind.value,
+        "message": str(exc) or repr(exc),
+    }
+    details = getattr(exc, "details", None)
+    if details:
+        error["details"] = details
+    retry_after_s = getattr(exc, "retry_after_s", None)
+    if retry_after_s is not None:
+        error["retry_after_s"] = retry_after_s
     return {
         "v": PROTOCOL_VERSION,
         "id": req_id,
         "ok": False,
-        "error": {
-            "code": code,
-            "kind": kind.value,
-            "message": str(exc) or repr(exc),
-        },
+        "error": error,
     }
 
 
 def raise_for_response(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Client-side: return ``payload`` if ok, else raise the typed error."""
+    """Client-side: return ``payload`` if ok, else raise the typed error.
+
+    The raised exception re-carries the envelope's structured extras:
+    ``details`` (e.g. a hang snapshot on ``simulation_failed``) and
+    ``retry_after_s`` (the back-off hint on ``degraded``).
+    """
     if payload.get("ok"):
         return payload
     error = payload.get("error") or {}
     cls = CODE_TO_ERROR.get(error.get("code"), RequestError)
-    raise cls(error.get("message", "request failed"))
+    exc = cls(error.get("message", "request failed"))
+    if isinstance(error.get("details"), dict):
+        exc.details = error["details"]
+    if isinstance(error.get("retry_after_s"), (int, float)):
+        exc.retry_after_s = float(error["retry_after_s"])
+    raise exc

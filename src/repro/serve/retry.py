@@ -1,0 +1,291 @@
+"""Client-side resilience: bounded retry with backoff, and hedging.
+
+Every ``simulate`` request is deterministic and idempotent — the cell
+is named by its content hash (:func:`repro.exec.cache.key_fingerprint`)
+and two executions of the same cell are byte-identical — so retrying a
+request, racing two copies of it, or replaying it against a different
+backend can never change the answer.  This module exploits that:
+
+* :class:`RetryPolicy` — bounded exponential backoff with jitter,
+  classified through the :mod:`repro.errors` taxonomy: transient wire
+  errors (``overloaded``, ``deadline_exceeded``, ``shutting_down``,
+  ``degraded``) and transport failures (connection refused/reset, a
+  dead socket, a timeout) are retried; permanent ones (``bad_request``,
+  ``simulation_failed``) fail immediately because resubmission would
+  fail identically.  A server-supplied ``retry_after_s`` hint (the
+  ``degraded`` error of the fleet router) floors the computed delay.
+* :func:`hedged` — tail-latency insurance for interactive-class calls:
+  start the primary, and if no answer arrives within the hedge delay,
+  race a second copy; first success wins, the loser is cancelled.
+  Safe by idempotence — both copies resolve to the same bytes.
+
+Both keep :class:`RetryStats` counters so the caller (client CLI, fleet
+router, benchmarks) can export attempt/retry/hedge accounting into its
+stats payload.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Dict, Optional, Sequence
+
+from repro.errors import RequestError, is_transient
+
+#: Default attempts a :class:`RetryPolicy` makes (1 initial + 2 retries).
+DEFAULT_ATTEMPTS = 3
+
+#: Default base delay before the first retry (seconds).
+DEFAULT_BASE_DELAY_S = 0.05
+
+#: Default cap on any single backoff delay (seconds).
+DEFAULT_MAX_DELAY_S = 2.0
+
+
+def retryable(exc: BaseException) -> bool:
+    """Whether a failed request attempt is worth retrying.
+
+    Wire-level :class:`~repro.errors.RequestError` subclasses follow the
+    transient/permanent taxonomy; transport-level failures (connection
+    refused/reset/closed, timeouts, a vanished Unix socket) are always
+    retryable — a supervised backend may be restarting.  Anything else
+    (a programming error) is never swallowed by a retry loop.
+    """
+    if isinstance(exc, RequestError):
+        return is_transient(exc)
+    return isinstance(exc, (ConnectionError, TimeoutError, socket.timeout,
+                            asyncio.TimeoutError, OSError))
+
+
+@dataclass
+class RetryStats:
+    """Counters one retry/hedge consumer accumulates across calls."""
+
+    attempts: int = 0
+    retries: int = 0
+    gave_up: int = 0
+    succeeded: int = 0
+    hedges_launched: int = 0
+    hedge_wins: int = 0
+    slept_s: float = 0.0
+    last_error: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-able snapshot for a stats payload."""
+        return {
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "gave_up": self.gave_up,
+            "succeeded": self.succeeded,
+            "hedges_launched": self.hedges_launched,
+            "hedge_wins": self.hedge_wins,
+            "slept_s": round(self.slept_s, 4),
+            "last_error": self.last_error,
+        }
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with jitter over idempotent requests.
+
+    ``attempts`` is the total number of tries (so ``attempts=1`` means
+    no retry at all).  Delay before retry *n* (1-based) is
+    ``min(max_delay_s, base_delay_s * multiplier**(n-1))``, shrunk by up
+    to ``jitter`` (a fraction in [0, 1]) so a thundering herd of
+    identical clients decorrelates.  A ``retry_after_s`` hint attached
+    to the failure (see :class:`~repro.errors.DegradedError`) raises
+    the delay to at least the hint.
+    """
+
+    attempts: int = DEFAULT_ATTEMPTS
+    base_delay_s: float = DEFAULT_BASE_DELAY_S
+    max_delay_s: float = DEFAULT_MAX_DELAY_S
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    #: Optional seed; when set, the jitter stream is deterministic
+    #: (chaos tests assert exact schedules).
+    seed: Optional[int] = None
+
+    def __post_init__(self):
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1 (got {self.attempts})")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1:
+            raise ValueError(f"multiplier must be >= 1 (got {self.multiplier})")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1] (got {self.jitter})")
+
+    def rng(self) -> random.Random:
+        """Fresh jitter stream (seeded and reproducible when ``seed`` set)."""
+        return random.Random(self.seed)
+
+    def delay_s(self, retry: int, rng: Optional[random.Random] = None,
+                hint_s: Optional[float] = None) -> float:
+        """Backoff before retry ``retry`` (1-based), jittered and floored.
+
+        The jitter only ever *shrinks* the delay (full-jitter style), so
+        ``delay_s`` never exceeds ``max_delay_s`` — except when the
+        server's ``hint_s`` demands a longer wait.
+        """
+        base = min(self.max_delay_s,
+                   self.base_delay_s * self.multiplier ** (retry - 1))
+        if self.jitter and base > 0:
+            rng = rng if rng is not None else random
+            base *= 1.0 - self.jitter * rng.random()
+        if hint_s is not None:
+            base = max(base, hint_s)
+        return base
+
+    # -------------------------------------------------------------- sync
+    def call(self, fn: Callable[[], Any], *,
+             stats: Optional[RetryStats] = None,
+             sleep: Callable[[float], None] = time.sleep) -> Any:
+        """Run ``fn`` under the policy; return its value or re-raise.
+
+        Retries only failures :func:`retryable` approves, sleeping the
+        jittered backoff in between.  ``stats`` (when given) accrues the
+        attempt accounting; ``sleep`` is injectable for tests.
+        """
+        stats = stats if stats is not None else RetryStats()
+        rng = self.rng()
+        last: Optional[BaseException] = None
+        for attempt in range(1, self.attempts + 1):
+            stats.attempts += 1
+            try:
+                value = fn()
+            except Exception as exc:
+                last = exc
+                stats.last_error = repr(exc)
+                if attempt >= self.attempts or not retryable(exc):
+                    stats.gave_up += 1
+                    raise
+                stats.retries += 1
+                delay = self.delay_s(attempt, rng,
+                                     getattr(exc, "retry_after_s", None))
+                stats.slept_s += delay
+                if delay > 0:
+                    sleep(delay)
+            else:
+                stats.succeeded += 1
+                return value
+        raise last if last is not None else RuntimeError("unreachable")
+
+    # ------------------------------------------------------------- async
+    async def acall(self, fn: Callable[[], Awaitable[Any]], *,
+                    stats: Optional[RetryStats] = None) -> Any:
+        """Async twin of :meth:`call` (backoff via ``asyncio.sleep``)."""
+        stats = stats if stats is not None else RetryStats()
+        rng = self.rng()
+        last: Optional[BaseException] = None
+        for attempt in range(1, self.attempts + 1):
+            stats.attempts += 1
+            try:
+                value = await fn()
+            except Exception as exc:
+                last = exc
+                stats.last_error = repr(exc)
+                if attempt >= self.attempts or not retryable(exc):
+                    stats.gave_up += 1
+                    raise
+                stats.retries += 1
+                delay = self.delay_s(attempt, rng,
+                                     getattr(exc, "retry_after_s", None))
+                stats.slept_s += delay
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            else:
+                stats.succeeded += 1
+                return value
+        raise last if last is not None else RuntimeError("unreachable")
+
+
+#: A no-retry policy (single attempt), for call sites that want the
+#: plumbing without the behaviour.
+NO_RETRY = RetryPolicy(attempts=1)
+
+
+async def hedged(factories: Sequence[Callable[[], Awaitable[Any]]],
+                 hedge_delay_s: float,
+                 stats: Optional[RetryStats] = None) -> Any:
+    """Race staggered copies of an idempotent request; first success wins.
+
+    ``factories`` build independent attempts (typically over separate
+    connections).  The first starts immediately; each further one only
+    if no attempt has succeeded ``hedge_delay_s`` later.  Losers are
+    cancelled.  If every attempt fails, the last failure is raised.
+    """
+    if not factories:
+        raise ValueError("hedged() needs at least one attempt factory")
+    stats = stats if stats is not None else RetryStats()
+    tasks: list = []
+    last_exc: Optional[BaseException] = None
+    try:
+        for index, factory in enumerate(factories):
+            tasks.append(asyncio.ensure_future(factory()))
+            if index > 0:
+                stats.hedges_launched += 1
+            while True:
+                pending = [t for t in tasks if not t.done()]
+                more_to_launch = index + 1 < len(factories)
+                if not pending:
+                    break
+                done, _ = await asyncio.wait(
+                    pending,
+                    timeout=hedge_delay_s if more_to_launch else None,
+                    return_when=asyncio.FIRST_COMPLETED)
+                if not done:        # hedge delay expired: launch the next
+                    break
+                for task in done:
+                    if task.cancelled():
+                        continue
+                    if task.exception() is None:
+                        if tasks.index(task) > 0:
+                            stats.hedge_wins += 1
+                        stats.succeeded += 1
+                        return task.result()
+                    last_exc = task.exception()
+                    stats.last_error = repr(last_exc)
+            if not more_to_launch and all(t.done() for t in tasks):
+                break
+        stats.gave_up += 1
+        raise last_exc if last_exc is not None else RuntimeError(
+            "hedged(): every attempt was cancelled")
+    finally:
+        for task in tasks:
+            if not task.done():
+                task.cancel()
+        for task in tasks:
+            if not task.done():
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+
+
+@dataclass
+class HedgePolicy:
+    """When and how to hedge an interactive request.
+
+    ``delay_s`` is the stagger before the duplicate is raced; ``max_hedges``
+    bounds how many duplicates may launch (1 = one duplicate).
+    """
+
+    delay_s: float = 0.1
+    max_hedges: int = 1
+    stats: RetryStats = field(default_factory=RetryStats)
+
+    def __post_init__(self):
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0 (got {self.delay_s})")
+        if self.max_hedges < 1:
+            raise ValueError(
+                f"max_hedges must be >= 1 (got {self.max_hedges})")
+
+    async def run(self, factory: Callable[[], Awaitable[Any]]) -> Any:
+        """Run ``factory`` with up to ``max_hedges`` staggered duplicates."""
+        copies = [factory] * (1 + self.max_hedges)
+        return await hedged(copies, self.delay_s, stats=self.stats)

@@ -53,9 +53,12 @@ from functools import partial
 from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.errors import (
+    IncompleteRunError,
+    InvariantViolation,
     OverloadedError,
     RequestFailedError,
     ShuttingDownError,
+    SimulationHangError,
     TransientError,
 )
 from repro.exec.cache import RunKey, key_fingerprint, result_bytes
@@ -96,6 +99,44 @@ class SpeculationAborted(TransientError):
     reaches the wire.  Transient by construction — the same cell may be
     speculated again (or requested for real) later.
     """
+
+
+def _failure_details(failure) -> Dict[str, Any]:
+    """JSON-able diagnostic payload of one :class:`CellFailure`.
+
+    Carried to the client as ``error.details`` on the wire, so a remote
+    caller triages a server-side wedge with exactly the artifacts a
+    local run would surface — most importantly the watchdog's hang
+    snapshot (from a :class:`SimulationHangError` directly, or from the
+    truncated result of an :class:`IncompleteRunError`).
+
+    Total by construction: the batch resolver calls this while holding
+    unresolved waiter futures, so it must never raise. Engines are only
+    contractually required to give failures a ``describe()`` — every
+    richer field is optional here.
+    """
+    error = getattr(failure, "error", None)
+    kind = getattr(failure, "kind", None)
+    details: Dict[str, Any] = {
+        "error_type": (type(error).__name__ if error is not None
+                       else "unknown"),
+        "kind": getattr(kind, "value",
+                        kind if isinstance(kind, str) else "unknown"),
+        "attempts": getattr(failure, "attempts", 0),
+    }
+    if isinstance(error, SimulationHangError):
+        details["hang_snapshot"] = error.snapshot
+        details["cycle"] = error.cycle
+        details["stalled_for"] = error.stalled_for
+    elif isinstance(error, IncompleteRunError):
+        extra = getattr(error.result, "extra", None) or {}
+        snapshot = extra.get("hang_snapshot")
+        if snapshot:
+            details["hang_snapshot"] = snapshot
+    elif isinstance(error, InvariantViolation):
+        details["invariant"] = error.name
+        details["invariant_details"] = error.details
+    return details
 
 
 def sweep_prefix(key: RunKey) -> str:
@@ -458,7 +499,16 @@ class RequestScheduler:
                 self.failed += 1
             failure = failures.get(cell.key)
             if failure is not None:
-                error: BaseException = RequestFailedError(failure.describe())
+                # Any exception past this point would strand every
+                # waiter future of the batch — resolve no matter what.
+                try:
+                    error: BaseException = RequestFailedError(
+                        failure.describe(),
+                        details=_failure_details(failure))
+                except BaseException as exc:
+                    error = RequestFailedError(
+                        f"{cell.key.describe()}: cell failed (and its "
+                        f"failure could not be described: {exc!r})")
             elif fallback is not None:
                 error = RequestFailedError(
                     f"batch dispatch failed: {fallback!r}")

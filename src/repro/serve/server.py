@@ -33,6 +33,8 @@ from __future__ import annotations
 import asyncio
 import os
 import signal
+import socket
+import stat
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Set
@@ -40,6 +42,7 @@ from typing import Any, Dict, Optional, Set
 from repro.errors import DeadlineExceededError, ShuttingDownError
 from repro.exec.cache import key_fingerprint, serialize_result
 from repro.exec.runner import ExecutionEngine
+from repro.guard.faults import ServeFaultInjector, ServeFaultPlan
 from repro.obs.cachestats import DEFAULT_WINDOW_S, TierHitSeries
 from repro.obs.latency import LatencyRecorder
 from repro.serve import protocol
@@ -74,6 +77,39 @@ DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8642
 
 
+def remove_stale_socket(path: str) -> None:
+    """Unlink ``path`` when it is a dead Unix-socket file.
+
+    A crashed server (SIGKILL, ``os._exit``, a chaos-plan backend kill)
+    never reaches the drain-time ``os.unlink``, and the leftover file
+    makes the next bind fail with ``EADDRINUSE``.  This probe connects
+    to the path: connection refused (or a raced-away file) proves no
+    listener owns it, so it is safe to remove; a successful connect
+    means a live server still answers there and the bind is left to
+    fail loudly.  Non-socket files are never touched.
+    """
+    try:
+        if not stat.S_ISSOCK(os.stat(path).st_mode):
+            return
+    except OSError:
+        return  # no file: nothing stale to clean
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    probe.settimeout(0.25)
+    try:
+        probe.connect(path)
+    except (ConnectionRefusedError, FileNotFoundError, socket.timeout,
+            OSError):
+        try:
+            os.unlink(path)
+        except OSError:  # pragma: no cover - raced with another binder
+            pass
+    else:
+        # A live listener answered: leave the file for bind() to reject.
+        return
+    finally:
+        probe.close()
+
+
 @dataclass
 class ServeConfig:
     """Capacity-planning knobs of one server instance.
@@ -99,6 +135,14 @@ class ServeConfig:
     mispredict_limit: int = DEFAULT_MISPREDICT_LIMIT
     spec_limit: int = DEFAULT_SPEC_LIMIT
     tier_window_s: float = DEFAULT_WINDOW_S
+    #: Position of this server within a fleet (0 when standalone);
+    #: selects the fault streams of ``fault_plan`` and shows up in
+    #: stats so the router can correlate.
+    backend_index: int = 0
+    #: Optional serve-tier chaos plan (see
+    #: :class:`repro.guard.faults.ServeFaultPlan`).  ``None`` (the
+    #: production default) keeps every fault path compiled out.
+    fault_plan: Optional[ServeFaultPlan] = None
 
 
 class SimulationServer:
@@ -134,6 +178,10 @@ class SimulationServer:
             tiers=self.tiers,
         )
         self.predictor = build_predictor(self.scheduler, self.config)
+        plan = self.config.fault_plan
+        self.faults: Optional[ServeFaultInjector] = (
+            ServeFaultInjector(plan, self.config.backend_index)
+            if plan is not None and plan.any_faults else None)
         # The disk tier is observed from execution events: a dispatched
         # cell either hit the engine's memo/disk cache or started a
         # simulation.  Events fire on the executor thread; the series
@@ -174,6 +222,7 @@ class SimulationServer:
         """Bind the listener and start the dispatcher."""
         await self.scheduler.start()
         if self.config.socket_path:
+            remove_stale_socket(self.config.socket_path)
             self._server = await asyncio.start_unix_server(
                 self._handle_connection, path=self.config.socket_path,
                 limit=STREAM_LIMIT)
@@ -231,6 +280,11 @@ class SimulationServer:
                 except (asyncio.LimitOverrunError, ValueError):
                     self.counters["bad_lines"] += 1
                     break
+                except asyncio.CancelledError:
+                    # Event-loop teardown after drain: treat like EOF so
+                    # the streams machinery does not log the cancelled
+                    # handler as a crash.
+                    break
                 if not line:
                     break
                 if not line.strip():
@@ -251,11 +305,28 @@ class SimulationServer:
                           write_lock: asyncio.Lock) -> None:
         self.counters["requests"] += 1
         response = await self._response_for(line)
+        if response is None:
+            return  # blackholed by the fault plan: never answered
+        data = protocol.encode(response)
+        if self.faults is not None:
+            torn = self.faults.tear(data)
+            if torn is not None:
+                # Torn-line fault: write half the response, then drop
+                # the connection (a crash between write and flush).
+                async with write_lock:
+                    if not writer.is_closing():
+                        try:
+                            writer.write(torn)
+                            await writer.drain()
+                        except (ConnectionError, BrokenPipeError):
+                            pass
+                        writer.close()
+                return
         async with write_lock:
             if writer.is_closing():
                 return
             try:
-                writer.write(protocol.encode(response))
+                writer.write(data)
                 await writer.drain()
             except (ConnectionError, BrokenPipeError):
                 return
@@ -264,7 +335,12 @@ class SimulationServer:
             self.counters["errors"] += 1
 
     # ------------------------------------------------------------ request
-    async def _response_for(self, line: bytes) -> Dict[str, Any]:
+    async def _response_for(self, line: bytes) -> Optional[Dict[str, Any]]:
+        """Compute the response for one request line.
+
+        ``None`` means the fault plan blackholed the request (accepted,
+        never answered) — production code never returns it.
+        """
         req_id = ""
         try:
             payload = protocol.decode_line(line)
@@ -282,8 +358,17 @@ class SimulationServer:
             return protocol.ok_response(request.id, self.stats())
         return await self._simulate(request)
 
-    async def _simulate(self, request: protocol.Request) -> Dict[str, Any]:
+    async def _simulate(
+            self, request: protocol.Request) -> Optional[Dict[str, Any]]:
         start = time.perf_counter()
+        if self.faults is not None:
+            fate = self.faults.on_simulate()
+            if fate == "kill":
+                self.faults.kill_now()  # hard-exits: mid-flight crash
+            elif fate == "blackhole":
+                return None
+            elif fate == "slow":
+                await asyncio.sleep(self.faults.plan.slow_request_s)
         try:
             if self._draining:
                 raise ShuttingDownError(
@@ -330,6 +415,8 @@ class SimulationServer:
         out = {
             "stats_schema": protocol.STATS_SCHEMA_VERSION,
             "protocol": protocol.PROTOCOL_VERSION,
+            "role": "backend",
+            "backend_index": self.config.backend_index,
             "endpoint": self.endpoint,
             "uptime_s": round(time.monotonic() - self._started_at, 3)
             if self._started_at else 0.0,
@@ -340,6 +427,8 @@ class SimulationServer:
                           if self.predictor is not None else None),
             "tiers": self.tiers.snapshot(),
         }
+        if self.faults is not None:
+            out["faults"] = self.faults.stats()
         out.update(self.scheduler.stats())
         return out
 

@@ -1,0 +1,97 @@
+"""Consistent-hash ring: determinism, balance, stability, failover order."""
+
+from collections import Counter
+
+import pytest
+
+from repro.serve.fleet.hashring import DEFAULT_VNODES, HashRing
+
+
+def fingerprints(n):
+    """Hex fingerprints shaped like repro.exec.cache.key_fingerprint."""
+    import hashlib
+    return [hashlib.sha256(f"cell-{i}".encode()).hexdigest()
+            for i in range(n)]
+
+
+class TestConstruction:
+    def test_rejects_empty_node_set(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+
+    def test_rejects_nonpositive_vnodes(self):
+        with pytest.raises(ValueError):
+            HashRing([0, 1], vnodes=0)
+
+    def test_ring_size(self):
+        ring = HashRing([0, 1, 2], vnodes=16)
+        assert len(ring) == 3 * 16
+        assert HashRing([0]).vnodes == DEFAULT_VNODES
+
+
+class TestDeterminism:
+    def test_same_nodes_same_mapping_across_instances(self):
+        a, b = HashRing([0, 1, 2]), HashRing([0, 1, 2])
+        for fp in fingerprints(64):
+            assert a.node_for(fp) == b.node_for(fp)
+
+    def test_node_order_is_irrelevant(self):
+        a, b = HashRing([0, 1, 2]), HashRing([2, 0, 1])
+        for fp in fingerprints(64):
+            assert a.node_for(fp) == b.node_for(fp)
+
+
+class TestBalance:
+    def test_no_backend_owns_everything(self):
+        ring = HashRing([0, 1, 2])
+        owners = Counter(ring.node_for(fp) for fp in fingerprints(600))
+        assert set(owners) == {0, 1, 2}
+        # Perfect balance is 200 each; vnode hashing keeps every backend
+        # within a loose factor of it.
+        assert all(60 <= count <= 380 for count in owners.values()), owners
+
+
+class TestPreference:
+    def test_preference_lists_every_node_once(self):
+        ring = HashRing([0, 1, 2, 3])
+        for fp in fingerprints(32):
+            order = ring.preference(fp)
+            assert sorted(order) == [0, 1, 2, 3]
+
+    def test_preference_head_is_node_for(self):
+        ring = HashRing([0, 1, 2])
+        for fp in fingerprints(32):
+            assert ring.preference(fp)[0] == ring.node_for(fp)
+
+    def test_count_truncates(self):
+        ring = HashRing([0, 1, 2, 3])
+        fp = fingerprints(1)[0]
+        assert ring.preference(fp, count=2) == ring.preference(fp)[:2]
+
+
+class TestStability:
+    def test_removing_one_node_only_moves_its_keys(self):
+        """The consistent-hashing property the warm caches rely on:
+        keys owned by surviving backends must not move when another
+        backend leaves the ring."""
+        full = HashRing([0, 1, 2])
+        without_2 = HashRing([0, 1])
+        moved = 0
+        for fp in fingerprints(300):
+            before = full.node_for(fp)
+            after = without_2.node_for(fp)
+            if before == 2:
+                assert after in (0, 1)
+                moved += 1
+            else:
+                assert after == before
+        assert moved > 0  # node 2 did own some keys
+
+    def test_failover_target_matches_shrunken_ring(self):
+        """preference()[1] is exactly where the key lands if its owner
+        leaves — failover rerouting agrees with a re-built ring."""
+        full = HashRing([0, 1, 2])
+        for fp in fingerprints(100):
+            first, second = full.preference(fp)[:2]
+            survivors = HashRing([n for n in (0, 1, 2) if n != first])
+            assert survivors.node_for(fp) == second

@@ -226,6 +226,22 @@ class TestFailures:
             await scheduler.drain()
         asyncio.run(scenario())
 
+    def test_failure_details_are_total_for_minimal_failures(self):
+        """The resolver enriches wire errors from failure objects, but
+        engines only owe failures a describe() — a failure carrying
+        nothing else must still produce details, never an exception
+        (which would strand every waiter of the batch)."""
+        from repro.serve.scheduler import _failure_details
+
+        class BareFailure:
+            def describe(self):
+                return "bare"
+
+        details = _failure_details(BareFailure())
+        assert details["error_type"] == "unknown"
+        assert details["kind"] == "unknown"
+        assert details["attempts"] == 0
+
     def test_engine_level_crash_fails_batch(self, canned_result):
         async def scenario():
             engine = FakeEngine(canned_result)

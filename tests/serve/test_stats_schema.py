@@ -1,7 +1,7 @@
 """The versioned ``stats`` payload contract (protocol.validate_stats).
 
 The ``repro request --stats --json`` output is a documented, versioned
-schema (``stats_schema`` v2, see ``docs/serving.md``).  These tests hold
+schema (``stats_schema`` v3, see ``docs/serving.md``).  These tests hold
 a live server's payload to :data:`repro.serve.protocol.STATS_SCHEMA`,
 prove the payload survives a JSON wire round-trip unchanged, and check
 that the validator actually catches removals, retypes and nulls.

@@ -7,8 +7,12 @@ Two suites, each producing one JSON file at the repo root:
   simulated SM-cycles per second (higher is better);
 * ``serve`` -> ``BENCH_serve.json`` — serving-stack behaviour: a
   closed-loop uniform phase (4 clients x 8 requests over 4 TINY cells
-  — req/s, p50/p99 ms) plus a sweep-shaped phase exercising the
-  ``repro.serve.predict`` prefetcher (predicted-hit ratio).
+  — req/s, p50/p99 ms), a sweep-shaped phase exercising the
+  ``repro.serve.predict`` prefetcher (predicted-hit ratio), and a
+  fleet 1→N scaling point (the warm uniform mix through the
+  consistent-hashing router over 1 and N spawned backends).  The fleet
+  numbers are recorded as informational metrics only — process spawn
+  and IPC jitter on shared runners is far above the 10% gate.
 
 Modes::
 
@@ -79,6 +83,8 @@ UNIFORM_REQUESTS = 8
 UNIFORM_BENCHES = ("SCN", "MM", "BPR", "BFS")
 SWEEP_STEPS = 10
 SWEEP_WARMUP = 3
+#: Fleet sizes of the 1→N scaling point (informational metrics).
+FLEET_SIZES = (1, 3)
 
 
 # ------------------------------------------------------------------ sim
@@ -163,6 +169,17 @@ async def _measure_serve(workdir: Path) -> Dict[str, Any]:
     post = sources[SWEEP_WARMUP:]
     predicted = sum(1 for s in post if s.endswith("-speculative"))
 
+    # Fleet 1→N scaling point: same warm uniform mix, now through the
+    # consistent-hashing router over spawned backend processes.
+    fleet: Dict[str, Any] = {}
+    for backends in FLEET_SIZES:
+        rate = await _measure_fleet(workdir, backends)
+        fleet[f"fleet_{backends}_req_per_s"] = round(rate, 1)
+    first = fleet[f"fleet_{FLEET_SIZES[0]}_req_per_s"]
+    last = fleet[f"fleet_{FLEET_SIZES[-1]}_req_per_s"]
+    fleet["fleet_scaling_ratio"] = (round(last / first, 3)
+                                    if first else 0.0)
+
     return {
         "serve_req_per_s": round(total / wall, 1),
         "serve_p50_ms": round(percentile(latencies, 0.50) * 1e3, 3),
@@ -171,7 +188,43 @@ async def _measure_serve(workdir: Path) -> Dict[str, Any]:
         "sweep_predicted_hit_ratio": round(predicted / len(post), 4),
         "sweep_spec_admitted": stats["speculation"]["admitted"],
         "sweep_predictor_confirmed": stats["predictor"]["confirmed"],
+        **fleet,
     }
+
+
+async def _measure_fleet(workdir: Path, backends: int) -> float:
+    """Warm-mix req/s through a router over ``backends`` real backends."""
+    from repro.serve.fleet.router import RouterConfig, make_fleet
+
+    runtime = workdir / f"fleet-{backends}"
+    supervisor, router = make_fleet(
+        backends, str(runtime),
+        cache_dir=str(runtime / "cache"),
+        serve_template=ServeConfig(batch_window_s=0.005),
+        router_config=RouterConfig(probe_interval_s=0.2))
+    supervisor.start()
+    await router.start()
+    try:
+        if not await router.wait_backends_ready(timeout_s=30):
+            raise RuntimeError(
+                f"fleet of {backends} backend(s) never became ready")
+        # Warm round: pay the simulations once, measure pure routing.
+        async with AsyncServeClient(router.config.socket_path) as client:
+            for benchmark in UNIFORM_BENCHES:
+                await client.simulate(benchmark=benchmark, engine="caps",
+                                      scale="tiny", preset="test")
+        latencies: List[float] = []
+        t0 = time.perf_counter()
+        await asyncio.gather(*(
+            _uniform_client(router.config.socket_path, i, latencies)
+            for i in range(UNIFORM_CLIENTS)
+        ))
+        wall = time.perf_counter() - t0
+    finally:
+        await router.drain()
+        await asyncio.get_running_loop().run_in_executor(
+            None, supervisor.drain)
+    return UNIFORM_CLIENTS * UNIFORM_REQUESTS / wall
 
 
 def measure_serve() -> Dict[str, Any]:
