@@ -256,6 +256,10 @@ class ObsConfig:
         return self.metrics or self.trace or self.profile
 
 
+#: Valid values for :attr:`GPUConfig.engine`.
+SIM_ENGINES = ("cycle", "event")
+
+
 @dataclass(frozen=True)
 class GPUConfig:
     """Top-level configuration (paper Table III)."""
@@ -301,6 +305,14 @@ class GPUConfig:
     #: phase profiling); everything defaults to off — see
     #: docs/observability.md.
     obs: ObsConfig = field(default_factory=ObsConfig)
+    #: Simulator core: ``"event"`` (default) skips provably quiet cycles
+    #: via per-component next-event hooks; ``"cycle"`` is the reference
+    #: cycle-by-cycle loop the event core is differentially tested
+    #: against (see docs/architecture.md and tests/sim/
+    #: test_differential_engines.py).  Both produce bit-identical
+    #: results; ``deep_checks`` and ``obs.profile`` force the reference
+    #: loop regardless of this knob.
+    engine: str = "event"
 
     def __post_init__(self) -> None:
         if self.num_sms < 1:
@@ -348,6 +360,10 @@ class GPUConfig:
                 f"hang_cycles must be >= 0 (got {self.hang_cycles}); "
                 "0 disables the watchdog"
             )
+        if self.engine not in SIM_ENGINES:
+            raise ConfigError(
+                f"engine must be one of {SIM_ENGINES} (got {self.engine!r})"
+            )
 
     @property
     def line_bytes(self) -> int:
@@ -363,6 +379,11 @@ class GPUConfig:
         if max_ctas < 1:
             raise ConfigError(f"max_ctas must be >= 1 (got {max_ctas})")
         return replace(self, max_ctas_per_sm=max_ctas)
+
+    def with_engine(self, engine: str) -> "GPUConfig":
+        """Copy of this config with the simulator core replaced
+        (``"cycle"`` reference loop or ``"event"`` fast core)."""
+        return replace(self, engine=engine)
 
     def with_obs(self, **overrides) -> "GPUConfig":
         """Copy of this config with :class:`ObsConfig` fields replaced.

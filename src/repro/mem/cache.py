@@ -13,10 +13,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.config import CacheConfig
-from repro.mem.request import MemoryRequest
+from repro.mem.request import DATACLASS_SLOTS, MemoryRequest
 
 
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class CacheLine:
     tag: int
     last_use: int = 0
@@ -128,6 +128,10 @@ class Cache:
         self.assoc = config.assoc
         self.line_bytes = config.line_bytes
         self._line_shift = config.line_bytes.bit_length() - 1
+        # num_sets is a power of two (enforced by CacheConfig), so the
+        # index is a mask and the tag a shift — hot-path arithmetic.
+        self._set_mask = self.num_sets - 1
+        self._set_shift = self.num_sets.bit_length() - 1
         self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(self.num_sets)]
         self.mshr = Mshr(config.mshr_entries)
         self._tick = 0
@@ -138,7 +142,7 @@ class Cache:
 
     def _index_tag(self, line_addr: int):
         line_no = line_addr >> self._line_shift
-        return line_no % self.num_sets, line_no // self.num_sets
+        return line_no & self._set_mask, line_no >> self._set_shift
 
     def align(self, addr: int) -> int:
         """Byte address of the line containing ``addr``."""
@@ -146,15 +150,17 @@ class Cache:
 
     def probe(self, line_addr: int) -> Optional[CacheLine]:
         """Tag check without touching LRU state or counters."""
-        idx, tag = self._index_tag(line_addr)
-        return self._sets[idx].get(tag)
+        line_no = line_addr >> self._line_shift
+        return self._sets[line_no & self._set_mask].get(line_no >> self._set_shift)
 
     def lookup(self, line_addr: int, *, count: bool = True) -> Optional[CacheLine]:
         """Access the cache; updates LRU and hit/miss counters on demand
         of the caller (``count=False`` for prefetch probes that should not
         perturb miss-rate statistics)."""
         self._tick += 1
-        idx, tag = self._index_tag(line_addr)
+        line_no = line_addr >> self._line_shift
+        idx = line_no & self._set_mask
+        tag = line_no >> self._set_shift
         line = self._sets[idx].get(tag)
         if count:
             self.accesses += 1
@@ -178,11 +184,18 @@ class Cache:
     ) -> Optional[EvictedLine]:
         """Insert a line; returns the evicted victim's metadata, if any."""
         self._tick += 1
-        idx, tag = self._index_tag(line_addr)
+        line_no = line_addr >> self._line_shift
+        idx = line_no & self._set_mask
+        tag = line_no >> self._set_shift
         cset = self._sets[idx]
         victim: Optional[EvictedLine] = None
         if tag not in cset and len(cset) >= self.assoc:
-            lru_tag = min(cset, key=lambda t: cset[t].last_use)
+            lru_tag = -1
+            lru_use = None
+            for t, ln in cset.items():
+                if lru_use is None or ln.last_use < lru_use:
+                    lru_use = ln.last_use
+                    lru_tag = t
             old = cset.pop(lru_tag)
             victim_line_no = lru_tag * self.num_sets + idx
             victim = EvictedLine(

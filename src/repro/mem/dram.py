@@ -23,7 +23,7 @@ import heapq
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.config import DRAMConfig
-from repro.mem.request import MemoryRequest
+from repro.mem.request import Access, MemoryRequest
 
 
 class DramChannel:
@@ -51,6 +51,10 @@ class DramChannel:
         self.queue_occupancy_sum = 0
         self.cycles_observed = 0
         self.service_wait_sum = 0
+        # Event-engine bookkeeping: cycle up to which the per-cycle
+        # utilization counters above are accrued (the cycle engine calls
+        # :meth:`cycle` every cycle and never reads this).
+        self._accounted_to = 0
 
     def __len__(self) -> int:
         return len(self.queue)
@@ -70,6 +74,8 @@ class DramChannel:
         return len(self.write_queue) < self.config.queue_entries
 
     def push(self, req: MemoryRequest) -> None:
+        if req.dram_bank < 0:
+            req.dram_bank, req.dram_row = self._bank_row(req.line_addr)
         if req.is_store:
             if not self.can_accept_write():
                 raise OverflowError("DRAM write queue full")
@@ -99,15 +105,18 @@ class DramChannel:
         # [demand_hit, demand, write_hit, write, prefetch_hit, prefetch]
         firsts = [-1] * 6
         low_pf = self.config.prefetch_low_priority
+        open_row = self._open_row
+        prefetch = Access.PREFETCH
+        store = Access.STORE
         for i, req in enumerate(self.queue):
-            hit = self._is_row_hit(req)
-            if req.is_prefetch and low_pf:
+            acc = req.access
+            if acc is prefetch and low_pf:
                 cls = 4
-            elif req.is_store:
+            elif acc is store:
                 cls = 2
             else:
                 cls = 0
-            if hit and firsts[cls] < 0:
+            if firsts[cls] < 0 and open_row.get(req.dram_bank) == req.dram_row:
                 firsts[cls] = i
             if firsts[cls + 1] < 0:
                 firsts[cls + 1] = i
@@ -144,7 +153,8 @@ class DramChannel:
         if idx is None:  # pragma: no cover - queue non-empty implies a pick
             return
         req = q[idx]
-        bank, row = self._bank_row(req.line_addr)
+        bank = req.dram_bank
+        row = req.dram_row
         burst = self.config.row_hit_cycles
         activate = self.config.row_miss_cycles - burst
         bank_free = self._bank_free.get(bank, 0)
@@ -171,6 +181,32 @@ class DramChannel:
             self.reads += 1
         self._seq += 1
         heapq.heappush(self._completions, (done, self._seq, req))
+
+    def next_event_cycle(self, now: int) -> int:
+        """Earliest cycle >= ``now`` at which :meth:`cycle` does real
+        work — the DRAM half of the event engine's next-event contract.
+
+        With a queued read or write the channel issues every cycle, so
+        the answer is ``now``.  With empty queues the only future work is
+        popping the completion heap; idle cycles until then touch only
+        the per-cycle utilization counters, which the event engine
+        batch-accrues via :meth:`account_idle_span`."""
+        if self.queue or self.write_queue:
+            return now
+        if self._completions:
+            head = self._completions[0][0]
+            return head if head > now else now
+        return 1 << 62
+
+    def account_idle_span(self, cycles: int) -> None:
+        """Batch-accrue ``cycles`` quiet cycles the event engine skipped.
+
+        Matches what :meth:`cycle` would have recorded per skipped
+        cycle: both queues empty, so occupancy adds zero and the channel
+        counts busy only while completions are still in flight."""
+        self.cycles_observed += cycles
+        if self._completions:
+            self.busy_cycles += cycles
 
     @property
     def mean_queue_depth(self) -> float:

@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import enum
 import itertools
+import sys
 from dataclasses import dataclass, field
+
+#: ``slots=True`` trims per-request memory and attribute-access cost on
+#: the hot path, but the dataclass parameter only exists on 3.10+.
+DATACLASS_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}
 
 
 class Access(enum.Enum):
@@ -19,7 +24,7 @@ class Access(enum.Enum):
 _uid = itertools.count()
 
 
-@dataclass
+@dataclass(**DATACLASS_SLOTS)
 class MemoryRequest:
     """One cache-line-sized request.
 
@@ -41,6 +46,10 @@ class MemoryRequest:
     l2_hit: bool = False
     # set by the fault injector so a response is delayed at most once
     fault_delayed: bool = False
+    # (bank, row) memoized by DramChannel.push — pure address geometry,
+    # cached so FR-FCFS scans don't re-derive it every cycle
+    dram_bank: int = -1
+    dram_row: int = -1
 
     @property
     def is_prefetch(self) -> bool:

@@ -49,6 +49,16 @@ class _L2Partition:
         self.in_queue.append(req)
         return True
 
+    def next_event_cycle(self, now: int) -> int:
+        """Earliest cycle >= ``now`` at which this partition does work.
+
+        A partition acts only on its input queue (one head per cycle:
+        lookup, stall accounting, or a channel push); with an empty
+        queue it is pure combinational logic and the event engine may
+        skip it.  MSHR releases are driven by the DRAM channel, whose
+        own hook covers them."""
+        return now if self.in_queue else 1 << 62
+
 
 class MemorySubsystem:
     """Everything behind the SMs' L1 caches."""
@@ -88,6 +98,11 @@ class MemorySubsystem:
         )
         self._l2_wait: List = []  # heap of (ready_cycle, seq, req) for L2 hits
         self._seq = 0
+        # Event-engine bookkeeping (the cycle engine never reads these):
+        # first cycle at which cycle() must actually run; per-channel
+        # utilization accrual lives on each DramChannel._accounted_to.
+        self._next_event = 0
+        self._complete_now = 0
         # stats
         self.core_requests = 0          # demand + prefetch + store entering icnt
         self.core_demand_requests = 0
@@ -105,6 +120,9 @@ class MemorySubsystem:
         if not self.request_pipe.can_accept():
             return False
         self.request_pipe.push(req, now)
+        ripe = now + self.request_pipe.latency
+        if ripe < self._next_event:
+            self._next_event = ripe
         self.core_requests += 1
         if req.access is Access.DEMAND:
             self.core_demand_requests += 1
@@ -123,12 +141,27 @@ class MemorySubsystem:
     # ------------------------------------------------------------------- cycle
     def cycle(self, now: int) -> None:
         # 1. DRAM: completions fill L2 and release partition MSHRs.
+        # (The completion callback is a prebound method — allocating a
+        # closure per channel per cycle measurably slows the hot loop.)
+        self._complete_now = now
         for ch in self.channels:
-            ch.cycle(now, lambda req, _now=now: self._dram_complete(req, _now))
+            ch.cycle(now, self._dram_complete_now)
         # 2. L2 hit completions that have waited out the L2 latency.
-        # Every read response funnels through _l2_wait (both the hit
-        # path and the DRAM-fill path), so this is the single choke
-        # point where the fault injector can drop or delay responses.
+        self._drain_l2_wait(now)
+        # 3. L2 partitions process their input queues.
+        for part in self.partitions:
+            self._l2_cycle(part, now)
+        # 4. Move requests from the icnt into partition input queues.
+        self.request_pipe.drain(now, self._deliver_to_partition)
+        # 5. Deliver ripe responses to SMs.
+        self.response_pipe.drain(now, self._deliver_response)
+
+    def _drain_l2_wait(self, now: int) -> None:
+        """Move ripe entries off the L2 wait heap onto the return pipe.
+
+        Every read response funnels through ``_l2_wait`` (both the hit
+        path and the DRAM-fill path), so this is the single choke point
+        where the fault injector can drop or delay responses."""
         while self._l2_wait and self._l2_wait[0][0] <= now:
             _, _, req = heapq.heappop(self._l2_wait)
             if self.faults is not None:
@@ -143,13 +176,6 @@ class MemorySubsystem:
                     )
                     continue
             self.response_pipe.push(req, now)
-        # 3. L2 partitions process their input queues.
-        for part in self.partitions:
-            self._l2_cycle(part, now)
-        # 4. Move requests from the icnt into partition input queues.
-        self.request_pipe.drain(now, self._deliver_to_partition)
-        # 5. Deliver ripe responses to SMs.
-        self.response_pipe.drain(now, self._deliver_response)
 
     def _deliver_to_partition(self, req: MemoryRequest) -> bool:
         return self.partition_of(req.line_addr).accept(req)
@@ -158,6 +184,10 @@ class MemorySubsystem:
         self.on_response(req)
         self.responses_delivered += 1
         return True
+
+    def _dram_complete_now(self, req: MemoryRequest) -> None:
+        """Completion callback bound to the cycle set in :meth:`cycle`."""
+        self._dram_complete(req, self._complete_now)
 
     def _dram_complete(self, req: MemoryRequest, now: int) -> None:
         part = self.partition_of(req.line_addr)
@@ -202,6 +232,172 @@ class MemorySubsystem:
         part.in_queue.popleft()
         part.mshr.allocate(req)
         part.channel.push(req)
+
+    # ------------------------------------------------------------ event engine
+    def cycle_event(self, now: int) -> None:
+        """Event-engine entry: run one real cycle, skipping components
+        with provably nothing to do, then recompute the next event.
+
+        Equivalent to calling :meth:`cycle` for every cycle in
+        ``(last real cycle, now]``: the skipped cycles and skipped
+        components provably perform no state change beyond the DRAM
+        utilization counters, which accrue lazily per channel
+        (``DramChannel._accounted_to`` + :meth:`account_idle_span`) —
+        an idle channel's reference ``cycle`` only bumps those."""
+        self._complete_now = now
+        nxt = 1 << 62
+        for ch in self.channels:
+            comp = ch._completions
+            if ch.queue or ch.write_queue or (comp and comp[0][0] <= now):
+                gap = now - ch._accounted_to
+                if gap > 0:
+                    ch.account_idle_span(gap)
+                ch.cycle(now, self._dram_complete_now)
+                ch._accounted_to = now + 1
+        w = self._l2_wait
+        if w and w[0][0] <= now:
+            self._drain_l2_wait(now)
+        busy = False
+        for part in self.partitions:
+            if part.in_queue:
+                self._l2_cycle(part, now)
+                if part.in_queue:
+                    busy = True
+        q = self.request_pipe._q
+        if q and q[0][0] <= now:
+            self.request_pipe.drain(now, self._deliver_to_partition)
+        q = self.response_pipe._q
+        if q and q[0][0] <= now:
+            self.response_pipe.drain(now, self._deliver_response)
+        # Inline next_event_cycle(now + 1), reusing the partition
+        # occupancy already observed above.
+        if busy or self.request_pipe._q and self.request_pipe._q[0][0] <= now:
+            self._next_event = now + 1
+            return
+        for part in self.partitions:
+            if part.in_queue:
+                self._next_event = now + 1
+                return
+        for ch in self.channels:
+            t = ch.next_event_cycle(now + 1)
+            if t < nxt:
+                nxt = t
+        w = self._l2_wait
+        if w and w[0][0] < nxt:
+            nxt = w[0][0]
+        q = self.request_pipe._q
+        if q and q[0][0] < nxt:
+            nxt = q[0][0]
+        q = self.response_pipe._q
+        if q and q[0][0] < nxt:
+            nxt = q[0][0]
+        self._next_event = nxt if nxt > now else now + 1
+
+    def sync_accounting(self, now: int) -> None:
+        """Bring per-cycle DRAM counters up to date through ``now - 1``.
+
+        Called before any observer that may read utilization counters
+        (monitor samples, window flushes, hang snapshots, run end)."""
+        for ch in self.channels:
+            gap = now - ch._accounted_to
+            if gap > 0:
+                ch.account_idle_span(gap)
+                ch._accounted_to = now
+
+    def next_event_cycle(self, now: int) -> int:
+        """Earliest cycle >= ``now`` at which :meth:`cycle` changes any
+        state other than batch-accruable idle counters.
+
+        The subsystem half of the next-event contract: the minimum over
+        partition input queues, DRAM channel queues/completions, the L2
+        wait heap, and both interconnect pipes' head ready times.
+        :meth:`submit` moves the cached ``_next_event`` earlier when an
+        SM injects a new request mid-span."""
+        nxt = 1 << 62
+        for part in self.partitions:
+            if part.in_queue:
+                return now
+        for ch in self.channels:
+            t = ch.next_event_cycle(now)
+            if t < nxt:
+                nxt = t
+                if nxt <= now:
+                    return now
+        if self._l2_wait:
+            t = self._l2_wait[0][0]
+            if t < nxt:
+                nxt = t
+        q = self.request_pipe._q
+        if q:
+            t = q[0][0]
+            if t < nxt:
+                nxt = t
+        q = self.response_pipe._q
+        if q:
+            t = q[0][0]
+            if t < nxt:
+                nxt = t
+        return now if nxt <= now else nxt
+
+    def earliest_delivery_cycle(self, now: int) -> int:
+        """Conservative lower bound on the next ``on_response`` delivery
+        (demand fill, merged demand, or prefetch fill) to *any* SM.
+
+        The event engine may batch-execute SM cycles ``[now, bound+1)``
+        knowing no response can mutate SM state inside the span: a
+        response delivered during the subsystem phase of cycle ``c``
+        is only visible to SM phases from ``c + 1`` on.  Every term
+        understates the true delivery cycle (queueing, bandwidth limits
+        and fault-injected delays only push it later; fault drops remove
+        it entirely)."""
+        icnt = self.request_pipe.latency
+        hit = self.config.l2.hit_latency
+        # Floor for traffic not yet submitted: an SM submits at `now`,
+        # the request ripens after icnt, a partition serves it the cycle
+        # after delivery, and the L2-hit response rides the return pipe.
+        bound = now + 2 * icnt + hit + 1
+        q = self.response_pipe._q
+        if q:
+            t = q[0][0]
+            if t < now:
+                t = now
+            if t < bound:
+                bound = t
+        if self._l2_wait:
+            t = self._l2_wait[0][0]
+            if t < now:
+                t = now
+            t += icnt
+            if t < bound:
+                bound = t
+        burst = self.config.dram.row_hit_cycles
+        for ch in self.channels:
+            if ch._completions:
+                t = ch._completions[0][0]
+                if t < now:
+                    t = now
+                t += hit + icnt
+                if t < bound:
+                    bound = t
+            if ch.queue:
+                t = now + burst + hit + icnt
+                if t < bound:
+                    bound = t
+        for part in self.partitions:
+            if part.in_queue:
+                t = now + hit + icnt
+                if t < bound:
+                    bound = t
+                break
+        q = self.request_pipe._q
+        if q:
+            t = q[0][0]
+            if t < now:
+                t = now
+            t += 1 + hit + icnt
+            if t < bound:
+                bound = t
+        return bound
 
     # ------------------------------------------------------------------- stats
     @property

@@ -1,0 +1,558 @@
+"""Event-driven fast core: the ``engine="event"`` simulator main loop.
+
+The reference loop (:meth:`repro.sim.gpu.GPU.run`, ``engine="cycle"``)
+advances every component every cycle.  Most cycles do nothing but accrue
+a stall counter: warps wait on memory, DRAM waits on its completion
+heap, the interconnect pipes wait on their latency.  This module skips
+those cycles in batches while staying *bit-identical* to the reference —
+the differential suite (``tests/sim/test_differential_engines.py``)
+pins every counter, series and snapshot across both engines.
+
+Design (docs/architecture.md has the full contract):
+
+* **Next-event hooks.**  Each component exposes ``next_event_cycle(now)``
+  — the earliest cycle at which it would do more than batch-accruable
+  accounting.  ``SM.next_event_cycle``, ``Scheduler.next_issue_cycle``,
+  ``MemorySubsystem.next_event_cycle`` and
+  ``DramChannel.next_event_cycle`` are conservative lower bounds: they
+  may fire early (wasting a check) but never late (missing work).
+
+* **Response bound.**  SM state can change under an SM span only via a
+  memory response.  :meth:`MemorySubsystem.earliest_delivery_cycle`
+  lower-bounds the next delivery to *any* SM; a response delivered in
+  the subsystem phase of cycle ``c`` is visible to SM phases from
+  ``c + 1``, so every SM span is capped at ``bound + 1``.
+
+* **Eager spans.**  SM issue spans accrue their counters up front and
+  set ``sm._skip_until``; external events (responses, CTA launches)
+  reset it, and because spans never outrun the response bound the
+  accrued prefix never overlaps the re-dispatched suffix.
+
+* **Lazy stall spans.**  Pure stall spans defer their accounting: the
+  span records only its start (``sm._span_from``) and settles the
+  elapsed stall cycles via :meth:`SM._settle_span` at the first
+  subsequent touch point — re-dispatch (settle to ``now``), a memory
+  response (settle to ``now + 1``, since the reference loop charges the
+  arrival cycle as stalled), or a hook/exit boundary (settle to
+  ``now``).  This keeps a span interrupted mid-flight from ever having
+  over-accrued.
+
+* **Hard spans.**  An issue span whose pre-executed picks provably
+  cannot be altered by a memory response — no replay in flight, the
+  two-level ready queue full (a response can only append to the
+  eligible pool), eager wake-up off, no queued prefetch work — is
+  marked ``_span_hard`` and allowed to run to the hook boundary instead
+  of the response bound; responses do not reset its ``_skip_until``.
+  Lazy stall spans are never hard: a response settles them immediately.
+
+* **Hook boundaries.**  Spans and clock jumps never cross the next
+  monitor / obs-window / watchdog boundary, so samples, window flushes
+  and hang checks fire at exactly the reference cycles with exactly the
+  reference counter state.  This is also what anchors the watchdog to
+  *simulated* cycles rather than loop iterations.
+
+* **Issue automaton.**  For the two-level schedulers (``two_level``,
+  ``pas``) runs of back-to-back ALU issues are replayed in local arrays
+  mirroring the ready-queue rotation, with a closed-form jump over
+  steady-state full rotations; cursors are advanced in bulk via
+  :meth:`repro.sim.isa.WarpCursor.consume_alu`.  The span stops before
+  the first cycle that would pick a load/store/EXIT, which then runs
+  through the reference ``SM.cycle`` path.
+"""
+
+from __future__ import annotations
+
+from repro.sim.isa import InstrKind
+from repro.sim.sched import TwoLevel
+
+#: Sentinel "never" cycle shared by every next-event hook.
+NEVER = 1 << 62
+
+
+def _next_hook(t: int, limit: int, interval: int, obs_interval: int,
+               wd_interval: int) -> int:
+    """First cycle after ``t`` at which any periodic hook (monitor
+    sample, obs window flush, watchdog check) fires, capped at
+    ``limit``.  Spans and clock jumps never cross this boundary."""
+    nh = limit
+    if interval:
+        b = t - t % interval + interval
+        if b < nh:
+            nh = b
+    if obs_interval:
+        b = t - t % obs_interval + obs_interval
+        if b < nh:
+            nh = b
+    if wd_interval:
+        b = t - t % wd_interval + wd_interval
+        if b < nh:
+            nh = b
+    return nh
+
+
+def _accrue_stall(sm, k: int) -> None:
+    """Batch-accrue ``k`` pure stall cycles (issue returned nothing).
+
+    Mirrors ``SM._account_stall`` + the per-cycle ``active_cycles``
+    increment; the waiting/unfinished counts are constant over a span
+    because blocks, finishes and launches all stop spans."""
+    stats = sm.stats
+    stats.active_cycles += k
+    if sm.waiting_mem_warps >= sm.unfinished_warps:
+        stats.stall_mem_all += k
+    elif sm.waiting_mem_warps > 0:
+        stats.stall_mem_partial += k
+    else:
+        stats.stall_other += k
+
+
+def _replay_wedged(sm, rp) -> bool:
+    """True when the load replay head provably cannot make progress —
+    and, since the blocking condition can only be lifted by a memory
+    response, will not progress on any cycle before the response bound.
+
+    Mirrors the replay-failure branches of ``SM._process_demand_lines``
+    (the caller has already checked the miss queue is empty)."""
+    head = rp.remaining[0]
+    if sm.l1.probe(head) is not None:
+        return False
+    meta = sm._inflight_prefetch.get(head)
+    mshr = sm.l1.mshr
+    if meta is not None:
+        return len(meta.waiters) >= mshr.merge_limit
+    if mshr.pending(head):
+        return not mshr.can_merge(head)
+    return mshr.full or sm.miss_queue_depth == 0
+
+
+def _issue_span(sm, now: int, end: int, stall_cap: int, lsu_busy: bool) -> int:
+    """Batch-execute two-level issue cycles ``[now, t)``; returns ``t``.
+
+    Replays the exact ready-queue rotation of ``TwoLevel.pick`` in local
+    arrays, issuing ALU instructions and accruing stall cycles.  Stops
+    (returning early) before the first cycle whose pick would be a
+    load/store/EXIT — or, with ``lsu_busy`` (an active replay holds the
+    LSU), before an EXIT pick, while load/store-next warps are skipped
+    in the rotation exactly as ``Scheduler._can_issue`` does.  Returns
+    ``now`` unchanged when nothing could be batched (the caller then
+    runs the reference ``SM.cycle``).
+
+    ``stall_cap`` is the response bound: *stall* cycles beyond it could
+    be misclassified by a response that changes the warp counts, so a
+    stall needed at ``t >= stall_cap`` ends the span.  Issue cycles are
+    response-independent under the hard-span preconditions (see
+    ``_dispatch``) and may run to ``end`` past the cap."""
+    sched = sm.scheduler
+    sched._refill()
+    ready = sched.ready
+    n = len(ready)
+    if n == 0:
+        _accrue_stall(sm, end - now)
+        return end
+    # Fast prelude: resolve the pick at `now` without building the slot
+    # arrays.  Most calls bail here — either the pick is a load/store
+    # (per-cycle path) or nothing is pickable (pure stall span).
+    ptr0 = sched._ptr % n
+    ALU = InstrKind.ALU
+    LOAD = InstrKind.LOAD
+    STORE = InstrKind.STORE
+    first = -1
+    for i in range(n):
+        j = ptr0 + i
+        if j >= n:
+            j -= n
+        w = ready[j]
+        if w.ready_at > now:
+            continue
+        if lsu_busy:
+            c = w.cursor
+            ins = c._peeked
+            if ins is None:
+                ins = c.peek()
+            k = ins.kind
+            if k is LOAD or k is STORE:
+                continue  # wants the busy LSU: rotation skips it
+        first = j
+        break
+    if first < 0:
+        # Pure stall at `now`: jump to the earliest pickable ripen time
+        # and let the next dispatch re-resolve from there.
+        nxt = end if end < stall_cap else stall_cap
+        for w in ready:
+            rw = w.ready_at
+            if rw <= now or rw >= nxt:
+                continue
+            if lsu_busy:
+                c = w.cursor
+                ins = c._peeked
+                if ins is None:
+                    ins = c.peek()
+                k = ins.kind
+                if k is LOAD or k is STORE:
+                    continue
+            nxt = rw
+        _accrue_stall(sm, nxt - now)
+        return nxt
+    c = ready[first].cursor
+    ins = c._peeked
+    if ins is None:
+        ins = c.peek()
+    if ins.kind is not ALU:
+        return now  # load/store/EXIT pick: reference SM.cycle runs it
+    ra = [0] * n
+    alu = [0] * n
+    lat = [0] * n
+    kind = [0] * n  # 1 = ALU-next, 0 = load/store-next, 2 = EXIT-next
+    cnt = [0] * n   # cursor consumes pending since the last flush
+    tot = [0] * n   # total issues this span (stats writeback)
+    for j in range(n):
+        w = ready[j]
+        if w.pending_pieces > 0:
+            # A deferred warp (use_distance) charges its budget on every
+            # issue and may block mid-run: per-cycle path only.
+            return now
+        ra[j] = w.ready_at
+        c = w.cursor
+        ins = c._peeked
+        if ins is None:
+            ins = c.peek()
+        k = ins.kind
+        if k is InstrKind.ALU:
+            kind[j] = 1
+            alu[j] = 1 + c._compute_left
+            lat[j] = ins.latency
+        elif k is InstrKind.EXIT:
+            kind[j] = 2
+
+    t = now
+    issued = 0
+    stalls = 0
+    ptr = sched._ptr % n
+    p0 = ptr
+    while t < end:
+        pick = -1
+        for i in range(n):
+            j = ptr + i
+            if j >= n:
+                j -= n
+            if ra[j] > t:
+                continue
+            if kind[j] == 0 and lsu_busy:
+                continue  # wants the busy LSU: rotation skips it
+            pick = j
+            break
+        if pick < 0:
+            # Stall: jump to the earliest cycle a pickable slot ripens.
+            # Stalls are classification-safe only below the response
+            # bound, so they never cross `stall_cap`.
+            lim = end if end < stall_cap else stall_cap
+            if t >= lim:
+                break
+            nxt = NEVER
+            for j in range(n):
+                if lsu_busy and kind[j] == 0:
+                    continue
+                rj = ra[j]
+                if rj > t and rj < nxt:
+                    nxt = rj
+            if nxt >= lim:
+                stalls += lim - t
+                t = lim
+                break
+            stalls += nxt - t
+            t = nxt
+            continue
+        if kind[pick] != 1:
+            break  # load/store/EXIT pick: stop before this cycle
+        alu[pick] -= 1
+        cnt[pick] += 1
+        tot[pick] += 1
+        ra[pick] = t + lat[pick]
+        issued += 1
+        t += 1
+        ptr = pick + 1
+        if ptr >= n:
+            ptr = 0
+        if alu[pick] == 0:
+            c = ready[pick].cursor
+            c.consume_alu(cnt[pick])
+            cnt[pick] = 0
+            ins = c.peek()
+            k = ins.kind
+            if k is InstrKind.ALU:
+                alu[pick] = 1 + c._compute_left
+                lat[pick] = ins.latency
+            elif k is InstrKind.EXIT:
+                kind[pick] = 2
+            else:
+                kind[pick] = 0
+        elif ptr == p0:
+            # Steady state: ptr wrapped with ALU work left.  If every
+            # slot is ALU-next, already ripe in rotation order, and its
+            # result returns within one rotation (latency <= n), each
+            # rotation issues one instruction per slot — jump whole
+            # rotations in closed form.
+            rot = (end - t) // n
+            if rot >= 1:
+                for i in range(n):
+                    s = p0 + i
+                    if s >= n:
+                        s -= n
+                    if kind[s] != 1 or lat[s] > n or ra[s] > t + i:
+                        rot = 0
+                        break
+                    if alu[s] < rot:
+                        rot = alu[s]
+            if rot >= 1:
+                for i in range(n):
+                    s = p0 + i
+                    if s >= n:
+                        s -= n
+                    alu[s] -= rot
+                    cnt[s] += rot
+                    tot[s] += rot
+                    ra[s] = t + (rot - 1) * n + i + lat[s]
+                issued += rot * n
+                t += rot * n
+                for s in range(n):
+                    if alu[s] == 0:
+                        c = ready[s].cursor
+                        c.consume_alu(cnt[s])
+                        cnt[s] = 0
+                        ins = c.peek()
+                        k = ins.kind
+                        if k is InstrKind.ALU:
+                            alu[s] = 1 + c._compute_left
+                            lat[s] = ins.latency
+                        elif k is InstrKind.EXIT:
+                            kind[s] = 2
+                        else:
+                            kind[s] = 0
+
+    if stalls:
+        _accrue_stall(sm, stalls)
+    if issued:
+        sched._ptr = ptr
+        total = 0
+        for j in range(n):
+            if cnt[j]:
+                ready[j].cursor.consume_alu(cnt[j])
+            tj = tot[j]
+            if tj:
+                w = ready[j]
+                w.instructions_issued += tj
+                w.ready_at = ra[j]
+                total += tj
+        stats = sm.stats
+        stats.instructions += total
+        stats.issue_cycles += issued
+        stats.active_cycles += issued
+    return t
+
+
+def _dispatch(sm, now: int, hook_at: int, sub, cap_box) -> None:
+    """Advance one SM from cycle ``now``: run the reference ``cycle``
+    when per-cycle work is pending, otherwise open the longest provably
+    safe span and record it in ``sm._skip_until``.
+
+    ``cap_box`` is a one-slot cache of the iteration's response bound
+    (``earliest_delivery_cycle + 1``), computed lazily so iterations
+    whose SMs never need it don't pay for it."""
+    sm._span_hard = False
+    if sm._span_from >= 0:
+        sm._settle_span(now)
+    if sm.unfinished_warps == 0:
+        if sm.miss_queue or sm.store_queue or sm.prefetch_miss_queue:
+            sm.cycle(now)
+        else:
+            sm._skip_until = NEVER
+        return
+    hh = sm._hit_heap
+    if (
+        sm.miss_queue
+        or sm.store_queue
+        or sm.prefetch_miss_queue
+        or (hh and hh[0][0] <= now)
+        or (
+            sm.prefetch_queue
+            and sm.unused_prefetched_resident < sm._prefetch_resident_limit
+        )
+    ):
+        sm.cycle(now)
+        return
+    rp = sm.replay
+    if rp is not None and (rp.is_store or not _replay_wedged(sm, rp)):
+        sm.cycle(now)
+        return
+    # End bound for *lazy* spans: hooks and the SM's own future work
+    # (ripe hits, serviceable prefetches) — but not the response bound.
+    lazy_end = hook_at
+    if hh and hh[0][0] < lazy_end:
+        lazy_end = hh[0][0]
+    p = sm.prefetcher.next_event_cycle(now)
+    if p < lazy_end:
+        lazy_end = p
+    nxt = sm.scheduler.next_issue_cycle()
+    if nxt > now:
+        # No warp can issue before `nxt` absent an external event: open
+        # a lazy stall span with deferred accounting.  No response cap
+        # is needed — an early response settles the shorter prefix
+        # (SM._settle_span) before mutating any warp.
+        if nxt < lazy_end:
+            lazy_end = nxt
+        if lazy_end <= now:
+            sm.cycle(now)
+            return
+        sm._span_from = now
+        sm._span_replay = rp is not None
+        sm._skip_until = lazy_end
+        return
+    # Something is pickable this cycle.  Two-level schedulers batch ALU
+    # issue runs eagerly under the response bound; flat schedulers
+    # (lrr/gto variants) run issue cycles through the reference path.
+    sched = sm.scheduler
+    if not isinstance(sched, TwoLevel):
+        sm.cycle(now)
+        return
+    cap = cap_box[0]
+    if cap == 0:
+        cap = cap_box[0] = sub.earliest_delivery_cycle(now) + 1
+    # Hard (response-tolerant) span preconditions: with the ready queue
+    # full, a response or launch can only append to the eligible pool
+    # (_refill is a no-op), eager wake-up is off so nothing displaces a
+    # ready warp, and no gated prefetch work can become serviceable.
+    # In-span picks are then provably response-independent and may run
+    # to the hook boundary; only stalls stay under the response bound.
+    hard = (
+        rp is None
+        and sm._hard_span_ok
+        and not sm.prefetch_queue
+        and len(sched.ready) == sched.ready_size
+    )
+    if hard:
+        end = lazy_end
+    else:
+        end = lazy_end if lazy_end < cap else cap
+    if end <= now:
+        sm.cycle(now)
+        return
+    t = _issue_span(sm, now, end, cap, rp is not None)
+    if t == now:
+        sm.cycle(now)
+        return
+    if rp is not None:
+        # Wedged load replay: every skipped cycle retried the head,
+        # failed, and charged the replay + L1 miss counters.
+        k = t - now
+        sm.stats.replay_cycles += k
+        l1 = sm.l1
+        l1._tick += k
+        l1.accesses += k
+        l1.misses += k
+    sm._skip_until = t
+    sm._span_hard = hard
+
+
+def run_event_loop(gpu, limit: int, monitor, interval: int) -> None:
+    """Event-engine replacement for the reference main loop in
+    :meth:`repro.sim.gpu.GPU.run`; advances ``gpu.now`` to exactly the
+    cycle the reference loop would have stopped at, with bit-identical
+    component state."""
+    sub = gpu.subsystem
+    sms = gpu.sms
+    obs = gpu.obs
+    wd = gpu.watchdog
+    wd_interval = wd.check_interval if wd is not None else 0
+    obs_interval = obs.window_interval if obs is not None else 0
+    now = gpu.now
+    hook_at = _next_hook(now, limit, interval, obs_interval, wd_interval)
+    cap_box = [0]
+    while now < limit:
+        # Cheap done probe: unfinished_warps is a plain attribute, and
+        # an SM with zero unfinished warps and an empty CTA slot is done
+        # (gpu.done confirms before exiting).
+        running = False
+        for sm in sms:
+            if sm.unfinished_warps:
+                running = True
+                break
+        if not running and gpu.done:
+            break
+        # Components read the clock during dispatch (CTA launches,
+        # response timestamps), so it must be live every iteration.
+        gpu.now = now
+        min_wake = sub._next_event
+        ran = False
+        cap_box[0] = 0
+        for sm in sms:
+            su = sm._skip_until
+            if su > now:
+                if su < min_wake:
+                    min_wake = su
+            else:
+                ran = True
+                _dispatch(sm, now, hook_at, sub, cap_box)
+        # Re-read: SM dispatches may have submitted requests and pulled
+        # the subsystem's next event earlier (possibly to `now` itself
+        # under a zero-latency interconnect).
+        if sub._next_event <= now:
+            sub.cycle_event(now)
+            ran = True
+        now += 1
+        if not ran and min_wake > now:
+            # Quiet iteration: every SM is inside a span and the
+            # subsystem has no ripe work.  Jump to the next wake-up,
+            # never crossing a hook boundary.
+            tgt = min_wake if min_wake < hook_at else hook_at
+            if tgt > now:
+                now = tgt
+        if now >= hook_at:
+            gpu.now = now
+            for sm in sms:
+                if sm._span_from >= 0:
+                    sm._settle_span(now)
+            sub.sync_accounting(now)
+            if interval and now % interval == 0:
+                monitor.sample(gpu, now)
+            if obs_interval and now % obs_interval == 0:
+                obs.flush(gpu, now)
+            if wd_interval and now % wd_interval == 0:
+                wd.check(gpu, now)
+            hook_at = _next_hook(now, limit, interval, obs_interval,
+                                 wd_interval)
+    gpu.now = now
+    for sm in sms:
+        if sm._span_from >= 0:
+            sm._settle_span(now)
+    sub.sync_accounting(now)
+
+
+def flush_memory_event(gpu, limit: int) -> None:
+    """Event-engine counterpart of :meth:`repro.sim.gpu.GPU._flush_memory`.
+
+    Drains in-flight traffic after the last warp retires, skipping the
+    quiet gaps between subsystem events.  The drain deadline counts
+    *simulated* cycles — identical to the reference formula — so the
+    fast engine can neither trip nor mask the post-run drain cap."""
+    sub = gpu.subsystem
+    sms = gpu.sms
+    t = gpu.now
+    deadline = t + min(100_000, max(0, limit - t) + 100_000)
+    while t < deadline:
+        busy = False
+        for sm in sms:
+            if sm.miss_queue or sm.store_queue or sm.prefetch_miss_queue:
+                sm._drain_miss_queue(t)
+                busy = True
+        if sub._next_event <= t:
+            sub.cycle_event(t)
+        t += 1
+        if not busy:
+            if sub.drained():
+                break
+            ne = sub._next_event
+            if ne > t:
+                if ne > deadline:
+                    ne = deadline
+                t = ne
+    sub.sync_accounting(t)

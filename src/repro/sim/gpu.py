@@ -183,8 +183,21 @@ class GPU:
         deep = self.config.deep_checks
         obs = self.obs
         obs_interval = obs.window_interval if obs is not None else 0
+        # The event engine is bit-identical to the cycle loop below but
+        # skips quiet cycles in batches (repro.sim.fastcore).  Deep
+        # per-cycle invariant checks and the profiled loop inspect every
+        # cycle by design, so they force the reference path.
+        use_event = (
+            self.config.engine == "event"
+            and not deep
+            and (obs is None or obs.profiler is None)
+        )
         if obs is not None and obs.profiler is not None:
             self._run_loop_profiled(limit, monitor, interval, obs_interval)
+        elif use_event:
+            from repro.sim.fastcore import run_event_loop
+
+            run_event_loop(self, limit, monitor, interval)
         else:
             while not self.done and self.now < limit:
                 for sm in self.sms:
@@ -202,7 +215,12 @@ class GPU:
         completed = self.done
         cycles = self.now
         if completed:
-            self._flush_memory(limit)
+            if use_event:
+                from repro.sim.fastcore import flush_memory_event
+
+                flush_memory_event(self, limit)
+            else:
+                self._flush_memory(limit)
         for sm in self.sms:
             sm.finalize()
         if obs is not None:

@@ -294,6 +294,27 @@ class WarpCursor:
             self.issued += 1
         return instr
 
+    def consume_alu(self, count: int) -> None:
+        """Batch-consume ``count`` pending ALU instructions.
+
+        Equivalent to ``count`` consecutive :meth:`next_instr` calls, on
+        the caller's guarantee (checked by the event engine,
+        :mod:`repro.sim.fastcore`) that the memoized peek plus the
+        current :class:`ComputeOp` run hold at least that many ALU
+        instructions.  Touches exactly the state :meth:`_produce` would:
+        the peek slot, ``issued``, ``_compute_left`` and — when the run
+        ends — the owning frame's index.
+        """
+        if self._peeked is not None:
+            self._peeked = None
+            self.issued += 1
+            count -= 1
+        if count:
+            self._compute_left -= count
+            self.issued += count
+            if self._compute_left == 0:
+                self._stack[-1][1] += 1
+
     def _produce(self) -> Instr:
         while True:
             frame = self._stack[-1]

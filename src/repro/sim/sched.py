@@ -67,6 +67,19 @@ class Scheduler:
         skipped."""
         raise NotImplementedError
 
+    def next_issue_cycle(self) -> int:
+        """Earliest cycle at which :meth:`pick` could return a warp,
+        assuming no external event (memory response, CTA launch) arrives
+        first — the scheduler half of the event engine's next-event
+        contract (docs/architecture.md).  Returns a large sentinel when
+        every resident warp is blocked.  Must never be later than the
+        true next issue (conservative lower bounds are fine)."""
+        nxt = 1 << 62
+        for w in self.warps:
+            if w.state is WarpState.READY and w.ready_at < nxt:
+                nxt = w.ready_at
+        return nxt
+
     def _can_issue(self, warp: Warp, now: int, lsu_free: bool) -> bool:
         return warp.issuable(now) and (lsu_free or not _wants_lsu(warp))
 
@@ -180,14 +193,43 @@ class TwoLevel(Scheduler):
         """Ready-queue occupancy (the paper's 8-entry inner level)."""
         return len(self.ready)
 
+    def next_issue_cycle(self) -> int:
+        """Earliest possible issue, considering the ready queue only.
+
+        Exact for two-level policies: eligible-pool warps enter the
+        ready queue only through :meth:`_refill` (called at pick time)
+        or an eager wake-up — both already covered by the event engine's
+        refill-then-scan and response-bound rules."""
+        self._refill()
+        nxt = 1 << 62
+        for w in self.ready:
+            if w.ready_at < nxt:
+                nxt = w.ready_at
+        return nxt
+
     def pick(self, now: int, lsu_free: bool) -> Optional[Warp]:
         """Refill the ready queue from the pool, then round-robin it."""
         self._refill()
-        n = len(self.ready)
+        ready = self.ready
+        n = len(ready)
+        if n == 0:
+            return None
+        ptr = self._ptr % n
+        READY = WarpState.READY
+        LOAD = InstrKind.LOAD
+        STORE = InstrKind.STORE
         for i in range(n):
-            warp = self.ready[(self._ptr + i) % n]
-            if self._can_issue(warp, now, lsu_free):
-                self._ptr = (self._ptr + i + 1) % n
+            j = ptr + i
+            if j >= n:
+                j -= n
+            warp = ready[j]
+            if warp.state is READY and warp.ready_at <= now:
+                if not lsu_free:
+                    k = warp.cursor.peek().kind
+                    if k is LOAD or k is STORE:
+                        continue
+                j += 1
+                self._ptr = j if j < n else 0
                 return warp
         return None
 

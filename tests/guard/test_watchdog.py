@@ -108,6 +108,60 @@ def test_hang_error_survives_pickling():
     assert clone.snapshot["kernel"] == "stream"
 
 
+class TestWatchdogEventEngine:
+    """The event engine must keep every watchdog guarantee in *simulated*
+    cycles: skipping quiet cycles in batches is not allowed to stretch
+    (or shrink) hang-detection latency or move the detection point."""
+
+    def test_wedged_warp_detected_at_same_cycle_both_engines(self):
+        """A dropped response wedges one warp; both engines must detect
+        the hang at the identical simulated cycle with the same stall
+        attribution."""
+        import dataclasses
+
+        from tests._difftools import reset_uid_counters
+
+        errors = {}
+        for engine in ("cycle", "event"):
+            reset_uid_counters()
+            plan = FaultPlan(seed=11, drop_response_rate=1.0, max_drops=1)
+            cfg = dataclasses.replace(tiny_config(hang_cycles=3_000),
+                                      engine=engine)
+            with pytest.raises(SimulationHangError) as err:
+                simulate(make_stream_kernel(), cfg, faults=plan)
+            errors[engine] = err.value
+        ref, evt = errors["cycle"], errors["event"]
+        assert evt.cycle == ref.cycle
+        assert evt.stalled_for == ref.stalled_for
+        assert evt.snapshot == ref.snapshot
+
+    def test_wedged_scheduler_bounded_latency_event_engine(self):
+        """Chaos-monkeyed SMs make zero progress; the event engine's
+        hook boundaries must still bound detection latency by the limit
+        plus one check interval of *simulated* cycles."""
+        cfg = tiny_config(hang_cycles=2_000)
+        assert cfg.engine == "event"
+        gpu = GPU(make_stream_kernel(), cfg)
+        for sm in gpu.sms:
+            sm.cycle = lambda now: None  # the stuck-scheduler chaos monkey
+        with pytest.raises(SimulationHangError) as err:
+            gpu.run()
+        e = err.value
+        assert e.stalled_for >= 2_000
+        assert e.cycle <= 2_000 + gpu.watchdog.check_interval + 1
+        assert e.snapshot["memory"]["responses_delivered"] == 0
+
+    def test_flush_deadline_is_simulated_cycles_event_engine(self):
+        """Post-retirement draining must not leave traffic in flight."""
+        cfg = tiny_config(hang_cycles=1_000)
+        gpu = GPU(make_stream_kernel(), cfg)
+        result = gpu.run()
+        assert result.completed
+        assert gpu.subsystem.drained()
+        for sm in gpu.sms:
+            assert not sm.store_queue and not sm.miss_queue
+
+
 def test_watchdog_validation():
     with pytest.raises(ValueError):
         Watchdog(limit=0)

@@ -1,0 +1,130 @@
+"""Golden-stream regression tests for the user-facing telemetry paths.
+
+Two CLI surfaces expose per-run streams: ``repro trace`` (Chrome
+trace-event spans) and ``repro run --metrics-out`` (windowed metric
+series).  Both must stay byte-for-byte reproducible run over run *and*
+release over release — a silent perturbation of span timing or window
+contents is exactly the kind of regression the event engine could
+introduce, so the streams for two pinned workloads (one regular, one
+irregular) are checked against golden digests stored in
+``tests/data/golden/``.
+
+To regenerate after an intentional behaviour change::
+
+    PYTHONPATH=src python -m tests.obs.test_golden_streams
+
+and commit the updated ``tests/data/golden/*.json``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import io
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main as cli_main
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent.parent / "data" / "golden"
+BENCHES = ("MRQ", "BFS")
+
+
+def _quiet_cli(argv):
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        rc = cli_main(argv)
+    assert rc == 0, buf.getvalue()
+
+
+def trace_digest(bench: str, out_dir: pathlib.Path) -> dict:
+    """Span-stream digest of ``repro trace BENCH`` (tiny scale, caps).
+
+    The digest covers the ordered (name, phase, ts, dur, pid, tid)
+    tuples — the full timing skeleton — but not free-form args, so it is
+    insensitive to cosmetic metadata and pins every span boundary.
+    """
+    out = out_dir / f"{bench.lower()}.trace.json"
+    _quiet_cli(["trace", bench, "--out", str(out), "--limit", "200000"])
+    trace = json.loads(out.read_text())
+    events = trace["traceEvents"]
+    h = hashlib.sha256()
+    for e in events:
+        h.update(repr((e.get("name"), e.get("ph"), e.get("ts"),
+                       e.get("dur"), e.get("pid"), e.get("tid"))).encode())
+    return {
+        "events": len(events),
+        "dropped": trace["metadata"]["dropped_events"],
+        "sha256": h.hexdigest(),
+    }
+
+
+def metrics_payload(bench: str, out_dir: pathlib.Path) -> dict:
+    """Full ``--metrics-out`` payload for BENCH at tiny scale."""
+    out = out_dir / f"{bench.lower()}.metrics.json"
+    _quiet_cli(["run", bench, "--scale", "tiny",
+                "--metrics-out", str(out), "--metrics-window", "128"])
+    return json.loads(out.read_text())
+
+
+def _metrics_golden(payload: dict) -> dict:
+    """The pinned subset of a metrics payload (everything but schema)."""
+    return {
+        "window": payload["window"],
+        "num_sms": payload["num_sms"],
+        "fields": payload["fields"],
+        "samples": payload["samples"],
+        "totals": payload["totals"],
+    }
+
+
+def _load_golden(name: str) -> dict:
+    path = GOLDEN_DIR / name
+    if not path.exists():  # pragma: no cover - regen workflow guard
+        pytest.fail(f"missing golden file {path}; regenerate with "
+                    f"`python -m tests.obs.test_golden_streams`")
+    return json.loads(path.read_text())
+
+
+class TestGoldenTraceStream:
+    @pytest.mark.parametrize("bench", BENCHES)
+    def test_span_stream_matches_golden(self, bench, tmp_path):
+        got = trace_digest(bench, tmp_path)
+        want = _load_golden(f"{bench.lower()}_trace_digest.json")
+        assert got == want, (
+            f"{bench} trace span stream changed; if intentional, "
+            f"regenerate tests/data/golden/ (see module docstring)"
+        )
+
+
+class TestGoldenMetricsSeries:
+    @pytest.mark.parametrize("bench", BENCHES)
+    def test_metrics_series_matches_golden(self, bench, tmp_path):
+        got = _metrics_golden(metrics_payload(bench, tmp_path))
+        want = _load_golden(f"{bench.lower()}_metrics.json")
+        assert got["fields"] == want["fields"]
+        assert got["totals"] == want["totals"]
+        assert got["samples"] == want["samples"]
+        assert got == want
+
+
+def _regenerate() -> None:  # pragma: no cover - manual workflow
+    """Rewrite every golden file from the current simulator behaviour."""
+    import tempfile
+
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    scratch = pathlib.Path(tempfile.mkdtemp())
+    for bench in BENCHES:
+        d = trace_digest(bench, scratch)
+        (GOLDEN_DIR / f"{bench.lower()}_trace_digest.json").write_text(
+            json.dumps(d, indent=2, sort_keys=True) + "\n")
+        m = _metrics_golden(metrics_payload(bench, scratch))
+        (GOLDEN_DIR / f"{bench.lower()}_metrics.json").write_text(
+            json.dumps(m, indent=2, sort_keys=True) + "\n")
+        print(f"regenerated goldens for {bench}")
+
+
+if __name__ == "__main__":  # pragma: no cover - manual workflow
+    _regenerate()
