@@ -25,7 +25,7 @@ from repro.exec.runner import CellFailure
 from repro.guard.bundle import write_diagnostic_bundle
 from repro.prefetch.factory import default_scheduler_for
 from repro.sim.gpu import SimResult
-from repro.workloads import Scale
+from repro.workloads import Scale, normalize_benchmark
 
 __all__ = [
     "RunKey",
@@ -73,10 +73,17 @@ def make_key(
     scale: Scale = Scale.SMALL,
     scheduler: Optional[SchedulerKind] = None,
 ) -> RunKey:
-    """Resolve defaults into the canonical :class:`RunKey` for one cell."""
+    """Resolve defaults into the canonical :class:`RunKey` for one cell.
+
+    ``benchmark`` may be a single abbreviation or a ``"A+B"`` co-run
+    pair; either form is canonicalized (uppercased, aliases resolved)
+    so equivalent spellings share one cache cell.  The co-run allocation
+    policy travels inside the config (``config.multi``) and is folded
+    into the cache fingerprint with every other config field.
+    """
     cfg = config if config is not None else small_config()
     kind = scheduler if scheduler is not None else default_scheduler_for(prefetcher)
-    return RunKey(benchmark.upper(), prefetcher, scale,
+    return RunKey(normalize_benchmark(benchmark), prefetcher, scale,
                   cfg.with_scheduler(kind))
 
 

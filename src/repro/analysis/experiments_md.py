@@ -248,6 +248,49 @@ def generate_experiments_md(
         + f"\n\nMeasured mean: {_f(f15['Mean'])}.\n"
     )
 
+    # ----------------------------------------- co-run interference
+    from repro.workloads import CORUN_PAIRS
+
+    corun_pairs = tuple(
+        p for p in CORUN_PAIRS
+        if all(k in benchmarks for k in p.name.split("+"))
+    )
+    if corun_pairs:
+        fco = F.fig_corun_interference(scale=scale, config=config,
+                                       pairs=corun_pairs)
+        policies = list(next(iter(fco.values())))
+        rows = []
+        for pair in corun_pairs:
+            per_policy = fco[pair.name]
+            for kernel in pair.name.split("+"):
+                rows.append(
+                    [pair.name, kernel]
+                    + [_f(per_policy[p]["slowdowns"][kernel], 2) + "x"
+                       for p in policies]
+                )
+            rows.append(
+                [pair.name, "ANTT / STP"]
+                + [f"{_f(per_policy[p]['antt'], 2)} / "
+                   f"{_f(per_policy[p]['stp'], 2)}"
+                   for p in policies]
+            )
+        sections.append(
+            "## Co-run interference — concurrent kernels (extension)\n\n"
+            "Not a paper figure: two kernels share the GPU and the\n"
+            "inter-kernel CTA allocation policy varies (see\n"
+            "docs/architecture.md).  Per-kernel slowdown is\n"
+            "`T_co / T_solo`; ANTT (lower is better) averages it, STP\n"
+            "(higher is better) sums the reciprocals — definitions in\n"
+            "docs/metrics-glossary.md.  Pairs cross a memory-intensive\n"
+            "kernel with a compute-bound one:\n\n"
+            + "\n".join(f"- **{p.name}** — {p.why}" for p in corun_pairs)
+            + "\n\n"
+            + _md_table(["pair", "kernel"] + policies, rows)
+            + "\n\nPreemptive SRTF allocation drains the shorter kernel "
+            "early, so it wins ANTT over the static spatial partition "
+            "(pinned by tests/sim/test_multi_kernel.py).\n"
+        )
+
     # -------------------------------------------- full-scale Figure 10
     if include_full_scale:
         full_cfg = fermi_config(max_cycles=3_000_000)

@@ -12,12 +12,20 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.config import GPUConfig, SchedulerKind, small_config
+from repro.config import ALLOC_POLICIES, GPUConfig, SchedulerKind, small_config
 from repro.analysis.driver import run_benchmark, run_matrix, speedups_over_baseline
 from repro.analysis.metrics import geomean, mean
 from repro.energy.model import normalized_energy
 from repro.prefetch import PREFETCHERS
-from repro.workloads import ALL_BENCHMARKS, IRREGULAR, REGULAR, Scale, build
+from repro.workloads import (
+    ALL_BENCHMARKS,
+    CORUN_PAIRS,
+    IRREGULAR,
+    REGULAR,
+    CorunPair,
+    Scale,
+    build,
+)
 
 #: Figure 10/12/13 evaluation order.
 ENGINES = PREFETCHERS
@@ -328,6 +336,56 @@ def fig14b_prefetch_distance(
             if consumed_prefetches(ts):
                 dists.append(mean_prefetch_lead(ts))
         out[label] = mean(dists)
+    return out
+
+
+# ------------------------------------------------- Co-run interference
+
+def fig_corun_interference(
+    *,
+    scale: Scale = Scale.SMALL,
+    config: Optional[GPUConfig] = None,
+    pairs: Sequence[CorunPair] = CORUN_PAIRS,
+    policies: Sequence[str] = ALLOC_POLICIES,
+    engine: str = "none",
+) -> Dict[str, Dict[str, Dict]]:
+    """Co-run interference study: per-kernel slowdown, ANTT and STP for
+    every curated pair under every CTA allocation policy.
+
+    Not a paper figure — it extends the reproduction to concurrent
+    kernels (docs/architecture.md).  For each pair the two kernels also
+    run solo (same engine/config, memoized across policies); ANTT is the
+    mean per-kernel slowdown ``T_co / T_solo`` and STP the aggregate
+    throughput ``Σ T_solo / T_co`` — see docs/metrics-glossary.md.
+    """
+    from repro.sim.multi import antt_stp
+
+    cfg = config if config is not None else small_config()
+    out: Dict[str, Dict[str, Dict]] = {}
+    for pair in pairs:
+        solo = {
+            b: run_benchmark(b, engine, config=cfg, scale=scale).cycles
+            for b in pair.name.split("+")
+        }
+        per_policy: Dict[str, Dict] = {}
+        for policy in policies:
+            r = run_benchmark(pair.name, engine,
+                              config=cfg.with_multi(alloc_policy=policy),
+                              scale=scale)
+            kernels = r.extra["kernels"]
+            t = antt_stp([k["finish_cycle"] for k in kernels],
+                         [solo[k["name"]] for k in kernels])
+            per_policy[policy] = {
+                "total_cycles": r.cycles,
+                "antt": t["antt"],
+                "stp": t["stp"],
+                "slowdowns": {
+                    k["name"]: k["finish_cycle"] / solo[k["name"]]
+                    for k in kernels
+                },
+                "kernels": kernels,
+            }
+        out[pair.name] = per_policy
     return out
 
 

@@ -55,7 +55,12 @@ from repro.analysis.driver import run_benchmark, run_sweep, set_engine
 from repro.analysis.metrics import geomean
 from repro.analysis.report import format_percent, format_table
 from repro.analysis.store import ResultStore
-from repro.config import SchedulerKind, fermi_config, small_config
+from repro.config import (
+    ALLOC_POLICIES,
+    SchedulerKind,
+    fermi_config,
+    small_config,
+)
 from repro.errors import (
     ConfigError,
     IncompleteRunError,
@@ -72,7 +77,13 @@ from repro.exec import (
 )
 from repro.guard.watchdog import format_snapshot
 from repro.prefetch import PREFETCHERS
-from repro.workloads import ALL_BENCHMARKS, WORKLOADS, Scale
+from repro.workloads import (
+    ALL_BENCHMARKS,
+    WORKLOADS,
+    Scale,
+    canonical_name,
+    normalize_benchmark,
+)
 
 #: Process exit codes for scripted callers (CI, Makefiles).
 EXIT_OK = 0
@@ -167,6 +178,17 @@ def _overrides_dict(pairs) -> dict:
     return out
 
 
+def _bench(name: str) -> str:
+    """Canonical benchmark name for a CLI argument (aliases accepted)."""
+    canonical = canonical_name(name)
+    if canonical not in ALL_BENCHMARKS:
+        raise argparse.ArgumentTypeError(
+            f"unknown benchmark {name!r}; choose from "
+            f"{', '.join(sorted(ALL_BENCHMARKS))}"
+        )
+    return canonical
+
+
 def _scheduler(name: Optional[str]) -> Optional[SchedulerKind]:
     if name is None:
         return None
@@ -211,7 +233,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="simulate one benchmark",
                          parents=[ex])
-    run.add_argument("bench", type=str.upper, choices=sorted(ALL_BENCHMARKS))
+    run.add_argument("bench", type=_bench, nargs="?", default=None,
+                     help="benchmark abbreviation (omit when using "
+                          "--co-run)")
+    run.add_argument("--co-run", type=str, default=None, metavar="A,B",
+                     help="co-schedule two or more kernels on one GPU "
+                          "(comma-separated benchmarks, e.g. MRQ,SGEMM); "
+                          "prints per-kernel metrics plus ANTT/STP "
+                          "against solo runs")
+    run.add_argument("--alloc-policy", choices=ALLOC_POLICIES,
+                     default=None,
+                     help="inter-kernel CTA allocation policy for "
+                          "--co-run: spatial (fixed SM partition), "
+                          "leftover (fill idle slots), preempt "
+                          "(CTA-boundary preemptive SRTF; default: "
+                          "the config preset's policy)")
     run.add_argument("--engine", choices=ENGINE_CHOICES, default="caps")
     run.add_argument("--scale", choices=sorted(SCALES), default="small")
     run.add_argument("--config", type=_config, default="small")
@@ -507,8 +543,81 @@ def cmd_list(_args) -> int:
     return 0
 
 
+def _run_corun(args, cfg) -> int:
+    """``repro run --co-run A,B``: one concurrent-kernel simulation.
+
+    Runs the co-schedule plus one solo run per kernel (same engine and
+    config preset), prints the per-kernel sub-records and the ANTT/STP
+    interference metrics — see docs/metrics-glossary.md.
+    """
+    from repro.sim.multi import antt_stp
+
+    parts = [b.strip() for b in args.co_run.split(",") if b.strip()]
+    if len(parts) < 2:
+        raise SystemExit(
+            "repro run --co-run: name at least two comma-separated "
+            f"benchmarks (got {args.co_run!r})")
+    try:
+        pair = normalize_benchmark("+".join(parts))
+    except KeyError as exc:
+        raise SystemExit(f"repro run --co-run: {exc.args[0]}") from None
+    if args.alloc_policy is not None:
+        cfg = cfg.with_multi(alloc_policy=args.alloc_policy)
+    scale = SCALES[args.scale]
+    co = run_benchmark(pair, args.engine, config=cfg, scale=scale,
+                       scheduler=args.scheduler)
+    solos = [run_benchmark(b, args.engine, config=cfg, scale=scale,
+                           scheduler=args.scheduler)
+             for b in pair.split("+")]
+    kernels = co.extra["kernels"]
+    t = antt_stp([k["finish_cycle"] for k in kernels],
+                 [s.cycles for s in solos])
+    rows = []
+    for rec, solo in zip(kernels, solos):
+        rows.append((
+            rec["name"],
+            rec["finish_cycle"],
+            solo.cycles,
+            f"{rec['finish_cycle'] / solo.cycles:.3f}x",
+            f"{rec['ipc']:.3f}",
+            format_percent(rec["l1_hit_rate"]),
+            format_percent(rec["coverage"]),
+            format_percent(rec["stall_fraction"]),
+        ))
+    print(format_table(
+        ["kernel", "co-run cycles", "solo cycles", "slowdown", "IPC",
+         "L1 hit", "coverage", "stall"],
+        rows,
+        title=(f"{pair} @ {args.scale} via {args.engine} "
+               f"[{cfg.multi.alloc_policy}]"),
+    ))
+    print(f"\ntotal cycles {co.cycles}  "
+          f"ANTT {t['antt']:.3f}  STP {t['stp']:.3f}  "
+          f"(policy: {cfg.multi.alloc_policy})")
+    if args.store:
+        store = (ResultStore.load(args.store) if args.store.exists()
+                 else ResultStore())
+        store.add_result(co, scale=args.scale)
+        store.save(args.store)
+        print(f"\nsaved to {args.store} ({len(store)} records)")
+    return EXIT_OK
+
+
 def cmd_run(args) -> int:
     cfg = _guarded_config(args)
+    if args.co_run is not None:
+        if args.bench is not None:
+            raise SystemExit(
+                "repro run: give either a positional benchmark or "
+                "--co-run, not both")
+        return _run_corun(args, cfg)
+    if args.bench is None:
+        raise SystemExit(
+            "repro run: name a benchmark or pass --co-run A,B")
+    if args.bench not in ALL_BENCHMARKS:
+        raise SystemExit(
+            f"repro run: unknown benchmark {args.bench!r} "
+            f"(choose from {', '.join(sorted(ALL_BENCHMARKS))})")
     want_metrics = (args.metrics_out is not None
                     or args.metrics_window is not None)
     if want_metrics or args.profile:

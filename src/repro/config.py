@@ -259,6 +259,63 @@ class ObsConfig:
 #: Valid values for :attr:`GPUConfig.engine`.
 SIM_ENGINES = ("cycle", "event")
 
+#: Valid values for :attr:`MultiConfig.alloc_policy`.
+ALLOC_POLICIES = ("spatial", "leftover", "preempt")
+
+
+@dataclass(frozen=True)
+class MultiConfig:
+    """Concurrent-kernel execution knobs (see docs/architecture.md).
+
+    Only consulted when a run co-schedules more than one kernel
+    (``repro run --co-run A,B``); single-kernel runs ignore every field
+    but still fingerprint them, so co-run results can never alias a
+    cached single-kernel cell (exec-cache schema v4).
+    """
+
+    #: Inter-kernel CTA allocation policy:
+    #: ``spatial``  — fixed SM partition per kernel (an SM never hosts
+    #:                CTAs from two kernels, idles when its kernel drains);
+    #: ``leftover`` — kernel 0 owns every slot it can fill, later kernels
+    #:                drain into whatever is left (FCFS draining);
+    #: ``preempt``  — CTA-boundary preemption: every free slot goes to
+    #:                the kernel with the shortest *predicted* remaining
+    #:                runtime (online structural prediction a la Pai et
+    #:                al.), so short kernels overtake long ones.
+    alloc_policy: str = "leftover"
+    #: ``spatial`` policy: fraction of SMs owned by kernel 0 (the rest
+    #: are split evenly over the remaining kernels).
+    spatial_split: float = 0.5
+    #: ``preempt`` policy: exponential-moving-average weight for observed
+    #: CTA durations (1.0 = latest sample only).
+    predictor_ema: float = 0.5
+    #: ``preempt`` policy: before any CTA of a kernel completes, its
+    #: per-CTA runtime is predicted structurally from the kernel's static
+    #: instruction mix scaled by this many cycles per dynamic instruction.
+    predictor_cpi_prior: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.alloc_policy not in ALLOC_POLICIES:
+            raise ConfigError(
+                f"multi.alloc_policy must be one of {ALLOC_POLICIES} "
+                f"(got {self.alloc_policy!r})"
+            )
+        if not 0.0 < self.spatial_split < 1.0:
+            raise ConfigError(
+                f"multi.spatial_split must be in (0, 1) "
+                f"(got {self.spatial_split})"
+            )
+        if not 0.0 < self.predictor_ema <= 1.0:
+            raise ConfigError(
+                f"multi.predictor_ema must be in (0, 1] "
+                f"(got {self.predictor_ema})"
+            )
+        if self.predictor_cpi_prior <= 0:
+            raise ConfigError(
+                f"multi.predictor_cpi_prior must be > 0 "
+                f"(got {self.predictor_cpi_prior})"
+            )
+
 
 @dataclass(frozen=True)
 class GPUConfig:
@@ -313,6 +370,9 @@ class GPUConfig:
     #: results; ``deep_checks`` and ``obs.profile`` force the reference
     #: loop regardless of this knob.
     engine: str = "event"
+    #: Concurrent-kernel execution knobs; inert for single-kernel runs
+    #: but always part of the cache fingerprint (schema v4).
+    multi: MultiConfig = field(default_factory=MultiConfig)
 
     def __post_init__(self) -> None:
         if self.num_sms < 1:
@@ -384,6 +444,11 @@ class GPUConfig:
         """Copy of this config with the simulator core replaced
         (``"cycle"`` reference loop or ``"event"`` fast core)."""
         return replace(self, engine=engine)
+
+    def with_multi(self, **overrides) -> "GPUConfig":
+        """Copy of this config with :class:`MultiConfig` fields replaced
+        (``cfg.with_multi(alloc_policy="preempt")`` for co-run sweeps)."""
+        return replace(self, multi=replace(self.multi, **overrides))
 
     def with_obs(self, **overrides) -> "GPUConfig":
         """Copy of this config with :class:`ObsConfig` fields replaced.

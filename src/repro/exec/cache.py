@@ -52,7 +52,11 @@ log = logging.getLogger(__name__)
 #: SimResult.extra may hold structured snapshots.
 #: v3: GPUConfig grew the observability knobs (obs.*) and SimResult.extra
 #: may hold timeseries/trace/profile payloads (see repro.obs).
-CACHE_SCHEMA_VERSION = 3
+#: v4: GPUConfig grew the concurrent-kernel knobs (multi.*), RunKey
+#: benchmarks may be co-run pairs ("A+B") and SimResult.extra may hold
+#: per-kernel sub-records — single-kernel v3 entries must never be
+#: served for a co-run request (or vice versa).
+CACHE_SCHEMA_VERSION = 4
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 

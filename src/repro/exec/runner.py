@@ -92,14 +92,26 @@ class CellFailure:
 def execute_cell(key: RunKey, faults: Optional[FaultPlan] = None) -> SimResult:
     """Simulate one matrix cell (no caching; raises on incomplete runs).
 
+    A benchmark of the form ``"A+B"`` is a *co-run* cell: the named
+    kernels execute concurrently on one GPU under
+    ``key.config.multi.alloc_policy`` (see :mod:`repro.sim.multi`) and
+    the result carries per-kernel sub-records in ``extra["kernels"]``.
+
     The :class:`IncompleteRunError` raised for a cycle-limited run
     carries the truncated result — its ``extra["hang_snapshot"]`` is the
     end-of-run diagnostic.
     """
-    kernel = build(key.benchmark, key.scale)
     factory = (make_prefetcher(key.prefetcher)
                if key.prefetcher != "none" else None)
-    result = simulate(kernel, key.config, factory, faults=faults)
+    if "+" in key.benchmark:
+        from repro.sim.multi import simulate_corun
+
+        kernels = [build(name, key.scale)
+                   for name in key.benchmark.split("+")]
+        result = simulate_corun(kernels, key.config, factory, faults=faults)
+    else:
+        result = simulate(build(key.benchmark, key.scale), key.config,
+                          factory, faults=faults)
     if not result.completed:
         raise IncompleteRunError(
             f"{key.benchmark}/{key.prefetcher} hit the cycle limit "

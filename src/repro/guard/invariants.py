@@ -153,6 +153,9 @@ class InvariantChecker:
                  "awaited_inflight": awaited, "completed": completed},
             )
 
+        if getattr(gpu, "app", None) is not None:
+            self._verify_per_kernel(gpu, completed)
+
         if completed:
             retired = sum(sm.stats.ctas_executed for sm in gpu.sms)
             if retired != gpu.kernel.num_ctas:
@@ -170,6 +173,107 @@ class InvariantChecker:
                         {"sm": sm.sm_id,
                          "unfinished": sm.unfinished_warps},
                     )
+
+    # ------------------------------------------------- per-kernel slices
+    def _verify_per_kernel(self, gpu, completed: bool) -> None:
+        """Concurrent-kernel runs: per-kernel sub-records must
+        conservation-sum to the global counters.
+
+        Applies to every event-count counter (instructions, loads,
+        stores, L1 accesses/hits/misses, demand fetches, MSHR traffic,
+        prefetch outcomes, CTAs, memory-subsystem requests/responses).
+        Cycle-overlap counters (active/issue/stall) are per-kernel
+        *perspectives* — co-resident kernels legitimately overlap — and
+        are deliberately not summed here.
+        """
+        from repro.prefetch.stats import PrefetchStats
+        from repro.sim.sm import KernelStats
+
+        conserved = (
+            "instructions", "loads_issued", "stores_issued",
+            "demand_l1_accesses", "demand_mem_fetches",
+            "l1_accesses", "l1_hits", "l1_misses",
+            "mshr_allocated", "mshr_released", "ctas_executed",
+        )
+        totals = KernelStats()
+        for sm in gpu.sms:
+            for ks in sm.kstats.values():
+                totals.merge(ks)
+        global_l1 = {
+            "l1_accesses": sum(sm.l1.accesses for sm in gpu.sms),
+            "l1_hits": sum(sm.l1.hits for sm in gpu.sms),
+            "l1_misses": sum(sm.l1.misses for sm in gpu.sms),
+            "mshr_allocated": sum(sm.l1.mshr.allocated for sm in gpu.sms),
+            "mshr_released": sum(sm.l1.mshr.released for sm in gpu.sms),
+        }
+        for f in conserved:
+            if f in global_l1:
+                expect = global_l1[f]
+            else:
+                expect = sum(getattr(sm.stats, f) for sm in gpu.sms)
+            got = getattr(totals, f)
+            if got != expect:
+                _violate(
+                    "per_kernel_conservation",
+                    f"per-kernel {f} slices do not sum to the global "
+                    "counter",
+                    {"counter": f, "per_kernel_sum": got,
+                     "global": expect, "completed": completed},
+                )
+
+        merged_k = PrefetchStats()
+        for sm in gpu.sms:
+            for pk in sm.pstats_k.values():
+                merged_k.merge(pk)
+        merged = self._merged_pstats(gpu)
+        for f in merged.__dataclass_fields__:
+            got, expect = getattr(merged_k, f), getattr(merged, f)
+            if got != expect:
+                _violate(
+                    "per_kernel_prefetch_conservation",
+                    f"per-kernel prefetch {f} slices do not sum to the "
+                    "global counter",
+                    {"counter": f, "per_kernel_sum": got,
+                     "global": expect, "completed": completed},
+                )
+
+        sub = gpu.subsystem
+        pk = sub.per_kernel or {}
+        sums = [sum(c[i] for c in pk.values()) for i in range(4)]
+        mem_expect = (sub.core_demand_requests, sub.core_prefetch_requests,
+                      sub.core_store_requests, sub.responses_delivered)
+        names = ("demand", "prefetch", "store", "responses")
+        for name, got, expect in zip(names, sums, mem_expect):
+            if got != expect:
+                _violate(
+                    "per_kernel_traffic_conservation",
+                    f"per-kernel {name} traffic does not sum to the "
+                    "subsystem counter",
+                    {"counter": name, "per_kernel_sum": got,
+                     "global": expect, "completed": completed},
+                )
+
+        dist = gpu.distributor
+        for kid, kernel in enumerate(gpu.app.kernels):
+            retired = sum(
+                sm.kstats[kid].ctas_executed
+                for sm in gpu.sms if kid in sm.kstats
+            )
+            if retired != dist.finished_ctas[kid]:
+                _violate(
+                    "per_kernel_cta_conservation",
+                    "per-kernel CTAs retired on SMs disagree with the "
+                    "distributor",
+                    {"kernel_id": kid, "retired": retired,
+                     "distributor": dist.finished_ctas[kid]},
+                )
+            if completed and retired != kernel.num_ctas:
+                _violate(
+                    "per_kernel_cta_conservation",
+                    "completed co-run left a kernel with unretired CTAs",
+                    {"kernel_id": kid, "retired": retired,
+                     "launched": kernel.num_ctas},
+                )
 
     @staticmethod
     def _check_mshr(name: str, mshr) -> None:

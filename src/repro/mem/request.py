@@ -41,6 +41,8 @@ class MemoryRequest:
     warp_uid: int = -1
     target_warp: int = -1
     issue_cycle: int = 0
+    # owning kernel in a concurrent-kernel run (always 0 single-kernel)
+    kernel_id: int = 0
     uid: int = field(default_factory=lambda: next(_uid))
     # set on the return path
     l2_hit: bool = False

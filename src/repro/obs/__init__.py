@@ -190,10 +190,11 @@ class Observability:
 
     # ------------------------------------------------------------- control
     def cta_launch(self, sm_id: int, cta_id: int, now: int,
-                   interleaved: bool = False) -> None:
+                   interleaved: bool = False, kernel_id: int = 0) -> None:
         """A CTA was placed on an SM."""
         if self.trace:
-            self.trace.cta_launch(sm_id, cta_id, now, interleaved)
+            self.trace.cta_launch(sm_id, cta_id, now, interleaved,
+                                  kernel_id)
 
     def eager_wakeup(self, warp, now: int) -> None:
         """PAS promoted the warp bound to an arrived prefetch."""

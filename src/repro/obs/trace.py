@@ -23,6 +23,11 @@ Recorded events (``pid`` = SM id, ``tid`` = lane within the SM):
   ``eager_wakeup`` (PAS promoted the bound warp), ``percta_register`` /
   ``percta_advance`` (CAP table writes) and ``cta_launch``.
 
+In concurrent-kernel runs (``repro run --co-run A,B``) every span and
+CTA launch carries the owning kernel id in ``args.kernel`` and warp
+spans from kernels other than 0 get a ``k<id>:`` name prefix, so one
+co-running kernel's activity can be isolated in the viewer.
+
 The recorder caps itself at ``ObsConfig.trace_limit`` events;
 :attr:`TraceRecorder.dropped` counts what the cap discarded (also
 reported in the exported JSON under ``metadata``), so a truncated trace
@@ -86,13 +91,23 @@ class TraceRecorder:
         # yet beyond the leading marker handled by lead_disarm().
 
     def warp_finish(self, warp, now: int) -> None:
-        """A warp retired: emit its lifetime span."""
+        """A warp retired: emit its lifetime span.
+
+        In multi-kernel runs the span name carries a ``k<id>:`` prefix
+        and ``args.kernel`` the owning kernel id, so Perfetto can
+        filter one co-running kernel's activity; single-kernel runs
+        (kernel 0) keep their unprefixed names.
+        """
+        kid = getattr(warp, "kernel_id", 0)
+        prefix = f"k{kid}:" if kid else ""
         self._span(
             pid=warp.sm_id, tid=warp.slot,
-            name=f"warp {warp.cta_id}.{warp.warp_in_cta}", cat="warp",
+            name=f"{prefix}warp {warp.cta_id}.{warp.warp_in_cta}",
+            cat="warp",
             start=warp.launch_cycle, end=now,
             args={"cta": warp.cta_id, "warp_in_cta": warp.warp_in_cta,
-                  "instructions": warp.instructions_issued},
+                  "instructions": warp.instructions_issued,
+                  "kernel": kid},
         )
         since = self._stall_since.pop(warp.uid, None)
         if since is not None:
@@ -108,15 +123,18 @@ class TraceRecorder:
         self._stall(warp, start, now)
 
     def _stall(self, warp, start: int, end: int) -> None:
+        kid = getattr(warp, "kernel_id", 0)
         self._span(pid=warp.sm_id, tid=warp.slot, name="stall:mem",
-                   cat="stall", start=start, end=end)
+                   cat="stall", start=start, end=end,
+                   args={"kernel": kid} if kid else None)
 
     def lead_disarm(self, warp, now: int) -> None:
         """A leading warp finished discovering its CTA's base addresses."""
         self._span(
             pid=warp.sm_id, tid=warp.slot, name="lead", cat="lead",
             start=warp.launch_cycle, end=now,
-            args={"cta": warp.cta_id, "loads": warp.lead_loads_issued},
+            args={"cta": warp.cta_id, "loads": warp.lead_loads_issued,
+                  "kernel": getattr(warp, "kernel_id", 0)},
         )
 
     # ----------------------------------------------------- prefetch spans
@@ -132,7 +150,8 @@ class TraceRecorder:
             name=f"prefetch pc={req.pc:#x}", cat="prefetch",
             start=start, end=now,
             args={"line_addr": req.line_addr, "pc": req.pc,
-                  "target_warp": req.target_warp},
+                  "target_warp": req.target_warp,
+                  "kernel": getattr(req, "kernel_id", 0)},
         )
 
     def pf_consume(self, sm_id: int, distance: int, now: int) -> None:
@@ -152,11 +171,12 @@ class TraceRecorder:
 
     # ------------------------------------------------------- control lane
     def cta_launch(self, sm_id: int, cta_id: int, now: int,
-                   interleaved: bool) -> None:
+                   interleaved: bool, kernel_id: int = 0) -> None:
         """A CTA was launched onto an SM."""
         self._instant(pid=sm_id, tid=CONTROL_LANE, name="cta_launch",
                       cat="cta", ts=now,
-                      args={"cta": cta_id, "interleaved": interleaved})
+                      args={"cta": cta_id, "interleaved": interleaved,
+                            "kernel": kernel_id})
 
     def eager_wakeup(self, warp, now: int) -> None:
         """PAS promoted a warp whose prefetched data arrived."""

@@ -62,7 +62,7 @@ from repro.errors import (
 from repro.exec.cache import RunKey
 from repro.prefetch import PREFETCHERS
 from repro.prefetch.factory import default_scheduler_for
-from repro.workloads import ALL_BENCHMARKS, Scale
+from repro.workloads import ALL_BENCHMARKS, Scale, normalize_benchmark
 
 #: Bump on incompatible request/response schema changes; the server
 #: rejects mismatched requests with ``bad_request`` instead of guessing.
@@ -204,12 +204,16 @@ def parse_request(payload: Dict[str, Any]) -> Request:
     if op != "simulate":
         return Request(id=req_id, op=op)
 
-    benchmark = str(payload.get("benchmark", "")).upper()
-    if benchmark not in ALL_BENCHMARKS:
+    # A benchmark may be one abbreviation or a "+"-joined co-run pair
+    # ("MRQ+SGEMM"); each part is validated and canonicalized (aliases
+    # resolved) so equivalent spellings share a cache cell.
+    try:
+        benchmark = normalize_benchmark(str(payload.get("benchmark", "")))
+    except KeyError:
         raise BadRequestError(
-            f"unknown benchmark {payload.get('benchmark')!r}; choose from "
-            f"{sorted(ALL_BENCHMARKS)}"
-        )
+            f"unknown benchmark {payload.get('benchmark')!r}; choose one "
+            f"of {sorted(ALL_BENCHMARKS)} or a co-run pair 'A+B'"
+        ) from None
     engine = payload.get("engine", "none")
     if engine not in ENGINE_CHOICES:
         raise BadRequestError(

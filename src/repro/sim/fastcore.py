@@ -104,6 +104,8 @@ def _accrue_stall(sm, k: int) -> None:
         stats.stall_mem_partial += k
     else:
         stats.stall_other += k
+    if sm._multi:
+        sm._kernel_stall_cycles(k)
 
 
 def _replay_wedged(sm, rp) -> bool:
@@ -334,6 +336,7 @@ def _issue_span(sm, now: int, end: int, stall_cap: int, lsu_busy: bool) -> int:
     if issued:
         sched._ptr = ptr
         total = 0
+        per_kernel = {} if sm._multi else None
         for j in range(n):
             if cnt[j]:
                 ready[j].cursor.consume_alu(cnt[j])
@@ -343,10 +346,35 @@ def _issue_span(sm, now: int, end: int, stall_cap: int, lsu_busy: bool) -> int:
                 w.instructions_issued += tj
                 w.ready_at = ra[j]
                 total += tj
+                if per_kernel is not None:
+                    kid = w.kernel_id
+                    per_kernel[kid] = per_kernel.get(kid, 0) + tj
         stats = sm.stats
         stats.instructions += total
         stats.issue_cycles += issued
         stats.active_cycles += issued
+        if per_kernel is not None:
+            # Each issue cycle belongs to exactly one kernel; from every
+            # co-resident kernel's perspective the same cycle is a stall
+            # (warp counts are constant over an ALU-only span, so the
+            # per-kernel classification is too).
+            for kid, unfin in sm.k_unfinished.items():
+                if unfin <= 0:
+                    continue
+                ks = sm.kstats[kid]
+                own = per_kernel.get(kid, 0)
+                ks.active_cycles += issued
+                ks.issue_cycles += own
+                ks.instructions += own
+                other = issued - own
+                if other:
+                    kw = sm.k_waiting.get(kid, 0)
+                    if kw >= unfin:
+                        ks.stall_mem_all += other
+                    elif kw > 0:
+                        ks.stall_mem_partial += other
+                    else:
+                        ks.stall_other += other
     return t
 
 
@@ -423,8 +451,13 @@ def _dispatch(sm, now: int, hook_at: int, sub, cap_box) -> None:
     # ready warp, and no gated prefetch work can become serviceable.
     # In-span picks are then provably response-independent and may run
     # to the hook boundary; only stalls stay under the response bound.
+    # Multi-kernel runs additionally classify each issue cycle from
+    # every co-resident kernel's perspective using that kernel's live
+    # waiting count — a response landing mid-span changes it — so they
+    # keep all spans under the response bound.
     hard = (
         rp is None
+        and not sm._multi
         and sm._hard_span_ok
         and not sm.prefetch_queue
         and len(sched.ready) == sched.ready_size
@@ -449,6 +482,10 @@ def _dispatch(sm, now: int, hook_at: int, sub, cap_box) -> None:
         l1._tick += k
         l1.accesses += k
         l1.misses += k
+        if sm._multi:
+            ks = sm.kstats[rp.warp.kernel_id]
+            ks.l1_accesses += k
+            ks.l1_misses += k
     sm._skip_until = t
     sm._span_hard = hard
 

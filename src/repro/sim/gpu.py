@@ -158,7 +158,7 @@ class GPU:
     def _on_response(self, req) -> None:
         self.sms[req.sm_id].on_mem_response(req, self.now)
 
-    def _on_cta_done(self, sm_id: int) -> None:
+    def _on_cta_done(self, sm_id: int, cta, now: int) -> None:
         nxt = self.distributor.on_cta_finish(sm_id)
         if nxt is not None:
             self.sms[sm_id].launch_cta(nxt, self.now)

@@ -30,6 +30,11 @@ class KernelInfo:
     grid_dim: Tuple[int, int] = (0, 0)
     resources: Optional[CTAResources] = None
     irregular: bool = False
+    #: Position in a concurrent-kernel launch (0 for single-kernel runs).
+    #: Set by :func:`repro.sim.multi.virtualize_kernel`, which also
+    #: rebases the program's pcs and address space so per-kernel state
+    #: never aliases across co-runners.
+    kernel_id: int = 0
 
     def __post_init__(self) -> None:
         if self.num_ctas < 1:

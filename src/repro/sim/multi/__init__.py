@@ -1,0 +1,40 @@
+"""Concurrent-kernel execution subsystem.
+
+Runs N kernels *simultaneously* on one simulated GPU (contrast with
+:mod:`repro.sim.application`, which runs kernels back-to-back with a
+persistent memory hierarchy).  CTA slots are allocated between kernels
+by a pluggable policy — ``spatial`` (fixed SM partition), ``leftover``
+(priority fill) or ``preempt`` (CTA-boundary preemptive SRTF driven by
+an online runtime predictor) — and every SM/memory counter is sliced
+per kernel so interference can be measured exactly.
+"""
+
+from .app import PC_STRIDE, MultiKernelApp, virtualize_kernel
+from .distributor import CorunAssignment, MultiKernelDistributor
+from .gpu import MultiGPU, simulate_corun
+from .metrics import antt_stp
+from .policies import (
+    AllocPolicy,
+    LeftoverPolicy,
+    PreemptPolicy,
+    RuntimePredictor,
+    SpatialPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "PC_STRIDE",
+    "MultiKernelApp",
+    "virtualize_kernel",
+    "CorunAssignment",
+    "MultiKernelDistributor",
+    "MultiGPU",
+    "simulate_corun",
+    "antt_stp",
+    "AllocPolicy",
+    "SpatialPolicy",
+    "LeftoverPolicy",
+    "PreemptPolicy",
+    "RuntimePredictor",
+    "make_policy",
+]

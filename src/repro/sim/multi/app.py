@@ -1,0 +1,108 @@
+"""Concurrent-kernel applications: kernel virtualization + the app model.
+
+A :class:`MultiKernelApp` holds N kernels that share one GPU *at the
+same time* (unlike :mod:`repro.sim.application`, which runs kernels
+back-to-back).  Because the simulator's per-kernel state is keyed by
+static pcs (prefetcher PerCTA/Dist tables) and byte addresses (L1 tags,
+MSHRs, DRAM rows), co-resident kernels must never alias each other:
+:func:`virtualize_kernel` rebases kernel ``k``'s program pcs by
+``k * PC_STRIDE`` and its address space by ``k << KERNEL_ADDR_SHIFT``,
+making every pc- or address-keyed table kernel-disjoint by construction
+and letting any line address resolve its owning kernel with one shift.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.sim.isa import AddressFn, ComputeOp, LoadOp, LoopOp, Op, StoreOp
+from repro.sim.kernel import KernelInfo
+from repro.sim.sm import KERNEL_ADDR_SHIFT
+
+#: PC offset between co-resident kernels' programs.  Far larger than any
+#: workload's static footprint (4 bytes/slot), far smaller than the
+#: address-space stride.
+PC_STRIDE = 1 << 20
+
+
+def _offset_pattern(pattern: AddressFn, offset: int) -> AddressFn:
+    def fn(ctx):
+        return tuple(a + offset for a in pattern(ctx))
+
+    return fn
+
+
+def virtualize_kernel(kernel: KernelInfo, kernel_id: int) -> KernelInfo:
+    """Rebase ``kernel`` into co-run slot ``kernel_id`` (in place).
+
+    Kernel 0 keeps its native pcs and addresses — a single-kernel run is
+    the identity transform, which is what keeps co-run code paths
+    bit-compatible with the existing differential baselines.  Later
+    kernels get every load/store site's pc shifted by ``PC_STRIDE`` and
+    every generated address shifted into a disjoint range.  Only valid
+    on freshly built kernels (workload builders return fresh programs
+    per :func:`repro.workloads.build` call).
+    """
+    kernel.kernel_id = kernel_id
+    if kernel_id == 0:
+        return kernel
+    pc_off = kernel_id * PC_STRIDE
+    addr_off = kernel_id << KERNEL_ADDR_SHIFT
+    prog = kernel.program
+    seen: set = set()
+
+    def walk(ops: Sequence[Op]) -> None:
+        for op in ops:
+            if isinstance(op, (LoadOp, StoreOp)):
+                site = op.site
+                if id(site) not in seen:
+                    seen.add(id(site))
+                    site.pc += pc_off
+                    site.pattern = _offset_pattern(site.pattern, addr_off)
+            elif isinstance(op, LoopOp):
+                walk(op.body)
+            elif isinstance(op, ComputeOp):
+                # Cached ALU Instr objects bake in absolute pcs; drop
+                # any cache built before the rebase (defensive — fresh
+                # builds have none).
+                op.__dict__.pop("_instr_cache", None)
+
+    walk(prog.ops)
+    prog._op_pcs = {k: v + pc_off for k, v in prog._op_pcs.items()}
+    prog._end_pc += pc_off
+    return kernel
+
+
+class MultiKernelApp:
+    """N kernels co-resident on one GPU.
+
+    Exposes the ``name``/``num_ctas`` surface of a single
+    :class:`KernelInfo` so the existing GPU plumbing (result collection,
+    watchdog snapshots, end-of-run invariants) treats the co-run as one
+    combined launch whose counters are additionally sliced per kernel.
+    """
+
+    def __init__(self, kernels: Sequence[KernelInfo]):
+        if not kernels:
+            raise ValueError("co-run needs at least one kernel")
+        self.kernels: List[KernelInfo] = [
+            virtualize_kernel(k, i) for i, k in enumerate(kernels)
+        ]
+
+    @property
+    def name(self) -> str:
+        return "+".join(k.name for k in self.kernels)
+
+    @property
+    def num_ctas(self) -> int:
+        return sum(k.num_ctas for k in self.kernels)
+
+    @property
+    def num_kernels(self) -> int:
+        return len(self.kernels)
+
+    def __len__(self) -> int:
+        return len(self.kernels)
+
+    def __iter__(self):
+        return iter(self.kernels)

@@ -1,0 +1,33 @@
+"""Multiprogramming metrics for concurrent-kernel runs.
+
+ANTT and STP are the standard co-run fairness/throughput pair
+(Eyerman & Eeckhout):
+
+* **ANTT** (average normalized turnaround time) — ``mean(T_co / T_solo)``
+  over kernels; 1.0 is no slowdown, lower is better.
+* **STP** (system throughput) — ``sum(T_solo / T_co)``; equals the
+  number of kernels under perfect scaling, higher is better.
+
+Both need each kernel's *solo* runtime, which only the caller (runner /
+analysis layer) has — the simulator reports per-kernel co-run finish
+cycles and these helpers combine them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+
+def antt_stp(co_cycles: Sequence[int],
+             solo_cycles: Sequence[int]) -> Dict[str, float]:
+    """Compute ANTT and STP from per-kernel co-run and solo runtimes."""
+    if len(co_cycles) != len(solo_cycles) or not co_cycles:
+        raise ValueError("need one (co, solo) runtime pair per kernel")
+    ratios = []
+    for co, solo in zip(co_cycles, solo_cycles):
+        if co <= 0 or solo <= 0:
+            raise ValueError(f"runtimes must be positive (co={co}, solo={solo})")
+        ratios.append(co / solo)
+    antt = sum(ratios) / len(ratios)
+    stp = sum(1.0 / r for r in ratios)
+    return {"antt": antt, "stp": stp}

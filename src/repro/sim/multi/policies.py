@@ -1,0 +1,191 @@
+"""Inter-kernel CTA allocation policies for concurrent-kernel runs.
+
+A policy answers one question: when SM ``s`` has room for another CTA at
+cycle ``t``, *which kernel's* CTA should it take?  The distributor
+(:mod:`repro.sim.multi.distributor`) walks the policy's preference order
+and issues the first admissible kernel's next CTA.
+
+Three policies are provided:
+
+``spatial``
+    Static SM partitioning.  Each SM is owned by exactly one kernel for
+    the whole run (split point from ``MultiConfig.spatial_split``); an
+    SM whose kernel has drained simply idles.  This is the classic
+    spatial-multitasking baseline — no interference on the SM, full
+    interference in the shared L2/DRAM.
+
+``leftover``
+    Greedy fill in kernel-id order.  Kernel 0 takes every slot it can;
+    later kernels absorb the leftover capacity (free CTA slots and warp
+    contexts kernel 0 cannot use).  This mirrors the "leftover" policy
+    of concurrent-kernel GPUs where a primary kernel's residual
+    occupancy is backfilled by a co-runner.
+
+``preempt``
+    CTA-boundary preemptive shortest-remaining-time-first.  An online
+    structural runtime predictor (in the spirit of Pai et al.'s model
+    of kernel runtime from grid structure) estimates each kernel's
+    remaining runtime; every free slot goes to the kernel predicted to
+    finish soonest.  Preemption is cooperative at CTA granularity —
+    running CTAs are never killed, the kernel holding the SM simply
+    stops receiving new slots — which is exactly the CTA-boundary
+    preemption the paper's co-run discussion assumes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.config import ALLOC_POLICIES, GPUConfig
+from repro.errors import ConfigError
+
+
+class RuntimePredictor:
+    """Online per-kernel CTA-runtime estimator.
+
+    Before a kernel has retired any CTA, its estimate is a *structural
+    prior*: dynamic instructions per CTA times a configurable
+    cycles-per-instruction prior (``MultiConfig.predictor_cpi_prior``).
+    Every retired CTA then refines the estimate with an exponential
+    moving average over observed CTA durations
+    (``MultiConfig.predictor_ema``).  Plain floats are safe for
+    engine bit-identity because both engines observe the identical
+    sequence of (kid, duration) events and the arithmetic is
+    deterministic.
+    """
+
+    def __init__(self, kernels, config: GPUConfig):
+        mc = config.multi
+        self._ema = mc.predictor_ema
+        self.observed: List[int] = [0 for _ in kernels]
+        self.estimate: List[float] = [
+            max(1.0, k.warps_per_cta * k.program.dynamic_instruction_count()
+                * mc.predictor_cpi_prior)
+            for k in kernels
+        ]
+
+    def observe(self, kid: int, duration: int) -> None:
+        """Fold one retired CTA's duration into kernel ``kid``'s estimate."""
+        if self.observed[kid] == 0:
+            self.estimate[kid] = float(max(1, duration))
+        else:
+            a = self._ema
+            self.estimate[kid] = (a * max(1, duration)
+                                  + (1.0 - a) * self.estimate[kid])
+        self.observed[kid] += 1
+
+
+class AllocPolicy:
+    """Base inter-kernel allocation policy."""
+
+    name = "base"
+
+    def __init__(self, kernels, config: GPUConfig):
+        self.kernels = kernels
+        self.config = config
+
+    def order(self, sm_id: int, dist) -> Sequence[int]:
+        """Kernel ids in preference order for a free slot on ``sm_id``.
+
+        ``dist`` is the :class:`MultiKernelDistributor`, exposing live
+        occupancy (``active``, ``finished_ctas``, ``next_cta``).
+        """
+        raise NotImplementedError
+
+    def observe_cta(self, kid: int, duration: int) -> None:
+        """Hook: a CTA of kernel ``kid`` retired after ``duration`` cycles."""
+
+
+class SpatialPolicy(AllocPolicy):
+    """Fixed SM partition: SM ``s`` only ever runs ``self.owner[s]``."""
+
+    name = "spatial"
+
+    def __init__(self, kernels, config: GPUConfig):
+        super().__init__(kernels, config)
+        k = len(kernels)
+        n = config.num_sms
+        if n < k:
+            raise ConfigError(
+                f"spatial allocation needs at least one SM per kernel "
+                f"(num_sms={n}, kernels={k})"
+            )
+        self.owner: List[int] = [0] * n
+        if k > 1:
+            # Kernel 0 gets round(split * n) SMs (clamped so every
+            # kernel keeps at least one); the rest are divided evenly,
+            # in SM order, among kernels 1..k-1.
+            n0 = int(round(config.multi.spatial_split * n))
+            n0 = max(1, min(n - (k - 1), n0))
+            rest = n - n0
+            for i in range(n0, n):
+                self.owner[i] = 1 + (i - n0) * (k - 1) // rest
+
+    def order(self, sm_id: int, dist) -> Sequence[int]:
+        return (self.owner[sm_id],)
+
+
+class LeftoverPolicy(AllocPolicy):
+    """Kernel-id priority: later kernels fill slots earlier ones can't."""
+
+    name = "leftover"
+
+    def order(self, sm_id: int, dist) -> Sequence[int]:
+        return range(len(self.kernels))
+
+
+class PreemptPolicy(AllocPolicy):
+    """CTA-boundary preemptive SRTF driven by :class:`RuntimePredictor`.
+
+    Predicted remaining runtime of kernel ``k`` is::
+
+        estimate[k] * ctas_left(k) / max(1, active_ctas(k))
+
+    i.e. per-CTA cost times outstanding CTAs, divided by the kernel's
+    current CTA-level parallelism.  Free slots are offered to kernels in
+    ascending predicted-remaining order with a deterministic kernel-id
+    tie-break, so the short kernel preempts the long one's refill stream
+    at every CTA boundary and exits quickly — the ANTT win the co-run
+    figure demonstrates.
+    """
+
+    name = "preempt"
+
+    def __init__(self, kernels, config: GPUConfig):
+        super().__init__(kernels, config)
+        self.predictor = RuntimePredictor(kernels, config)
+
+    def observe_cta(self, kid: int, duration: int) -> None:
+        self.predictor.observe(kid, duration)
+
+    def order(self, sm_id: int, dist) -> Sequence[int]:
+        scored: List[Tuple[float, int]] = []
+        for kid, kernel in enumerate(self.kernels):
+            left = kernel.num_ctas - dist.finished_ctas[kid]
+            if left <= 0:
+                continue
+            active = dist.active_ctas(kid)
+            remaining = self.predictor.estimate[kid] * left / max(1, active)
+            scored.append((remaining, kid))
+        scored.sort()
+        return [kid for _, kid in scored]
+
+
+_POLICIES = {
+    SpatialPolicy.name: SpatialPolicy,
+    LeftoverPolicy.name: LeftoverPolicy,
+    PreemptPolicy.name: PreemptPolicy,
+}
+assert set(_POLICIES) == set(ALLOC_POLICIES)
+
+
+def make_policy(name: str, kernels, config: GPUConfig) -> AllocPolicy:
+    """Instantiate allocation policy ``name`` (see ``ALLOC_POLICIES``)."""
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown allocation policy {name!r}; "
+            f"expected one of {', '.join(ALLOC_POLICIES)}"
+        ) from None
+    return cls(kernels, config)

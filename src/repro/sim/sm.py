@@ -43,6 +43,13 @@ MISS_QUEUE_DRAIN = 2
 #: Store issue latency (cycles until the issuing warp may issue again).
 STORE_LATENCY = 4
 
+#: Concurrent-kernel address virtualization: kernel ``k`` of a co-run
+#: lives at byte offset ``k << KERNEL_ADDR_SHIFT`` (see
+#: :func:`repro.sim.multi.virtualize_kernel`), so any line address maps
+#: back to its owning kernel with a single shift.  Single-kernel runs
+#: use offset 0 and always resolve to kernel 0.
+KERNEL_ADDR_SHIFT = 44
+
 
 @dataclass
 class CTAState:
@@ -50,6 +57,10 @@ class CTAState:
     cta_id: int
     warps: List[Warp]
     unfinished: int
+    #: Owning kernel (multi-kernel runs; equals ``SM.kernel`` otherwise).
+    kernel: Optional[KernelInfo] = None
+    kernel_id: int = 0
+    launch_cycle: int = 0
 
 
 @dataclass
@@ -69,6 +80,39 @@ class SMStats:
     ctas_executed: int = 0
 
     def merge(self, other: "SMStats") -> None:
+        for f in self.__dataclass_fields__:
+            setattr(self, f, getattr(self, f) + getattr(other, f))
+
+
+@dataclass
+class KernelStats:
+    """Per-kernel slice of an SM's counters (concurrent-kernel runs).
+
+    Maintained only when the SM runs in multi-kernel mode; the guard
+    layer asserts the slices conservation-sum to the global counters
+    (instructions, loads/stores, L1, MSHR, CTAs — the cycle-overlap
+    counters ``active/issue/stall_*`` are per-kernel perspectives and
+    legitimately exceed the wall-clock totals).
+    """
+
+    instructions: int = 0
+    loads_issued: int = 0
+    stores_issued: int = 0
+    demand_l1_accesses: int = 0
+    demand_mem_fetches: int = 0
+    l1_accesses: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    mshr_allocated: int = 0
+    mshr_released: int = 0
+    issue_cycles: int = 0
+    active_cycles: int = 0
+    stall_mem_all: int = 0
+    stall_mem_partial: int = 0
+    stall_other: int = 0
+    ctas_executed: int = 0
+
+    def merge(self, other: "KernelStats") -> None:
         for f in self.__dataclass_fields__:
             setattr(self, f, getattr(self, f) + getattr(other, f))
 
@@ -112,8 +156,9 @@ class SM:
         kernel: KernelInfo,
         prefetcher: Prefetcher,
         subsystem: MemorySubsystem,
-        on_cta_done: Callable[[int], None],
+        on_cta_done: Callable,
         obs=None,
+        multi: bool = False,
     ):
         self.sm_id = sm_id
         self.config = config
@@ -182,7 +227,21 @@ class SM:
         self._mark_leading = (
             config.scheduler.prefetch_aware or prefetcher.wants_leading_warps
         )
-        self._kernel_load_sites = max(1, len(kernel.program.load_sites()))
+        self._kernel_load_sites: Dict[int, int] = {
+            kernel.kernel_id: max(1, len(kernel.program.load_sites()))
+        }
+
+        # Concurrent-kernel accounting (all dormant when ``multi`` is
+        # False — the single-kernel hot path pays one bool test per
+        # site).  ``kstats``/``pstats_k`` slice the global counters per
+        # kernel id; ``k_unfinished``/``k_waiting`` mirror the SM-wide
+        # warp counts per kernel for the per-kernel stall classifier.
+        self._multi = multi
+        self.kstats: Dict[int, KernelStats] = {}
+        self.pstats_k: Dict[int, PrefetchStats] = {}
+        self.k_unfinished: Dict[int, int] = {}
+        self.k_waiting: Dict[int, int] = {}
+        self._issued_kid = -1
 
     # ------------------------------------------------------------- CTA launch
     def free_slot(self) -> Optional[int]:
@@ -191,7 +250,8 @@ class SM:
                 return i
         return None
 
-    def launch_cta(self, cta_id: int, now: int) -> None:
+    def launch_cta(self, cta_id: int, now: int,
+                   kernel: Optional[KernelInfo] = None) -> None:
         if self._span_from >= 0:  # defensive: launches reach a lazy-span
             self._settle_span(now)  # SM only via its own cycle
         if not self._span_hard:
@@ -202,26 +262,41 @@ class SM:
         slot = self.free_slot()
         if slot is None:
             raise RuntimeError(f"SM {self.sm_id} has no free CTA slot")
+        kernel = kernel if kernel is not None else self.kernel
+        kid = kernel.kernel_id
+        if kid not in self._kernel_load_sites:
+            self._kernel_load_sites[kid] = max(
+                1, len(kernel.program.load_sites())
+            )
         warps: List[Warp] = []
-        for w in range(self.kernel.warps_per_cta):
+        for w in range(kernel.warps_per_cta):
             warp = Warp(
                 sm_id=self.sm_id,
                 slot=self._next_warp_slot,
                 cta_slot=slot,
                 cta_id=cta_id,
                 warp_in_cta=w,
-                program=self.kernel.program,
+                program=kernel.program,
                 leading=self._mark_leading and w == 0,
                 launch_cycle=now,
+                kernel_id=kid,
             )
             self._next_warp_slot += 1
             warps.append(warp)
             self.warps_by_uid[warp.uid] = warp
             self.warp_by_slot[warp.slot] = warp
         self.cta_slots[slot] = CTAState(
-            slot=slot, cta_id=cta_id, warps=warps, unfinished=len(warps)
+            slot=slot, cta_id=cta_id, warps=warps, unfinished=len(warps),
+            kernel=kernel, kernel_id=kid, launch_cycle=now,
         )
         self.unfinished_warps += len(warps)
+        if self._multi:
+            self.k_unfinished[kid] = (
+                self.k_unfinished.get(kid, 0) + len(warps)
+            )
+            if kid not in self.kstats:
+                self.kstats[kid] = KernelStats()
+                self.pstats_k[kid] = PrefetchStats()
         if self.prefetcher.wants_group_interleave:
             # ORCH: consecutive warps land in different scheduling groups.
             order = sorted(warps, key=lambda w: (w.warp_in_cta % 2, w.warp_in_cta))
@@ -234,6 +309,7 @@ class SM:
             self.obs.cta_launch(
                 self.sm_id, cta_id, now,
                 interleaved=self.prefetcher.wants_group_interleave,
+                kernel_id=kid,
             )
             for warp in warps:
                 self.obs.warp_launch(warp, now)
@@ -268,6 +344,12 @@ class SM:
         else:
             self._account_stall()
         self.stats.active_cycles += 1
+        if self._multi:
+            if issued:
+                self._kernel_issue_cycle(self._issued_kid)
+                self._issued_kid = -1
+            else:
+                self._kernel_stall_cycles(1)
 
         # The L1 port is free for a prefetch when no demand access used
         # it: no memory instruction issued and any replay attempt failed
@@ -351,6 +433,12 @@ class SM:
             l1._tick += k
             l1.accesses += k
             l1.misses += k
+        if self._multi:
+            self._kernel_stall_cycles(k)
+            if replay:
+                ks = self.kstats[self.replay.warp.kernel_id]
+                ks.l1_accesses += k
+                ks.l1_misses += k
 
     def _account_stall(self) -> None:
         if self.waiting_mem_warps >= self.unfinished_warps and self.unfinished_warps:
@@ -359,6 +447,44 @@ class SM:
             self.stats.stall_mem_partial += 1
         else:
             self.stats.stall_other += 1
+
+    # ------------------------------------------------- per-kernel accounting
+    def _kernel_stall_cycles(self, k: int) -> None:
+        """Multi-mode: charge ``k`` non-issue cycles to every kernel with
+        unfinished warps on this SM, classified from that kernel's own
+        waiting/unfinished counts (constant over a span: blocks,
+        unblocks, finishes and launches all end spans first)."""
+        for kid, unfin in self.k_unfinished.items():
+            if unfin <= 0:
+                continue
+            ks = self.kstats[kid]
+            ks.active_cycles += k
+            kw = self.k_waiting.get(kid, 0)
+            if kw >= unfin:
+                ks.stall_mem_all += k
+            elif kw > 0:
+                ks.stall_mem_partial += k
+            else:
+                ks.stall_other += k
+
+    def _kernel_issue_cycle(self, issued_kid: int) -> None:
+        """Multi-mode: one cycle in which kernel ``issued_kid`` issued;
+        co-resident kernels see the same cycle as a stall of their own."""
+        for kid, unfin in self.k_unfinished.items():
+            if kid == issued_kid or unfin <= 0:
+                continue
+            ks = self.kstats[kid]
+            ks.active_cycles += 1
+            kw = self.k_waiting.get(kid, 0)
+            if kw >= unfin:
+                ks.stall_mem_all += 1
+            elif kw > 0:
+                ks.stall_mem_partial += 1
+            else:
+                ks.stall_other += 1
+        ks = self.kstats[issued_kid]
+        ks.active_cycles += 1
+        ks.issue_cycles += 1
 
     def _complete_hits(self, now: int) -> None:
         heap = self._hit_heap
@@ -371,6 +497,8 @@ class SM:
         since = warp.blocked_since
         if warp.piece_arrived(now):
             self.waiting_mem_warps -= 1
+            if self._multi:
+                self.k_waiting[warp.kernel_id] -= 1
             if self.obs is not None and since >= 0:
                 self.obs.warp_unblock(warp, since, now)
             if warp.exit_pending:
@@ -381,6 +509,10 @@ class SM:
     def _charge_defer(self, warp: Warp, now: int) -> None:
         if warp.charge_defer_budget(now):
             self.waiting_mem_warps += 1
+            if self._multi:
+                self.k_waiting[warp.kernel_id] = (
+                    self.k_waiting.get(warp.kernel_id, 0) + 1
+                )
             self.scheduler.on_block(warp)
             if self.obs is not None:
                 self.obs.warp_block(warp, now)
@@ -408,6 +540,8 @@ class SM:
         warp = self.scheduler.pick(now, lsu_free)
         if warp is None:
             return False
+        if self._multi:
+            self._issued_kid = warp.kernel_id
         instr = warp.cursor.next_instr()
         if instr.kind is InstrKind.EXIT:
             if warp.pending_pieces:
@@ -418,6 +552,10 @@ class SM:
                 warp.state = WarpState.WAITING_MEM
                 warp.blocked_since = now
                 self.waiting_mem_warps += 1
+                if self._multi:
+                    self.k_waiting[warp.kernel_id] = (
+                        self.k_waiting.get(warp.kernel_id, 0) + 1
+                    )
                 self.scheduler.on_block(warp)
                 if self.obs is not None:
                     self.obs.warp_block(warp, now)
@@ -426,6 +564,8 @@ class SM:
             return "alu"
         warp.instructions_issued += 1
         self.stats.instructions += 1
+        if self._multi:
+            self.kstats[warp.kernel_id].instructions += 1
         if instr.kind is InstrKind.ALU:
             warp.ready_at = now + instr.latency
             self._charge_defer(warp, now)
@@ -440,12 +580,13 @@ class SM:
         raise AssertionError(f"unexpected instr {instr!r}")  # pragma: no cover
 
     def _ctx(self, warp: Warp, iteration: int) -> AddressContext:
+        kernel = self.cta_slots[warp.cta_slot].kernel
         return AddressContext(
             cta_id=warp.cta_id,
             warp_in_cta=warp.warp_in_cta,
             iteration=iteration,
-            warps_per_cta=self.kernel.warps_per_cta,
-            num_ctas=self.kernel.num_ctas,
+            warps_per_cta=kernel.warps_per_cta,
+            num_ctas=kernel.num_ctas,
         )
 
     def _issue_load(self, warp: Warp, instr: Instr, now: int) -> None:
@@ -454,6 +595,10 @@ class SM:
         line_addrs = coalesce(addrs, self.l1.line_bytes)
         self.stats.loads_issued += 1
         self.stats.demand_l1_accesses += len(line_addrs)
+        if self._multi:
+            ks = self.kstats[warp.kernel_id]
+            ks.loads_issued += 1
+            ks.demand_l1_accesses += len(line_addrs)
         cands = self.prefetcher.on_load_issue(
             warp, site, addrs, line_addrs, instr.iteration, now
         )
@@ -466,7 +611,8 @@ class SM:
             # would only skew trailing-warp progress.
             warp.lead_loads_issued += 1
             targeted = min(
-                self.config.prefetch.dist_entries, self._kernel_load_sites
+                self.config.prefetch.dist_entries,
+                self._kernel_load_sites[warp.kernel_id],
             )
             if warp.lead_loads_issued >= targeted:
                 warp.leading = False
@@ -483,6 +629,10 @@ class SM:
             warp.block_on_memory(len(line_addrs), now)
             if not already_blocked:
                 self.waiting_mem_warps += 1
+                if self._multi:
+                    self.k_waiting[warp.kernel_id] = (
+                        self.k_waiting.get(warp.kernel_id, 0) + 1
+                    )
                 self.scheduler.on_block(warp)
                 if self.obs is not None:
                     self.obs.warp_block(warp, now)
@@ -502,6 +652,8 @@ class SM:
         addrs = site.addresses(self._ctx(warp, instr.iteration))
         line_addrs = coalesce(addrs, self.l1.line_bytes)
         self.stats.stores_issued += 1
+        if self._multi:
+            self.kstats[warp.kernel_id].stores_issued += 1
         warp.ready_at = now + STORE_LATENCY
         remaining = list(line_addrs)
         self._process_store_lines(warp, site.pc, remaining, now)
@@ -539,11 +691,22 @@ class SM:
         while remaining:
             line_addr = remaining[0]
             line = self.l1.lookup(line_addr)
+            if self._multi:
+                ks = self.kstats[warp.kernel_id]
+                ks.l1_accesses += 1
+                if line is not None:
+                    ks.l1_hits += 1
+                else:
+                    ks.l1_misses += 1
             if line is not None:
                 if line.prefetched and not line.used:
                     line.used = True
                     self.unused_prefetched_resident -= 1
                     self.pstats.record_useful(now - line.prefetch_issue_cycle)
+                    if self._multi:
+                        self.pstats_k[warp.kernel_id].record_useful(
+                            now - line.prefetch_issue_cycle
+                        )
                     if self.obs is not None:
                         self.obs.pf_useful(
                             self.sm_id, now - line.prefetch_issue_cycle, now
@@ -571,6 +734,10 @@ class SM:
                     # demand warps merging are ordinary MSHR-style
                     # merges, not additional prefetch successes).
                     self.pstats.record_late_merge(now - meta.issue_cycle)
+                    if self._multi:
+                        self.pstats_k[warp.kernel_id].record_late_merge(
+                            now - meta.issue_cycle
+                        )
                     if self.obs is not None:
                         self.obs.pf_late_merge(
                             self.sm_id, now - meta.issue_cycle, now
@@ -590,6 +757,7 @@ class SM:
                     pc=pc,
                     warp_uid=warp.uid,
                     issue_cycle=now,
+                    kernel_id=warp.kernel_id,
                 )
                 mshr.merge(req)
                 remaining.pop(0)
@@ -603,10 +771,15 @@ class SM:
                 pc=pc,
                 warp_uid=warp.uid,
                 issue_cycle=now,
+                kernel_id=warp.kernel_id,
             )
             mshr.allocate(req)
             self.miss_queue.append(req)
             self.stats.demand_mem_fetches += 1
+            if self._multi:
+                ks = self.kstats[warp.kernel_id]
+                ks.demand_mem_fetches += 1
+                ks.mshr_allocated += 1
             cands = self.prefetcher.on_l1_miss(warp, pc, line_addr, now)
             if cands:
                 self.enqueue_prefetches(cands)
@@ -627,14 +800,29 @@ class SM:
                     pc=pc,
                     warp_uid=warp.uid,
                     issue_cycle=now,
+                    kernel_id=warp.kernel_id,
                 )
             )
 
     # -------------------------------------------------------------- prefetch
+    def _pk(self, line_addr: int) -> PrefetchStats:
+        """Per-kernel prefetch stats slice owning ``line_addr`` (multi
+        mode only); kernels occupy disjoint address ranges, so the owner
+        is exact."""
+        kid = line_addr >> KERNEL_ADDR_SHIFT
+        pk = self.pstats_k.get(kid)
+        if pk is None:
+            pk = self.pstats_k[kid] = PrefetchStats()
+        return pk
+
     def enqueue_prefetches(self, cands: List[PrefetchCandidate]) -> None:
         self.pstats.candidates += len(cands)
+        multi = self._multi
         for c in cands:
             line = self.l1.align(c.line_addr)
+            if multi:
+                pk = self._pk(line)
+                pk.candidates += 1
             if line in self._queued_prefetch_lines:
                 continue
             if len(self.prefetch_queue) >= PREFETCH_QUEUE_DEPTH:
@@ -642,6 +830,8 @@ class SM:
                 # closer to their demand; the incoming one is furthest in
                 # the future and cheapest to lose.
                 self.pstats.queue_drops += 1
+                if multi:
+                    pk.queue_drops += 1
                 continue
             self.prefetch_queue.append(c)
             self._queued_prefetch_lines.add(line)
@@ -650,17 +840,24 @@ class SM:
         cand = self.prefetch_queue.popleft()
         line_addr = self.l1.align(cand.line_addr)
         self._queued_prefetch_lines.discard(line_addr)
+        multi = self._multi
         if self.l1.probe(line_addr) is not None:
             self.pstats.drop_l1_hit += 1
+            if multi:
+                self._pk(line_addr).drop_l1_hit += 1
             return
         if self.l1.mshr.pending(line_addr) or line_addr in self._inflight_prefetch:
             self.pstats.drop_inflight += 1
+            if multi:
+                self._pk(line_addr).drop_inflight += 1
             return
         if (
             len(self._inflight_prefetch) >= self.prefetch_inflight_limit
             or len(self.prefetch_miss_queue) >= self.prefetch_miss_queue_depth
         ):
             self.pstats.drop_resource += 1
+            if multi:
+                self._pk(line_addr).drop_resource += 1
             return
         req = MemoryRequest(
             line_addr=line_addr,
@@ -669,6 +866,7 @@ class SM:
             pc=cand.pc,
             target_warp=cand.target_warp_uid,
             issue_cycle=now,
+            kernel_id=line_addr >> KERNEL_ADDR_SHIFT,
         )
         self.prefetch_miss_queue.append(req)
         self._inflight_prefetch[line_addr] = _InflightPrefetch(
@@ -678,6 +876,8 @@ class SM:
             req=req,
         )
         self.pstats.issued += 1
+        if multi:
+            self._pk(line_addr).issued += 1
         if self.obs is not None:
             self.obs.pf_issue(req, now)
 
@@ -697,9 +897,13 @@ class SM:
             self._on_prefetch_fill(meta, now)
             return
         merged = self.l1.mshr.release(line_addr)
+        if self._multi:
+            self.kstats[req.kernel_id].mshr_released += 1
         victim = self.l1.fill(line_addr, cycle=now)
         if victim is not None and victim.prefetched and not victim.used:
             self.pstats.early_evicted += 1
+            if self._multi:
+                self._pk(victim.line_addr).early_evicted += 1
             self.unused_prefetched_resident -= 1
             if self.obs is not None:
                 self.obs.pf_early_evict(self.sm_id, now)
@@ -729,6 +933,8 @@ class SM:
             self.unused_prefetched_resident += 1
         if victim is not None and victim.prefetched and not victim.used:
             self.pstats.early_evicted += 1
+            if self._multi:
+                self._pk(victim.line_addr).early_evicted += 1
             self.unused_prefetched_resident -= 1
             if self.obs is not None:
                 self.obs.pf_early_evict(self.sm_id, now)
@@ -757,22 +963,32 @@ class SM:
         self.unfinished_warps -= 1
         cta = self.cta_slots[warp.cta_slot]
         cta.unfinished -= 1
+        if self._multi:
+            self.k_unfinished[warp.kernel_id] -= 1
         if cta.unfinished == 0:
             self.cta_slots[warp.cta_slot] = None
             self.stats.ctas_executed += 1
+            if self._multi:
+                self.kstats[cta.kernel_id].ctas_executed += 1
             for w in cta.warps:
                 self.warps_by_uid.pop(w.uid, None)
                 self.warp_by_slot.pop(w.slot, None)
             self.prefetcher.on_cta_finish(cta.slot, cta.cta_id)
-            self.on_cta_done(self.sm_id)
+            self.on_cta_done(self.sm_id, cta, now)
 
     # -------------------------------------------------------------- finalize
     def finalize(self) -> None:
         """Classify leftover prefetched lines as unused (run end)."""
-        for cset in self.l1._sets:
-            for line in cset.values():
+        l1 = self.l1
+        for idx, cset in enumerate(l1._sets):
+            for tag, line in cset.items():
                 if line.prefetched and not line.used:
                     self.pstats.unused_at_end += 1
-        self.pstats.unused_at_end += sum(
-            1 for m in self._inflight_prefetch.values() if not m.waiters
-        )
+                    if self._multi:
+                        addr = ((tag << l1._set_shift) | idx) << l1._line_shift
+                        self._pk(addr).unused_at_end += 1
+        for m in self._inflight_prefetch.values():
+            if not m.waiters:
+                self.pstats.unused_at_end += 1
+                if self._multi:
+                    self._pk(m.req.line_addr).unused_at_end += 1

@@ -28,8 +28,8 @@ class Warp:
 
     __slots__ = (
         "uid", "sm_id", "slot", "cta_slot", "cta_id", "warp_in_cta",
-        "cursor", "state", "ready_at", "pending_pieces", "defer_budget",
-        "exit_pending", "leading", "lead_loads_issued",
+        "kernel_id", "cursor", "state", "ready_at", "pending_pieces",
+        "defer_budget", "exit_pending", "leading", "lead_loads_issued",
         "instructions_issued", "launch_cycle", "finish_cycle",
         "blocked_since",
     )
@@ -45,6 +45,7 @@ class Warp:
         *,
         leading: bool = False,
         launch_cycle: int = 0,
+        kernel_id: int = 0,
     ):
         self.uid = next(_warp_uid)
         self.sm_id = sm_id
@@ -52,6 +53,7 @@ class Warp:
         self.cta_slot = cta_slot
         self.cta_id = cta_id
         self.warp_in_cta = warp_in_cta
+        self.kernel_id = kernel_id
         self.cursor: WarpCursor = program.cursor()
         self.state = WarpState.READY
         self.ready_at = launch_cycle

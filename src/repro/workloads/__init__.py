@@ -13,22 +13,38 @@ behaviour.
 """
 
 from repro.workloads.base import BenchmarkSpec, Scale
+from repro.workloads.corun import (
+    CORUN_PAIRS,
+    DEFAULT_PAIR,
+    CorunPair,
+    corun_name,
+)
 from repro.workloads.suite import (
+    ALIASES,
     ALL_BENCHMARKS,
     IRREGULAR,
     REGULAR,
     WORKLOADS,
     build,
+    canonical_name,
     get_spec,
+    normalize_benchmark,
 )
 
 __all__ = [
     "BenchmarkSpec",
     "Scale",
+    "ALIASES",
     "ALL_BENCHMARKS",
+    "CORUN_PAIRS",
+    "CorunPair",
+    "DEFAULT_PAIR",
+    "corun_name",
     "IRREGULAR",
     "REGULAR",
     "WORKLOADS",
     "build",
+    "canonical_name",
     "get_spec",
+    "normalize_benchmark",
 ]

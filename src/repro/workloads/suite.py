@@ -654,13 +654,44 @@ REGULAR: Tuple[str, ...] = tuple(a for a, s in WORKLOADS.items() if not s.irregu
 IRREGULAR: Tuple[str, ...] = tuple(a for a, s in WORKLOADS.items() if s.irregular)
 
 
+#: Alternate names accepted anywhere a benchmark abbreviation is:
+#: SGEMM is the common name for the CUDA SDK matrixMul kernel the paper
+#: models as MM.
+ALIASES: Dict[str, str] = {
+    "SGEMM": "MM",
+}
+
+
+def canonical_name(abbr: str) -> str:
+    """Uppercase ``abbr`` and resolve :data:`ALIASES` (no validation)."""
+    up = abbr.upper()
+    return ALIASES.get(up, up)
+
+
 def get_spec(abbr: str) -> BenchmarkSpec:
     try:
-        return WORKLOADS[abbr.upper()]
+        return WORKLOADS[canonical_name(abbr)]
     except KeyError:
         raise KeyError(
             f"unknown benchmark {abbr!r}; choose from {list(WORKLOADS)}"
         ) from None
+
+
+def normalize_benchmark(name: str) -> str:
+    """Canonical cell-name form of a benchmark or ``"A+B"`` co-run pair.
+
+    Uppercases and de-aliases every ``+``-separated part
+    (``"mrq+sgemm"`` → ``"MRQ+MM"``) so equivalent spellings share one
+    cache key.  Raises :class:`KeyError` on any unknown part.
+    """
+    parts = [canonical_name(p) for p in name.split("+")]
+    for part in parts:
+        if part not in WORKLOADS:
+            raise KeyError(
+                f"unknown benchmark {part!r} in {name!r}; choose from "
+                f"{list(WORKLOADS)}"
+            )
+    return "+".join(parts)
 
 
 def build(abbr: str, scale: Scale = Scale.SMALL) -> KernelInfo:

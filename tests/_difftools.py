@@ -143,3 +143,58 @@ def run_differential(
     assert_identical(fingerprint(gpu_ref, res_ref),
                      fingerprint(gpu_evt, res_evt), label)
     return res_ref
+
+
+# ------------------------------------------------------ multi-kernel co-runs
+
+def run_corun_engine(
+    kernels_fn: Callable[[], list],
+    config,
+    engine: str,
+    prefetcher_factory=None,
+    max_cycles: Optional[int] = None,
+):
+    """Run a multi-kernel co-schedule under the given engine.
+
+    ``kernels_fn`` must build *fresh* kernels on every call (kernel
+    programs are virtualized in place by :class:`MultiKernelApp`, so
+    instances cannot be shared between the paired runs).
+    """
+    from repro.sim.multi import MultiGPU, MultiKernelApp
+
+    reset_uid_counters()
+    cfg = dataclasses.replace(config, engine=engine)
+    gpu = MultiGPU(MultiKernelApp(kernels_fn()), cfg, prefetcher_factory)
+    result = gpu.run(max_cycles=max_cycles)
+    return gpu, result
+
+
+def corun_fingerprint(gpu, result) -> Dict[str, Any]:
+    """:func:`fingerprint` plus the per-kernel sub-records and the
+    allocation-policy summary (grant history length, finish cycles,
+    predictor estimates) — the parts of a co-run the global counters
+    cannot see."""
+    fp = fingerprint(gpu, result)
+    fp["kernels"] = repr(result.extra["kernels"])
+    fp["multi"] = repr(result.extra["multi"])
+    return fp
+
+
+def run_corun_differential(
+    kernels_fn: Callable[[], list],
+    config,
+    prefetcher_factory=None,
+    max_cycles: Optional[int] = None,
+    label: str = "",
+):
+    """Run a co-schedule under both engines; assert bit-identity.
+
+    Returns the reference result (for further assertions by the caller).
+    """
+    gpu_ref, res_ref = run_corun_engine(kernels_fn, config, "cycle",
+                                        prefetcher_factory, max_cycles)
+    gpu_evt, res_evt = run_corun_engine(kernels_fn, config, "event",
+                                        prefetcher_factory, max_cycles)
+    assert_identical(corun_fingerprint(gpu_ref, res_ref),
+                     corun_fingerprint(gpu_evt, res_evt), label)
+    return res_ref

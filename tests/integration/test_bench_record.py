@@ -18,7 +18,8 @@ _spec.loader.exec_module(bench_record)
 
 
 def envelope(**metrics):
-    return bench_record.payload("sim", metrics)
+    """compare() takes plain metric dicts; kwargs keep call sites terse."""
+    return dict(metrics)
 
 
 class TestCompareDirections:
@@ -93,11 +94,46 @@ class TestSchemaHandling:
         assert bench_record.compare(base, now, 0.10) == []
 
     def test_repo_baselines_exist_and_carry_schema(self):
-        """The committed BENCH_*.json files match the tool's schema."""
+        """The committed BENCH_*.json files match the tool's schema:
+        a capped ``history`` list of timestamped metric entries."""
         import json
         for filename in ("BENCH_sim.json", "BENCH_serve.json"):
             path = TOOL.parent.parent / filename
             assert path.exists(), filename
             payload = json.loads(path.read_text())
             assert payload["schema"] == bench_record.BENCH_SCHEMA
-            assert "metrics" in payload
+            history = payload["history"]
+            assert 1 <= len(history) <= bench_record.HISTORY_LIMIT
+            latest = bench_record.latest_metrics(payload)
+            assert latest and latest is history[-1]["metrics"]
+
+
+class TestHistory:
+    def test_payload_appends_and_caps_history(self):
+        prior = [{"recorded_at": None, "metrics": {"sim_cycles_per_s": i}}
+                 for i in range(bench_record.HISTORY_LIMIT)]
+        env = bench_record.payload("sim", {"sim_cycles_per_s": 999.0},
+                                   history=prior)
+        assert env["schema"] == bench_record.BENCH_SCHEMA
+        assert len(env["history"]) == bench_record.HISTORY_LIMIT
+        assert env["history"][-1]["metrics"] == {"sim_cycles_per_s": 999.0}
+        assert env["history"][-1]["recorded_at"]  # timestamped
+        # oldest entry dropped to honour the cap
+        assert env["history"][0]["metrics"] == {"sim_cycles_per_s": 1}
+
+    def test_migrate_lifts_schema1_envelope(self):
+        legacy = {"schema": 1, "suite": "sim",
+                  "metrics": {"sim_cycles_per_s": 123.0}}
+        lifted = bench_record.migrate(legacy)
+        assert lifted["schema"] == bench_record.BENCH_SCHEMA
+        assert lifted["history"] == [
+            {"recorded_at": None, "metrics": {"sim_cycles_per_s": 123.0}}]
+        assert bench_record.latest_metrics(lifted) == \
+            {"sim_cycles_per_s": 123.0}
+
+    def test_migrate_passes_schema2_through(self):
+        env = bench_record.payload("sim", {"sim_cycles_per_s": 1.0})
+        assert bench_record.migrate(env) is env
+
+    def test_latest_metrics_of_empty_history(self):
+        assert bench_record.latest_metrics({"history": []}) == {}

@@ -24,6 +24,7 @@ from repro.workloads import ALL_BENCHMARKS, Scale, build
 from tests._difftools import (
     assert_identical,
     fingerprint,
+    run_corun_differential,
     run_differential,
     run_engine,
 )
@@ -129,3 +130,46 @@ class TestEngineKnob:
     def test_invalid_engine_rejected(self):
         with pytest.raises(Exception):
             tiny_config(engine="warp-drive")
+
+
+class TestMultiKernel:
+    """Concurrent-kernel co-runs must be bit-identical too — including
+    the per-kernel sub-records and the allocation-policy summary."""
+
+    PAIRS = (("MRQ", "MM"), ("BFS", "CP"), ("KM", "FFT"))
+    POLICIES = ("spatial", "leftover", "preempt")
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("pf", PREFETCHERS, ids=["nopf", "caps"])
+    @pytest.mark.parametrize("pair", PAIRS, ids=lambda p: "+".join(p))
+    def test_corun_identical(self, pair, policy, pf):
+        cfg = tiny_config().with_multi(alloc_policy=policy)
+        res = run_corun_differential(
+            lambda: [build(b, Scale.TINY) for b in pair], cfg,
+            _factory(pf),
+            label=f"{'+'.join(pair)}/{policy}/{pf or 'none'}",
+        )
+        assert res.completed
+        assert len(res.extra["kernels"]) == 2
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_truncated_corun_identical(self, policy):
+        """A run cut off mid-flight (CTAs still resident, preemption
+        decisions half-made) must still fingerprint identically.
+
+        No prefetcher: truncation with prefetches in flight trips the
+        (pre-existing, engine-independent) prefetch-outcome invariant,
+        which is about accounting at the cut, not engine identity.
+        """
+        cfg = tiny_config().with_multi(alloc_policy=policy)
+        full = run_corun_differential(
+            lambda: [build(b, Scale.TINY) for b in ("MRQ", "MM")], cfg,
+            label=f"corun/{policy}/full",
+        )
+        cut = max(64, full.cycles // 3)
+        res = run_corun_differential(
+            lambda: [build(b, Scale.TINY) for b in ("MRQ", "MM")], cfg,
+            max_cycles=cut,
+            label=f"corun/{policy}/truncated@{cut}",
+        )
+        assert not res.completed

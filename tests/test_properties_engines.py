@@ -25,7 +25,7 @@ from repro.sim.isa import (
 from repro.sim.kernel import KernelInfo
 from repro.workloads.generators import indirect, linear
 
-from tests._difftools import run_differential
+from tests._difftools import run_corun_differential, run_differential
 
 LINE = 128
 
@@ -98,6 +98,38 @@ def _rebuild(kernel):
                       WarpProgram(ops=kernel.program.ops))
 
 
+def _clone_ops(ops):
+    """Deep-rebuild an op tree with fresh sites (pcs unassigned).
+
+    Multi-kernel virtualization rebases programs *in place* (site pcs,
+    pattern closures, the id-keyed pc map), so each engine run of a
+    co-schedule needs genuinely new op/site objects — ``deepcopy``
+    would carry the stale ``id()``-keyed pc table along.
+    """
+    out = []
+    for op in ops:
+        if isinstance(op, ComputeOp):
+            out.append(ComputeOp(op.count, latency=op.latency))
+        elif isinstance(op, LoadOp):
+            out.append(LoadOp(
+                LoadSite(pc=0, pattern=op.site.pattern,
+                         indirect=op.site.indirect, name=op.site.name),
+                use_distance=op.use_distance))
+        elif isinstance(op, StoreOp):
+            out.append(StoreOp(
+                LoadSite(pc=0, pattern=op.site.pattern,
+                         indirect=op.site.indirect, name=op.site.name)))
+        else:
+            out.append(LoopOp(op.trips, _clone_ops(op.body)))
+    return out
+
+
+def _fresh(kernel):
+    """A virtualization-safe copy of a generated kernel."""
+    return KernelInfo(kernel.name, kernel.num_ctas, kernel.warps_per_cta,
+                      WarpProgram(ops=_clone_ops(kernel.program.ops)))
+
+
 class TestGeneratedKernelsIdentical:
     @given(kernels(), configs())
     @settings(max_examples=15, deadline=None)
@@ -122,3 +154,45 @@ class TestGeneratedKernelsIdentical:
         cfg = tiny_config()
         run_differential(lambda: _rebuild(kernel), cfg,
                          max_cycles=cutoff, label=f"prop-cut@{cutoff}")
+
+
+class TestGeneratedCorunsIdentical:
+    """Random kernel *pairs* co-scheduled under a random allocation
+    policy: bit-identical engines, and the per-kernel sub-records must
+    conservation-sum to the global counters (the guard enforces the
+    internal tables; the explicit asserts pin the exported view).
+
+    Kernels are deep-rebuilt per engine run (``_fresh``) because
+    virtualization rebases programs in place.
+    """
+
+    POLICIES = st.sampled_from(("spatial", "leftover", "preempt"))
+
+    @given(kernels(), kernels(), POLICIES)
+    @settings(max_examples=10, deadline=None)
+    def test_random_pair_random_policy(self, ka, kb, policy):
+        cfg = tiny_config().with_multi(alloc_policy=policy)
+        res = run_corun_differential(
+            lambda: [_fresh(ka), _fresh(kb)], cfg,
+            label=f"prop-corun/{policy}",
+        )
+        assert res.completed
+        recs = res.extra["kernels"]
+        assert len(recs) == 2
+        assert sum(r["instructions"] for r in recs) == res.instructions
+        assert sum(r["loads_issued"] for r in recs) == \
+            res.sm_stats.loads_issued
+
+    @given(kernels(), kernels(), POLICIES)
+    @settings(max_examples=6, deadline=None)
+    def test_random_pair_with_caps(self, ka, kb, policy):
+        cfg = tiny_config().with_multi(alloc_policy=policy)
+        res = run_corun_differential(
+            lambda: [_fresh(ka), _fresh(kb)], cfg,
+            make_prefetcher("caps"),
+            label=f"prop-corun-caps/{policy}",
+        )
+        assert res.completed
+        recs = res.extra["kernels"]
+        assert sum(r["pf_issued"] for r in recs) == \
+            res.prefetch_stats.issued

@@ -16,16 +16,23 @@ Two suites, each producing one JSON file at the repo root:
 
 Modes::
 
-    python tools/bench_record.py --write            # (re)record baselines
-    python tools/bench_record.py --check            # compare vs baselines
+    python tools/bench_record.py --write            # append a baseline entry
+    python tools/bench_record.py --check            # compare vs latest entry
     python tools/bench_record.py --check --tolerance 0.10
 
-``--check`` exits non-zero when any metric regresses beyond the
-tolerance in its *bad* direction (throughput metrics may not fall,
-latency metrics may not rise); improvements never fail.  CI runs the
-check on every push (the ``bench`` job), so a change that slows the
-simulator or the serve tier by more than 10% fails loudly instead of
-rotting silently.
+Baselines are versioned envelopes (schema 2) carrying a ``history``
+list of timestamped measurement entries; ``--write`` *appends* (capped
+at :data:`HISTORY_LIMIT` entries) instead of overwriting, so the files
+double as a coarse performance log of the repo over time.  Legacy
+schema-1 files (a single ``metrics`` object) are migrated in place on
+the next ``--write`` and accepted read-only by ``--check``.
+
+``--check`` compares against the **latest** history entry and exits
+non-zero when any metric regresses beyond the tolerance in its *bad*
+direction (throughput metrics may not fall, latency metrics may not
+rise); improvements never fail.  CI runs the check on every push (the
+``bench`` job), so a change that slows the simulator or the serve tier
+by more than 10% fails loudly instead of rotting silently.
 
 Timings are wall-clock and therefore noisy on shared runners — the
 default 10% tolerance plus best-of-N measurement absorbs normal
@@ -57,7 +64,12 @@ from repro.sim.gpu import simulate                     # noqa: E402
 from repro.workloads import Scale, build               # noqa: E402
 
 #: Baseline file schema version (bump on incompatible layout changes).
-BENCH_SCHEMA = 1
+#: v2: the envelope carries a ``history`` list of timestamped entries
+#: instead of a single ``metrics`` object; ``--write`` appends.
+BENCH_SCHEMA = 2
+
+#: Most recent entries kept per baseline file.
+HISTORY_LIMIT = 50
 
 #: Metric name -> direction: "higher" means a drop is a regression,
 #: "lower" means a rise is.  Unlisted metrics are informational only.
@@ -89,7 +101,16 @@ FLEET_SIZES = (1, 3)
 
 # ------------------------------------------------------------------ sim
 def measure_sim() -> Dict[str, Any]:
-    """Best-of-N simulator speed on one SMALL MRQ cell."""
+    """Best-of-N simulator speed: one SMALL MRQ cell plus one SMALL
+    MRQ+MM co-schedule under the preemptive allocator (the
+    concurrent-kernel subsystem's hot path; docs/architecture.md).
+
+    The co-run rate is recorded as an informational metric only — the
+    co-schedule's wall time is short enough that runner jitter exceeds
+    the 10% gate — but ``sim_corun_cycles`` is deterministic, so a
+    behavioural change to the allocator still shows in the history."""
+    from repro.sim.multi import simulate_corun
+
     config = small_config()
     best = None
     for _ in range(SIM_ROUNDS):
@@ -101,11 +122,25 @@ def measure_sim() -> Dict[str, Any]:
         if best is None or rate > best[0]:
             best = (rate, result.cycles, wall)
     rate, cycles, wall = best
+
+    co_config = config.with_multi(alloc_policy="preempt")
+    best_co = None
+    for _ in range(SIM_ROUNDS):
+        kernels = [build("MRQ", Scale.SMALL), build("MM", Scale.SMALL)]
+        t0 = time.perf_counter()
+        co = simulate_corun(kernels, co_config)
+        co_wall = time.perf_counter() - t0
+        co_rate = co.cycles / co_wall
+        if best_co is None or co_rate > best_co[0]:
+            best_co = (co_rate, co.cycles)
+
     return {
         "sim_cycles_per_s": round(rate, 1),
         "sim_cycles": cycles,
         "sim_best_wall_s": round(wall, 4),
         "sim_rounds": SIM_ROUNDS,
+        "sim_corun_cycles_per_s": round(best_co[0], 1),
+        "sim_corun_cycles": best_co[1],
     }
 
 
@@ -237,22 +272,24 @@ def measure_serve() -> Dict[str, Any]:
 # -------------------------------------------------------------- compare
 def compare(baseline: Dict[str, Any], current: Dict[str, Any],
             tolerance: float) -> List[str]:
-    """Regressions of ``current`` vs ``baseline`` beyond ``tolerance``.
+    """Regressions of ``current`` vs ``baseline`` metrics beyond
+    ``tolerance``.  Both arguments are plain metric dicts (use
+    :func:`latest_metrics` to pull one out of an envelope).
 
     Only metrics named in :data:`DIRECTIONS` are compared; a metric
-    missing from either side is reported (a silently-vanished metric
-    is itself a regression of the harness).  Returns human-readable
-    problem strings, empty when everything holds.
+    missing from the current side is reported (a silently-vanished
+    metric is itself a regression of the harness).  Returns
+    human-readable problem strings, empty when everything holds.
     """
     problems = []
     for name, direction in DIRECTIONS.items():
-        if name not in baseline.get("metrics", {}):
+        if name not in baseline:
             continue        # baseline predates this metric: nothing to hold
-        if name not in current.get("metrics", {}):
+        if name not in current:
             problems.append(f"{name}: present in baseline but not measured")
             continue
-        base = float(baseline["metrics"][name])
-        now = float(current["metrics"][name])
+        base = float(baseline[name])
+        now = float(current[name])
         if base == 0:
             continue
         change = (now - base) / base
@@ -269,9 +306,40 @@ def compare(baseline: Dict[str, Any], current: Dict[str, Any],
     return problems
 
 
-def payload(suite: str, metrics: Dict[str, Any]) -> Dict[str, Any]:
-    """Wrap suite metrics in the versioned baseline envelope."""
-    return {"schema": BENCH_SCHEMA, "suite": suite, "metrics": metrics}
+def history_entry(metrics: Dict[str, Any]) -> Dict[str, Any]:
+    """One timestamped history entry (UTC, second resolution)."""
+    import datetime
+
+    stamp = datetime.datetime.now(datetime.timezone.utc)
+    return {"recorded_at": stamp.strftime("%Y-%m-%dT%H:%M:%SZ"),
+            "metrics": metrics}
+
+
+def payload(suite: str, metrics: Dict[str, Any],
+            history: List[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Versioned baseline envelope: prior ``history`` plus a new entry."""
+    entries = list(history or []) + [history_entry(metrics)]
+    return {"schema": BENCH_SCHEMA, "suite": suite,
+            "history": entries[-HISTORY_LIMIT:]}
+
+
+def migrate(envelope: Dict[str, Any]) -> Dict[str, Any]:
+    """Lift a legacy schema-1 envelope (single ``metrics`` object) into
+    the schema-2 history form; schema-2 envelopes pass through."""
+    if envelope.get("schema") == 1 and "metrics" in envelope:
+        return {
+            "schema": BENCH_SCHEMA,
+            "suite": envelope.get("suite"),
+            "history": [{"recorded_at": None,
+                         "metrics": envelope["metrics"]}],
+        }
+    return envelope
+
+
+def latest_metrics(envelope: Dict[str, Any]) -> Dict[str, Any]:
+    """The most recent metrics entry of a (migrated) envelope."""
+    history = envelope.get("history") or []
+    return history[-1]["metrics"] if history else {}
 
 
 SUITES: Dict[str, Tuple[Any, str]] = {
@@ -304,21 +372,27 @@ def main(argv=None) -> int:
         for name, value in sorted(metrics.items()):
             print(f"[{suite}]   {name} = {value}")
         if args.write:
-            path.write_text(json.dumps(payload(suite, metrics), indent=2,
+            history = []
+            if path.exists():
+                prior = migrate(json.loads(path.read_text()))
+                history = prior.get("history") or []
+            envelope = payload(suite, metrics, history=history)
+            path.write_text(json.dumps(envelope, indent=2,
                                        sort_keys=True) + "\n")
-            print(f"[{suite}] wrote {path.name}")
+            print(f"[{suite}] wrote {path.name} "
+                  f"({len(envelope['history'])} history entries)")
             continue
         if not path.exists():
             failures.append(f"{suite}: no baseline {path.name} "
                             "(run --write first)")
             continue
-        baseline = json.loads(path.read_text())
+        baseline = migrate(json.loads(path.read_text()))
         if baseline.get("schema") != BENCH_SCHEMA:
             failures.append(
                 f"{suite}: baseline schema {baseline.get('schema')!r} "
                 f"!= {BENCH_SCHEMA} (re-record with --write)")
             continue
-        problems = compare(baseline, payload(suite, metrics),
+        problems = compare(latest_metrics(baseline), metrics,
                            args.tolerance)
         for problem in problems:
             failures.append(f"{suite}: {problem}")
